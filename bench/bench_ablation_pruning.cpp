@@ -1,0 +1,64 @@
+// E10 — ablation on trace pruning and sampling (paper Sec. II-F).
+//
+// The paper prunes basic-block traces to the 10,000 most frequent blocks
+// (which "typically keeps over 90% of the original trace") and samples
+// sub-traces. This bench sweeps the pruning budget and the sampling stride
+// and reports (a) the fraction of the trace retained and (b) the quality of
+// the BB-affinity optimizer built from the reduced trace.
+#include <cstdio>
+
+#include "harness/lab.hpp"
+#include "support/format.hpp"
+#include "trace/prune.hpp"
+#include "workloads/spec.hpp"
+
+using namespace codelayout;
+
+int main() {
+  const std::string target = "403.gcc";  // the paper's worst-case trace
+
+  std::printf("Ablation (paper Sec. II-F): trace pruning on %s\n\n",
+              target.c_str());
+
+  TextTable table({"prune top-K", "kept fraction", "hot blocks", "solo miss",
+                   "solo miss red."});
+  for (std::size_t top_k : {std::size_t{100}, std::size_t{400},
+                            std::size_t{1000}, std::size_t{4000},
+                            std::size_t{10000}}) {
+    PipelineConfig config;
+    config.prune_top_k = top_k;
+    Lab lab(config);
+    const PreparedWorkload& w = lab.workload(target);
+    const double base =
+        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+    const double opt =
+        lab.solo(target, kBBAffinity, Measure::kHardware).miss_ratio();
+    table.add_row({fmt_count(top_k), fmt_pct(w.prune_kept_fraction, 1),
+                   std::to_string(w.profile_blocks.distinct_count()),
+                   fmt_pct(opt), fmt_pct(base > 0 ? 1.0 - opt / base : 0, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Window sampling of the pruned trace (window 4096):\n");
+  TextTable stable({"stride", "events kept", "solo miss red."});
+  Lab base_lab;
+  const PreparedWorkload& full = base_lab.workload(target);
+  const double base =
+      base_lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+  for (std::size_t stride : {std::size_t{4096}, std::size_t{8192},
+                             std::size_t{16384}, std::size_t{65536}}) {
+    // Re-run the model on a sampled profile trace, transform, re-simulate.
+    PreparedWorkload sampled = base_lab.workload(target);
+    sampled.profile_blocks = sample_windows(full.profile_blocks, 4096, stride);
+    const CodeLayout layout =
+        optimize_layout(sampled, kBBAffinity, base_lab.pipeline());
+    const SimResult sim = simulate_solo(sampled.module, layout,
+                                        sampled.eval_blocks,
+                                        hardware_proxy_options());
+    stable.add_row({fmt_count(stride),
+                    fmt_count(sampled.profile_blocks.size()),
+                    fmt_pct(base > 0 ? 1.0 - sim.miss_ratio() / base : 0, 1)});
+  }
+  std::printf("%s", stable.render().c_str());
+  return 0;
+}

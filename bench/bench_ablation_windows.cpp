@@ -1,0 +1,91 @@
+// E9 — ablation on the models' window parameters.
+//
+// The paper observes (Sec. III-C) that "TRG is sensitive to the window size
+// 2C; its improvement is fragile as we try to pick the value that gives the
+// best performance", while affinity examines a *range* of window sizes far
+// smaller than 2C. This bench sweeps (a) the TRG co-occurrence window and
+// (b) the affinity w-grid upper bound, and reports the resulting solo and
+// average co-run miss reductions on a selected benchmark.
+#include <cstdio>
+
+#include "harness/lab.hpp"
+#include "support/format.hpp"
+#include "support/stats.hpp"
+#include "workloads/spec.hpp"
+
+using namespace codelayout;
+
+namespace {
+
+double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt) {
+  RunningStats stats;
+  for (const std::string& probe : selected_benchmarks()) {
+    const double base =
+        lab.corun(name, std::nullopt, probe, std::nullopt, Measure::kHardware)
+            .self.miss_ratio();
+    const double with_opt =
+        lab.corun(name, opt, probe, std::nullopt, Measure::kHardware)
+            .self.miss_ratio();
+    stats.add(base > 0 ? 1.0 - with_opt / base : 0.0);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  const std::string target = "458.sjeng";
+
+  std::printf(
+      "Ablation (paper Sec. III-C): window-size sensitivity on %s\n\n",
+      target.c_str());
+
+  // --- (a) TRG window sweep: 0.5C, 1C, 2C (paper default), 4C, 8C --------
+  std::printf("(a) Function TRG vs co-occurrence window (paper default "
+              "2C):\n");
+  TextTable trg_table({"window", "solo miss red.", "avg co-run miss red."});
+  const double factors[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  for (double f : factors) {
+    PipelineConfig config;
+    // trg window entries derive from trg_cache_bytes as 2C/S; scale C so the
+    // examined window is f*C.
+    config.trg_cache_bytes =
+        static_cast<std::uint64_t>(32 * 1024 * f / 2.0);
+    Lab lab(config);
+    const double solo_base =
+        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+    const double solo_opt =
+        lab.solo(target, kFuncTrg, Measure::kHardware).miss_ratio();
+    trg_table.add_row(
+        {fmt_fixed(f, 1) + "C",
+         fmt_pct(solo_base > 0 ? 1.0 - solo_opt / solo_base : 0.0, 1),
+         fmt_pct(avg_corun_reduction(lab, target, kFuncTrg), 1)});
+  }
+  std::printf("%s\n", trg_table.render().c_str());
+
+  // --- (b) affinity w-grid sweep ------------------------------------------
+  std::printf("(b) BB affinity vs w-grid upper bound (paper uses w in "
+              "[2,20]):\n");
+  TextTable aff_table({"w grid", "solo miss red.", "avg co-run miss red."});
+  const std::vector<std::pair<std::string, std::vector<std::uint32_t>>>
+      grids = {
+          {"{2,3,4}", {2, 3, 4}},
+          {"{2..8}", {2, 3, 4, 6, 8}},
+          {"{2..20} (default)", {2, 3, 4, 6, 8, 12, 16, 20}},
+          {"{2..64}", {2, 3, 4, 6, 8, 12, 16, 20, 32, 48, 64}},
+      };
+  for (const auto& [label, grid] : grids) {
+    PipelineConfig config;
+    config.affinity.w_values = grid;
+    Lab lab(config);
+    const double solo_base =
+        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+    const double solo_opt =
+        lab.solo(target, kBBAffinity, Measure::kHardware).miss_ratio();
+    aff_table.add_row(
+        {label, fmt_pct(solo_base > 0 ? 1.0 - solo_opt / solo_base : 0.0, 1),
+         fmt_pct(avg_corun_reduction(lab, target, kBBAffinity), 1)});
+  }
+  std::printf("%s", aff_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E8 — google-benchmark timings backing the paper's complexity claims
+// (Sec. II-B/C): the fast stack-based affinity analysis scales as O(W*N)
+// versus the naive Algorithm 1's O(W*N*B); TRG construction is O(N*Q); TRG
+// reduction is polynomial in the node count. Run standalone: prints
+// wall-clock per analysis over synthetic traces of growing length.
+#include <benchmark/benchmark.h>
+
+#include "affinity/analysis.hpp"
+#include "affinity/naive.hpp"
+#include "exec/interpreter.hpp"
+#include "harness/pipeline.hpp"
+#include "support/rng.hpp"
+#include "trg/graph.hpp"
+#include "trg/reduction.hpp"
+#include "workloads/spec.hpp"
+
+namespace {
+
+using namespace codelayout;
+
+/// A loop-structured synthetic trace with `blocks` distinct symbols.
+Trace synthetic_trace(std::size_t events, Symbol blocks, std::uint64_t seed) {
+  Rng rng(seed);
+  Trace t(Trace::Granularity::kBlock);
+  t.reserve(events);
+  Symbol last = blocks;  // out-of-range sentinel
+  while (t.size() < events) {
+    // Zipf-biased working sets with local runs, like hot loops.
+    const auto base = static_cast<Symbol>(rng.zipf(blocks, 1.1));
+    const std::size_t run = 3 + rng.below(6);
+    for (std::size_t i = 0; i < run && t.size() < events; ++i) {
+      Symbol s = static_cast<Symbol>((base + i) % blocks);
+      if (s == last) s = (s + 1) % blocks;
+      t.push_symbol(s);
+      last = s;
+    }
+  }
+  return t;
+}
+
+void BM_AffinityFast(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Trace trace = synthetic_trace(events, 256, 42).trimmed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_affinity(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AffinityFast)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AffinityNaive(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Trace trace = synthetic_trace(events, 64, 42).trimmed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_hierarchy(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AffinityNaive)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_TrgBuild(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Trace trace = synthetic_trace(events, 512, 42).trimmed();
+  const TrgConfig config{.window_entries = trg_window_entries(32 * 1024, 64)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Trg::build(trace, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrgBuild)->Arg(10000)->Arg(100000)->Arg(400000);
+
+void BM_TrgReduce(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  const Trace trace = synthetic_trace(events, 512, 42).trimmed();
+  const Trg graph = Trg::build(
+      trace, TrgConfig{.window_entries = trg_window_entries(32 * 1024, 64)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_trg(graph, 128));
+  }
+}
+BENCHMARK(BM_TrgReduce)->Arg(10000)->Arg(100000);
+
+void BM_FullPipeline(benchmark::State& state) {
+  // End-to-end optimizer cost on a real workload: the paper reports the
+  // added compilation time is "a couple of times" the original compile.
+  const WorkloadSpec& spec = find_spec("458.sjeng");
+  const PreparedWorkload prepared = prepare_workload(spec);
+  const Optimizer opt = state.range(0) == 0 ? kFuncAffinity : kBBAffinity;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_layout(prepared, opt));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// E3 — regenerates Figure 5: the solo-run effect of the two affinity
+// optimizers — (a) performance speedup and (b) hw-counted instruction-cache
+// miss-ratio reduction, per selected benchmark.
+//
+// Paper shape: speedups are modest (function reordering -1%..2%, BB
+// 0%..3%) while miss reductions are dramatic (up to 34% function, 37% BB);
+// BB entries for perlbench and povray are N/A (their compiler erred there).
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "support/format.hpp"
+
+using namespace codelayout;
+
+int main() {
+  Lab lab;
+  std::printf(
+      "Figure 5: solo-run effect of the affinity optimizers\n"
+      "(paper: speedups -1%%..3%%; hw miss reductions up to ~37%%)\n\n");
+  TextTable table({"program", "func speedup", "func miss red.", "BB speedup",
+                   "BB miss red."});
+  std::vector<std::pair<std::string, double>> speedup_bars;
+  for (const Fig5Row& row : fig5_rows(lab)) {
+    table.add_row(
+        {row.name, fmt_fixed(row.func_speedup, 4),
+         fmt_pct(row.func_miss_reduction, 1),
+         row.bb_supported ? fmt_fixed(row.bb_speedup, 4) : "N/A",
+         row.bb_supported ? fmt_pct(row.bb_miss_reduction, 1) : "N/A"});
+    speedup_bars.emplace_back(row.name, (row.func_speedup - 1.0) * 100);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(a) function-affinity solo speedup (%%):\n%s",
+              ascii_bars(speedup_bars, 40).c_str());
+  return 0;
+}

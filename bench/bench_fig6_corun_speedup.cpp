@@ -1,0 +1,48 @@
+// E5 — regenerates Figure 6: per-pairing co-run speedups of the three
+// optimizers. Each bar is the speedup of an optimized program co-running
+// with an unmodified probe, normalized to the original+original pairing.
+//
+// Paper shape: speedups range ~0.98-1.12; affinity optimizers occasionally
+// lose a single pairing but improve every program on average; function TRG
+// is consistently beneficial except for one program where it is consistently
+// harmful.
+#include <cstdio>
+#include <map>
+
+#include "harness/experiments.hpp"
+#include "support/format.hpp"
+#include "support/stats.hpp"
+
+using namespace codelayout;
+
+namespace {
+
+void render(Lab& lab, Optimizer opt, const char* caption) {
+  std::printf("%s\n", caption);
+  const auto cells = fig6_cells(lab, opt);
+  std::map<std::string, std::vector<const Fig6Cell*>> by_program;
+  for (const Fig6Cell& c : cells) by_program[c.program].push_back(&c);
+  for (const auto& [program, row] : by_program) {
+    RunningStats stats;
+    std::vector<std::pair<std::string, double>> bars;
+    for (const Fig6Cell* c : row) {
+      stats.add(c->speedup);
+      bars.emplace_back(c->probe, (c->speedup - 1.0) * 100);
+    }
+    std::printf("%s (avg %s):\n%s", program.c_str(),
+                fmt_signed_pct(stats.mean() - 1.0).c_str(),
+                ascii_bars(bars, 30, "%").c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Lab lab;
+  render(lab, kFuncAffinity,
+         "(a) Function layout opt based on affinity model");
+  render(lab, kBBAffinity, "(b) BB layout opt based on affinity model");
+  render(lab, kFuncTrg, "(c) Function layout opt based on TRG model");
+  return 0;
+}

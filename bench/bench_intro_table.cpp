@@ -1,0 +1,34 @@
+// E0 — regenerates the introduction table: average L1I miss ratio of the
+// programs with non-trivial miss ratios, solo and under the two co-run
+// probes.
+//
+// Paper reference values:   solo 1.5% | co-run 1 2.5% (+67%) | co-run 2 3.8%
+// (+153%), over 9 of 29 SPEC CPU2006 programs.
+#include <cstdio>
+
+#include "harness/experiments.hpp"
+#include "support/format.hpp"
+
+using namespace codelayout;
+
+int main() {
+  Lab lab;
+  const IntroTable table = intro_table(lab);
+
+  std::printf(
+      "Introduction table: avg L1I miss ratio of the %zu non-trivial "
+      "programs\n(paper: 9 programs; solo 1.5%%, co-run1 2.5%% (+67%%), "
+      "co-run2 3.8%% (+153%%))\n\n",
+      table.programs.size());
+
+  TextTable out({"", "avg. miss ratio", "increase over solo"});
+  out.add_row({"solo", fmt_pct(table.avg_solo, 1), "—"});
+  out.add_row({"co-run 1 (gcc)", fmt_pct(table.avg_corun1, 1),
+               fmt_pct(table.increase1(), 0)});
+  out.add_row({"co-run 2 (gamess)", fmt_pct(table.avg_corun2, 1),
+               fmt_pct(table.increase2(), 0)});
+  std::printf("%s\nNon-trivial programs:", out.render().c_str());
+  for (const auto& p : table.programs) std::printf(" %s", p.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example: the formal defensiveness/politeness analysis of paper Sec. II-A.
+//
+// Computes the all-window instruction footprint of two workloads (Eq. 2
+// operates on the footprint of fetched cache lines), composes them through
+// the shared-cache model P(self.miss) = P(self.FP + peer.FP >= C), and
+// reports the defensiveness and politeness losses before and after layout
+// optimization — showing that code layout optimization improves both at
+// once, unlike QoS throttling (peer-dependent politeness) or defensive
+// tiling (defensiveness only).
+#include <cstdio>
+
+#include "cache/icache_sim.hpp"
+#include "harness/lab.hpp"
+#include "locality/missmodel.hpp"
+#include "support/format.hpp"
+#include "workloads/spec.hpp"
+
+using namespace codelayout;
+
+namespace {
+
+FootprintCurve line_footprint(Lab& lab, const std::string& name,
+                              std::optional<Optimizer> opt) {
+  const PreparedWorkload& w = lab.workload(name);
+  const Trace lines = line_trace(w.module, lab.layout(name, opt),
+                                 w.eval_blocks, kL1I.line_bytes);
+  return FootprintCurve::compute(lines);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string self_name = argc > 1 ? argv[1] : "458.sjeng";
+  const std::string peer_name = argc > 2 ? argv[2] : "416.gamess";
+  const double capacity = static_cast<double>(kL1I.lines());
+
+  Lab lab;
+  std::printf("Eq. 1/2 shared-cache analysis: %s vs %s (C = %.0f lines)\n\n",
+              self_name.c_str(), peer_name.c_str(), capacity);
+
+  const FootprintCurve peer = line_footprint(lab, peer_name, std::nullopt);
+
+  auto report = [&](const char* label, std::optional<Optimizer> opt) {
+    const FootprintCurve self = line_footprint(lab, self_name, opt);
+    const SharedCacheAssessment a = assess_corun(self, peer, capacity);
+    std::printf("%s\n", label);
+    std::printf("  instruction footprint fp(1e4) = %.0f lines, max = %.0f\n",
+                self.at(1e4), self.max_footprint());
+    std::printf("  P(self.miss): solo %s -> co-run %s  (defensiveness loss %s)\n",
+                fmt_pct(a.self_solo, 3).c_str(),
+                fmt_pct(a.self_corun, 3).c_str(),
+                fmt_pct(a.defensiveness_loss(), 3).c_str());
+    std::printf("  P(peer.miss): solo %s -> co-run %s  (politeness loss %s)\n\n",
+                fmt_pct(a.peer_solo, 3).c_str(),
+                fmt_pct(a.peer_corun, 3).c_str(),
+                fmt_pct(a.politeness_loss(), 3).c_str());
+  };
+
+  report("original layout:", std::nullopt);
+  report("function affinity layout:", kFuncAffinity);
+  if (Lab::bb_reordering_supported(self_name)) {
+    report("BB affinity layout:", kBBAffinity);
+  }
+
+  std::printf(
+      "Layout optimization shrinks self's footprint at every window size,\n"
+      "so it reduces the defensiveness loss (goal 2) AND the politeness\n"
+      "loss (goal 3) simultaneously — it is peer-independent (Sec. IV).\n");
+  return 0;
+}

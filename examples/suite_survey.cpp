@@ -1,0 +1,99 @@
+// Example: survey the workload suite the way the paper's first experiment
+// does (Sec. I / Fig. 4) — solo and co-run L1I miss ratios per program —
+// plus the effect of each optimizer on one selected program.
+//
+// Usage: suite_survey [workload ...]
+//   With no arguments, surveys the 8 selected benchmarks plus the probes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/lab.hpp"
+#include "support/stats.hpp"
+#include "support/format.hpp"
+#include "workloads/spec.hpp"
+
+using namespace codelayout;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) {
+    names = selected_benchmarks();
+    names.push_back(kProbe2);
+  }
+
+  Lab lab;
+  TextTable table({"program", "static", "blocks", "trace", "kept%", "solo",
+                   "solo(hw)", "co-gcc", "co-gamess"});
+  for (const auto& name : names) {
+    const PreparedWorkload& w = lab.workload(name);
+    const SimResult& solo_sim = lab.solo(name, std::nullopt, Measure::kSimulator);
+    const SimResult& solo_hw = lab.solo(name, std::nullopt, Measure::kHardware);
+    const CorunResult& vs_gcc =
+        lab.corun(name, std::nullopt, kProbe1, std::nullopt, Measure::kHardware);
+    const CorunResult& vs_gamess =
+        lab.corun(name, std::nullopt, kProbe2, std::nullopt, Measure::kHardware);
+    table.add_row({name, fmt_bytes(w.module.static_bytes()),
+                   std::to_string(w.module.block_count()),
+                   fmt_count(w.eval_blocks.size()),
+                   fmt_pct(w.prune_kept_fraction, 1),
+                   fmt_pct(solo_sim.miss_ratio()),
+                   fmt_pct(solo_hw.miss_ratio()),
+                   fmt_pct(vs_gcc.self.miss_ratio()),
+                   fmt_pct(vs_gamess.self.miss_ratio())});
+  }
+  std::printf("L1I miss-ratio survey (32KB 4-way 64B lines)\n\n%s\n",
+              table.render().c_str());
+
+  // Optimizer effect on the first surveyed program.
+  const std::string target = names.front();
+  std::printf("Optimizer effect on %s (solo, hw measurement):\n", target.c_str());
+  const double base = lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+  const double base_cycles = lab.solo_cycles(target, std::nullopt);
+  for (const Optimizer opt : kAllOptimizers) {
+    if (opt.granularity == Granularity::kBlock &&
+        !Lab::bb_reordering_supported(target)) {
+      std::printf("  %-18s N/A (paper compiler error, reproduced)\n",
+                  opt.name().c_str());
+      continue;
+    }
+    const double ratio = lab.solo(target, opt, Measure::kHardware).miss_ratio();
+    const double cycles = lab.solo_cycles(target, opt);
+    std::printf("  %-18s miss %s -> %s (reduction %s), speedup %s\n",
+                opt.name().c_str(), fmt_pct(base).c_str(),
+                fmt_pct(ratio).c_str(),
+                fmt_pct(base > 0 ? 1.0 - ratio / base : 0.0, 1).c_str(),
+                fmt_fixed(base_cycles / cycles, 4).c_str());
+  }
+
+  // Co-run effect (paper Sec. III-C): optimized+original vs original+original.
+  std::printf("\nCo-run effect on %s (averaged over %zu probes):\n",
+              target.c_str(), names.size());
+  for (const Optimizer opt : kAllOptimizers) {
+    if (opt.granularity == Granularity::kBlock &&
+        !Lab::bb_reordering_supported(target)) {
+      std::printf("  %-18s N/A\n", opt.name().c_str());
+      continue;
+    }
+    RunningStats speedups, reductions;
+    for (const auto& probe : names) {
+      const double base_c =
+          lab.corun_self_cycles(target, std::nullopt, probe, std::nullopt);
+      const double opt_c =
+          lab.corun_self_cycles(target, opt, probe, std::nullopt);
+      speedups.add(base_c / opt_c);
+      const double m0 =
+          lab.corun(target, std::nullopt, probe, std::nullopt, Measure::kHardware)
+              .self.miss_ratio();
+      const double m1 =
+          lab.corun(target, opt, probe, std::nullopt, Measure::kHardware)
+              .self.miss_ratio();
+      reductions.add(m0 > 0 ? 1.0 - m1 / m0 : 0.0);
+    }
+    std::printf("  %-18s avg speedup %s, avg hw miss reduction %s\n",
+                opt.name().c_str(), fmt_fixed(speedups.mean(), 4).c_str(),
+                fmt_pct(reductions.mean(), 1).c_str());
+  }
+  return 0;
+}

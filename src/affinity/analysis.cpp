@@ -1,0 +1,128 @@
+#include "affinity/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "affinity/hierarchy_builder.hpp"
+#include "support/check.hpp"
+
+namespace codelayout {
+namespace {
+
+/// Credit state of one pair. `lo`/`hi` follow the key ordering. `sat_*`
+/// counts occurrences of that side having a partner occurrence with window
+/// footprint <= w (Definition 3); `mark_*` is the last trace position of
+/// that side already credited, which makes every occurrence count once.
+struct PairRec {
+  std::uint32_t sat_lo = 0;
+  std::uint32_t sat_hi = 0;
+  std::int64_t mark_lo = -1;
+  std::int64_t mark_hi = -1;
+};
+
+/// The set of distinct symbols inside the current sliding window, with
+/// per-symbol counts. The window never holds more than w distinct symbols,
+/// so the linear scans stay O(w).
+class WindowSet {
+ public:
+  explicit WindowSet(Symbol space) : counts_(space, 0) {}
+
+  void add(Symbol s) {
+    if (counts_[s]++ == 0) present_.push_back(s);
+  }
+
+  void remove(Symbol s) {
+    CL_DCHECK(counts_[s] > 0);
+    if (--counts_[s] == 0) {
+      present_.erase(std::find(present_.begin(), present_.end(), s));
+    }
+  }
+
+  [[nodiscard]] std::size_t distinct() const { return present_.size(); }
+  [[nodiscard]] const std::vector<Symbol>& symbols() const { return present_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<Symbol> present_;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
+                                           std::uint32_t w) {
+  CL_CHECK(trimmed.is_trimmed());
+  CL_CHECK(w >= 2);
+  const auto symbols = trimmed.symbols();
+  const Symbol space = trimmed.symbol_space();
+
+  // Two-pointer window [left, t]: the maximal range ending at t whose
+  // footprint (distinct symbols, Definition 2) is <= w. An occurrence P@j is
+  // within a footprint-w window of S@t exactly when j >= left(t); `left` is
+  // monotone, so expired occurrences never re-enter.
+  WindowSet window(space);
+  std::size_t left = 0;
+
+  std::vector<std::vector<std::uint32_t>> positions(space);
+  std::unordered_map<std::uint64_t, PairRec> pairs;
+
+  for (std::size_t t = 0; t < symbols.size(); ++t) {
+    const Symbol s = symbols[t];
+    window.add(s);
+    while (window.distinct() > w) {
+      window.remove(symbols[left]);
+      ++left;
+    }
+
+    for (Symbol p : window.symbols()) {
+      if (p == s) continue;
+      PairRec& rec = pairs[detail::pair_key(s, p)];
+      const bool s_is_lo = s < p;
+      auto& sat_s = s_is_lo ? rec.sat_lo : rec.sat_hi;
+      auto& mark_s = s_is_lo ? rec.mark_lo : rec.mark_hi;
+      auto& sat_p = s_is_lo ? rec.sat_hi : rec.sat_lo;
+      auto& mark_p = s_is_lo ? rec.mark_hi : rec.mark_lo;
+
+      // This occurrence of s sees p before it within the window.
+      if (mark_s < static_cast<std::int64_t>(t)) {
+        ++sat_s;
+        mark_s = static_cast<std::int64_t>(t);
+      }
+      // Every in-window occurrence of p not yet credited sees s after it.
+      const auto& occ = positions[p];
+      const auto lo_bound = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(static_cast<std::int64_t>(left),
+                                 mark_p + 1));
+      const auto first =
+          std::lower_bound(occ.begin(), occ.end(), lo_bound);
+      const auto fresh = static_cast<std::uint32_t>(occ.end() - first);
+      if (fresh > 0) {
+        sat_p += fresh;
+        mark_p = occ.back();
+      }
+    }
+    positions[s].push_back(static_cast<std::uint32_t>(t));
+  }
+
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, rec] : pairs) {
+    const auto lo = static_cast<Symbol>(key >> 32);
+    const auto hi = static_cast<Symbol>(key & 0xffffffffu);
+    if (rec.sat_lo == positions[lo].size() &&
+        rec.sat_hi == positions[hi].size()) {
+      out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AffinityHierarchy analyze_affinity(const Trace& trace,
+                                   const AffinityConfig& config) {
+  CL_CHECK_MSG(config.valid(), "invalid affinity w grid");
+  const Trace trimmed = trace.is_trimmed() ? trace : trace.trimmed();
+  return detail::build_hierarchy(
+      trimmed, config.w_values,
+      [&](std::uint32_t w) { return affine_pairs_at(trimmed, w); });
+}
+
+}  // namespace codelayout

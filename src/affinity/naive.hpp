@@ -1,0 +1,40 @@
+// Reference (naive) implementations of w-window affinity: Definition 3
+// checked exactly against every occurrence pair, and the paper's Algorithm 1
+// greedy partition. Quadratic and worse — intended for small traces, unit
+// tests and the complexity benches, not production analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "affinity/analysis.hpp"
+#include "affinity/hierarchy.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+/// Footprint of the window spanning trace positions [i, j] (Definition 2):
+/// the number of distinct symbols in the closed range.
+std::uint64_t window_footprint(const Trace& trimmed, std::size_t i,
+                               std::size_t j);
+
+/// Definition 3, checked exactly: every occurrence of x has a corresponding
+/// occurrence of y with window footprint <= w, and vice versa.
+bool naive_w_affine(const Trace& trimmed, Symbol x, Symbol y, std::uint32_t w);
+
+/// All affine pairs at w under the exact definition (keys (min<<32)|max).
+std::vector<std::uint64_t> naive_affine_pairs_at(const Trace& trimmed,
+                                                 std::uint32_t w);
+
+/// The exact-definition hierarchy (same merge policy as the fast analyzer).
+AffinityHierarchy naive_hierarchy(const Trace& trace,
+                                  const AffinityConfig& config = {});
+
+/// Paper Algorithm 1 ("Hierarchical Code Block Locality Affinity") at a
+/// single w: greedily grow groups, adding each block to the first group all
+/// of whose members it is pairwise affine with. The paper picks the next
+/// block randomly; for determinism we pick in first-appearance order.
+std::vector<std::vector<Symbol>> algorithm1_partition(const Trace& trimmed,
+                                                      std::uint32_t w);
+
+}  // namespace codelayout

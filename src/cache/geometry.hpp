@@ -1,0 +1,33 @@
+// Cache geometry (paper Sec. III-A: 32 KB, 4-way, 64 B lines — the L1
+// instruction cache of the Xeon E5520 testbed and of the Pin simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_bytes = 64;
+
+  [[nodiscard]] std::uint64_t lines() const { return size_bytes / line_bytes; }
+  [[nodiscard]] std::uint64_t sets() const {
+    return lines() / associativity;
+  }
+
+  void validate() const {
+    CL_CHECK(line_bytes > 0 && associativity > 0);
+    CL_CHECK_MSG(size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                               associativity) == 0,
+                 "cache size not divisible into sets");
+    CL_CHECK(sets() > 0);
+  }
+};
+
+/// The paper's L1I configuration.
+inline constexpr CacheGeometry kL1I{32 * 1024, 4, 64};
+
+}  // namespace codelayout

@@ -1,0 +1,178 @@
+#include "cache/icache_sim.hpp"
+
+#include "support/rng.hpp"
+
+namespace codelayout {
+namespace {
+
+/// One fetch stream: a program replaying its block trace under a layout.
+class FetchStream {
+ public:
+  FetchStream(const Module& module, const CodeLayout& layout,
+              const Trace& trace, std::uint64_t line_namespace,
+              const SimOptions& options, std::uint64_t rng_stream)
+      : module_(module),
+        layout_(layout),
+        trace_(trace),
+        namespace_(line_namespace),
+        options_(options),
+        rng_(Rng(options.seed).fork(rng_stream)) {
+    CL_CHECK(trace.is_block());
+    CL_CHECK(!trace.empty());
+  }
+
+  /// Executes the next block against `cache`; wraps at the trace end.
+  /// Returns true when this step consumed the last event of the trace.
+  /// When `stall_on_miss` is set, demand misses accrue fetch-slot debt and
+  /// subsequent step() calls are consumed by stalling instead of fetching.
+  bool step(SetAssocCache& cache, bool stall_on_miss = false) {
+    if (stall_on_miss && stall_debt_ >= 1.0) {
+      stall_debt_ -= 1.0;
+      return false;
+    }
+    const BlockId b = trace_.block_at(cursor_);
+    const BasicBlock& bb = module_.block(b);
+    const auto span = layout_.lines_of(b, options_.geometry.line_bytes);
+    const auto& place = layout_.placement(b);
+
+    ++stats_.blocks;
+    stats_.instructions += place.bytes / kInstrBytes;
+    stats_.overhead_instructions +=
+        (place.bytes - bb.size_bytes) / kInstrBytes;
+    for (std::uint32_t i = 0; i < span.line_count; ++i) {
+      const std::uint64_t line = namespace_ + span.first_line + i;
+      ++stats_.line_probes;
+      if (!cache.access(line)) {
+        ++stats_.demand_misses;
+        if (stall_on_miss) stall_debt_ += options_.miss_stall_blocks;
+        if (options_.next_line_prefetch) cache.prefill(line + 1);
+      }
+    }
+    // Speculative wrong-path fetch past a conditional branch: the fetch unit
+    // runs ahead on the not-taken path before the branch resolves.
+    if (options_.wrong_path_rate > 0.0 && bb.successors.size() > 1 &&
+        rng_.chance(options_.wrong_path_rate)) {
+      const std::uint64_t line =
+          namespace_ + span.first_line + span.line_count;
+      if (!cache.access(line)) ++stats_.wrong_path_misses;
+    }
+
+    ++cursor_;
+    if (cursor_ == trace_.size()) {
+      cursor_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const SimResult& stats() const { return stats_; }
+
+ private:
+  const Module& module_;
+  const CodeLayout& layout_;
+  const Trace& trace_;
+  std::uint64_t namespace_;
+  SimOptions options_;
+  Rng rng_;
+  std::size_t cursor_ = 0;
+  double stall_debt_ = 0.0;
+  SimResult stats_;
+};
+
+}  // namespace
+
+SimOptions hardware_proxy_options(std::uint64_t seed) {
+  return SimOptions{.geometry = kL1I,
+                    .next_line_prefetch = true,
+                    .wrong_path_rate = 0.08,
+                    .seed = seed};
+}
+
+SimResult simulate_solo(const Module& module, const CodeLayout& layout,
+                        const Trace& trace, const SimOptions& options) {
+  SetAssocCache cache(options.geometry);
+  FetchStream stream(module, layout, trace, /*line_namespace=*/0, options,
+                     /*rng_stream=*/1);
+  while (!stream.step(cache)) {
+  }
+  return stream.stats();
+}
+
+CorunResult simulate_corun(const Module& self_module,
+                           const CodeLayout& self_layout,
+                           const Trace& self_trace,
+                           const Module& peer_module,
+                           const CodeLayout& peer_layout,
+                           const Trace& peer_trace,
+                           const SimOptions& options, double peer_speed) {
+  CL_CHECK(peer_speed > 0.0);
+  SetAssocCache cache(options.geometry);
+  // Disjoint line-id namespaces: two address spaces sharing one cache.
+  constexpr std::uint64_t kPeerNamespace = std::uint64_t{1} << 40;
+  FetchStream self(self_module, self_layout, self_trace, 0, options, 1);
+  FetchStream peer(peer_module, peer_layout, peer_trace, kPeerNamespace,
+                   options, 2);
+  // Round-robin fetch slots: one self block per round, `peer_speed` peer
+  // blocks on average (fractional rates via an accumulator); stop when the
+  // measured stream completes.
+  double peer_credit = 0.0;
+  for (;;) {
+    const bool done = self.step(cache, /*stall_on_miss=*/true);
+    peer_credit += peer_speed;
+    while (peer_credit >= 1.0) {
+      peer.step(cache, /*stall_on_miss=*/true);
+      peer_credit -= 1.0;
+    }
+    if (done) break;
+  }
+  return CorunResult{self.stats(), peer.stats()};
+}
+
+std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
+                                           const SimOptions& options) {
+  CL_CHECK_MSG(parties.size() >= 2, "need at least two co-runners");
+  SetAssocCache cache(options.geometry);
+  std::vector<FetchStream> streams;
+  std::vector<double> credit(parties.size(), 0.0);
+  streams.reserve(parties.size());
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    const CorunParty& p = parties[i];
+    CL_CHECK(p.module && p.layout && p.trace);
+    CL_CHECK(p.speed > 0.0);
+    streams.emplace_back(*p.module, *p.layout, *p.trace,
+                         static_cast<std::uint64_t>(i) << 40, options,
+                         /*rng_stream=*/i + 1);
+  }
+  for (;;) {
+    const bool done = streams[0].step(cache, /*stall_on_miss=*/true);
+    for (std::size_t i = 1; i < parties.size(); ++i) {
+      credit[i] += parties[i].speed;
+      while (credit[i] >= 1.0) {
+        streams[i].step(cache, /*stall_on_miss=*/true);
+        credit[i] -= 1.0;
+      }
+    }
+    if (done) break;
+  }
+  std::vector<SimResult> results;
+  results.reserve(streams.size());
+  for (const FetchStream& s : streams) results.push_back(s.stats());
+  return results;
+}
+
+Trace line_trace(const Module& module, const CodeLayout& layout,
+                 const Trace& block_trace, std::uint32_t line_bytes) {
+  (void)module;
+  CL_CHECK(block_trace.is_block());
+  Trace out(Trace::Granularity::kBlock);
+  out.reserve(block_trace.size() * 2);
+  for (std::size_t i = 0; i < block_trace.size(); ++i) {
+    const auto span = layout.lines_of(block_trace.block_at(i), line_bytes);
+    for (std::uint32_t l = 0; l < span.line_count; ++l) {
+      out.push_symbol(static_cast<Symbol>(span.first_line + l));
+    }
+  }
+  return out.trimmed();
+}
+
+}  // namespace codelayout

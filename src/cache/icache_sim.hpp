@@ -1,0 +1,109 @@
+// Instruction-cache simulation (paper Sec. III-A).
+//
+// Replays a dynamic block trace against a CodeLayout: each block execution
+// fetches the cache lines its placed bytes cover. Two measurement flavours
+// mirror the paper's two instruments:
+//   * "simulated"  — the bare LRU cache, like the Pin-based simulator;
+//   * "hw proxy"   — the same cache plus a next-line prefetcher and
+//     occasional wrong-path fetches, reproducing why hardware-counter miss
+//     reductions come out smaller than pure simulation (Sec. III-C).
+// Co-run simulation interleaves two fetch streams round-robin through one
+// shared cache, the way two hyper-threads share the L1I; the peer stream
+// wraps around until the measured stream finishes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/set_assoc.hpp"
+#include "ir/module.hpp"
+#include "layout/layout.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+struct SimOptions {
+  CacheGeometry geometry = kL1I;
+  /// Install line+1 on every demand miss (hardware stream prefetch).
+  bool next_line_prefetch = false;
+  /// Probability that a branchy block speculatively fetches down the wrong
+  /// path (pollutes the cache and shows up in hardware miss counters).
+  double wrong_path_rate = 0.0;
+  /// Fetch-slot debt per demand miss in co-run interleaving: a missing
+  /// thread stalls and yields fetch slots, throttling its own pollution.
+  double miss_stall_blocks = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// The configuration used for "hardware counter" measurements.
+SimOptions hardware_proxy_options(std::uint64_t seed = 1);
+
+struct SimResult {
+  std::uint64_t instructions = 0;   ///< fetched instructions (denominator)
+  /// Instructions added by the layout itself (entry trampolines, fall-through
+  /// fix-up jumps); a subset of `instructions`, and cheaper to execute since
+  /// jumps carry no data stalls.
+  std::uint64_t overhead_instructions = 0;
+  std::uint64_t line_probes = 0;    ///< demand line probes
+  std::uint64_t demand_misses = 0;
+  std::uint64_t wrong_path_misses = 0;
+  std::uint64_t blocks = 0;         ///< block executions replayed
+
+  /// Misses visible to a hardware counter.
+  [[nodiscard]] std::uint64_t misses() const {
+    return demand_misses + wrong_path_misses;
+  }
+  /// Misses per fetched instruction — the paper's "miss ratio".
+  [[nodiscard]] double miss_ratio() const {
+    return instructions ? static_cast<double>(misses()) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+};
+
+/// Replays `trace` (block granularity) alone in a cold cache.
+SimResult simulate_solo(const Module& module, const CodeLayout& layout,
+                        const Trace& trace, const SimOptions& options = {});
+
+struct CorunResult {
+  SimResult self;  ///< the measured program: its full trace, replayed once
+  SimResult peer;  ///< the probe program: wraps around as needed
+};
+
+/// Interleaves the two streams block-by-block through one shared cache.
+/// `peer_speed` is the peer's fetch rate relative to self (blocks per self
+/// block): two SMT threads progress inversely to their CPIs, so a data-bound
+/// self sees a faster peer stream and vice versa.
+CorunResult simulate_corun(const Module& self_module,
+                           const CodeLayout& self_layout,
+                           const Trace& self_trace,
+                           const Module& peer_module,
+                           const CodeLayout& peer_layout,
+                           const Trace& peer_trace,
+                           const SimOptions& options = {},
+                           double peer_speed = 1.0);
+
+/// N-way shared-cache co-run (extension of the paper's Sec. III-F
+/// conjecture: Power-class SMT runs 4-8 hardware threads per core). The
+/// first program is the measured one (full trace, replayed once); all
+/// others wrap. Streams take turns round-robin, one block per turn, with
+/// miss-induced fetch stalls as in the two-way simulation.
+struct CorunParty {
+  const Module* module;
+  const CodeLayout* layout;
+  const Trace* trace;
+  double speed = 1.0;  ///< blocks per round relative to the measured stream
+};
+
+std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
+                                           const SimOptions& options = {});
+
+/// Expands a block trace to the cache-line trace induced by `layout` —
+/// the instruction footprint stream for the Eq. 2 metrics. Line symbols are
+/// the line indices of the layout.
+Trace line_trace(const Module& module, const CodeLayout& layout,
+                 const Trace& block_trace, std::uint32_t line_bytes);
+
+}  // namespace codelayout

@@ -1,0 +1,42 @@
+#include "cache/set_assoc.hpp"
+
+namespace codelayout {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geom) : geom_(geom) {
+  geom_.validate();
+  set_mask_ = geom_.sets() - 1;
+  CL_CHECK_MSG((geom_.sets() & set_mask_) == 0,
+               "set count must be a power of two");
+  ways_.assign(geom_.sets() * geom_.associativity, kEmpty);
+}
+
+bool SetAssocCache::touch(std::uint64_t line, bool count) {
+  const std::uint64_t set = line & set_mask_;
+  std::uint64_t* base = &ways_[set * geom_.associativity];
+  const std::uint32_t assoc = geom_.associativity;
+
+  if (count) ++accesses_;
+  // Probe MRU-first; on hit rotate the prefix so the hit way becomes MRU.
+  for (std::uint32_t i = 0; i < assoc; ++i) {
+    if (base[i] == line) {
+      for (std::uint32_t j = i; j > 0; --j) base[j] = base[j - 1];
+      base[0] = line;
+      return true;
+    }
+  }
+  // Miss: evict the LRU way (the last slot).
+  if (count) ++misses_;
+  for (std::uint32_t j = assoc - 1; j > 0; --j) base[j] = base[j - 1];
+  base[0] = line;
+  return false;
+}
+
+bool SetAssocCache::access(std::uint64_t line) { return touch(line, true); }
+
+bool SetAssocCache::prefill(std::uint64_t line) { return touch(line, false); }
+
+void SetAssocCache::flush() {
+  ways_.assign(ways_.size(), kEmpty);
+}
+
+}  // namespace codelayout

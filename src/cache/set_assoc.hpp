@@ -1,0 +1,55 @@
+// Set-associative LRU cache over 64-bit line ids.
+//
+// Line ids are global: co-running programs use disjoint id ranges so the
+// shared cache sees two address spaces, exactly like two hyper-threads with
+// distinct code segments. Ways of a set are kept in recency order in a small
+// contiguous array (at most the associativity), so a probe is a short linear
+// scan and a hit is a rotate — no allocation on the access path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hpp"
+
+namespace codelayout {
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geom);
+
+  /// Touches `line`; returns true on hit. The set index is the line id
+  /// modulo the set count (physical index bits above the line offset).
+  bool access(std::uint64_t line);
+
+  /// Installs without counting (prefetch fill). Returns true if already
+  /// resident.
+  bool prefill(std::uint64_t line);
+
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_ratio() const {
+    return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+  }
+
+  void reset_counters() { accesses_ = misses_ = 0; }
+  void flush();
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+
+ private:
+  bool touch(std::uint64_t line, bool count);
+
+  CacheGeometry geom_;
+  std::uint64_t set_mask_;
+  // ways_[set * assoc + i]: tag in recency order (i = 0 is MRU);
+  // kEmpty marks an invalid way.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  std::vector<std::uint64_t> ways_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace codelayout

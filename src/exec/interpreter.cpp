@@ -1,0 +1,80 @@
+#include "exec/interpreter.hpp"
+
+#include <vector>
+
+namespace codelayout {
+namespace {
+
+struct Frame {
+  BlockId block;
+  std::uint32_t next_call = 0;  ///< index of the next call site to consider
+  bool recorded = false;        ///< block event emitted for this visit
+};
+
+}  // namespace
+
+ProfileResult profile(const Module& module, std::uint64_t seed,
+                      const ExecLimits& limits) {
+  CL_CHECK(limits.max_events > 0);
+  module.validate();
+
+  Rng rng(hash_combine(seed, 0x636f646572756eULL));
+  ProfileResult result;
+  result.block_trace.reserve(limits.max_events);
+
+  std::vector<Frame> stack;
+  stack.reserve(limits.max_call_depth + 1);
+  stack.push_back(Frame{module.function(module.entry_function()).entry});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const BasicBlock& bb = module.block(frame.block);
+
+    if (!frame.recorded) {
+      if (result.block_trace.size() >= limits.max_events) {
+        result.truncated = true;
+        break;
+      }
+      result.block_trace.push(bb.id);
+      result.dynamic_instructions += bb.instructions();
+      frame.recorded = true;
+    }
+
+    // Run remaining call sites of this block visit.
+    if (frame.next_call < bb.calls.size()) {
+      const CallSite& site = bb.calls[frame.next_call++];
+      if (rng.chance(site.probability)) {
+        if (stack.size() <= limits.max_call_depth) {
+          ++result.calls_executed;
+          stack.push_back(
+              Frame{module.function(site.callee).entry});
+        } else {
+          ++result.calls_elided;
+        }
+      }
+      continue;
+    }
+
+    // Calls done: take the terminator.
+    if (bb.is_return()) {
+      stack.pop_back();
+      continue;
+    }
+    double r = rng.uniform();
+    BlockId next = bb.successors.back().target;
+    for (const CfgEdge& e : bb.successors) {
+      r -= e.probability;
+      if (r < 0.0) {
+        next = e.target;
+        break;
+      }
+    }
+    frame.block = next;
+    frame.next_call = 0;
+    frame.recorded = false;
+  }
+
+  return result;
+}
+
+}  // namespace codelayout

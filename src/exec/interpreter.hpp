@@ -1,0 +1,39 @@
+// Deterministic CFG interpreter — the profiling substrate.
+//
+// Stands in for the paper's LLVM instrumentation + test-input run: executing
+// a Module yields the dynamic basic-block trace (and, by projection, the
+// function trace) that the locality models analyze. Control flow is resolved
+// with a seeded Rng against the CFG edge probabilities, so a (module, seed)
+// pair always reproduces the same trace.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+struct ExecLimits {
+  /// Stop after this many block events (a "test input" sized run).
+  std::uint64_t max_events = 1'000'000;
+  /// Calls deeper than this are elided (counted but not entered), which
+  /// bounds recursive call chains the same way a real stack would not.
+  std::uint32_t max_call_depth = 64;
+};
+
+struct ProfileResult {
+  Trace block_trace{Trace::Granularity::kBlock};
+  std::uint64_t dynamic_instructions = 0;
+  std::uint64_t calls_executed = 0;
+  std::uint64_t calls_elided = 0;
+  /// True when max_events stopped the run before main returned.
+  bool truncated = false;
+};
+
+/// Runs `module` from its entry function. Requires a validated module.
+ProfileResult profile(const Module& module, std::uint64_t seed,
+                      const ExecLimits& limits = {});
+
+}  // namespace codelayout

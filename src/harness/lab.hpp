@@ -1,0 +1,77 @@
+// Lab: a memoizing experiment context shared by the bench binaries.
+//
+// Every bench regenerates paper tables from the same primitives — prepared
+// workloads, optimized layouts, solo and co-run cache simulations under the
+// two measurement flavours — so the Lab computes each once and caches it.
+// Preparation across workloads is embarrassingly parallel and runs on a
+// thread pool.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/pipeline.hpp"
+#include "perfmodel/perfmodel.hpp"
+
+namespace codelayout {
+
+/// The paper's two instruments (Sec. III-A): PAPI hardware counters on the
+/// Xeon, and the Pin-based cache simulator.
+enum class Measure { kSimulator, kHardware };
+
+class Lab {
+ public:
+  explicit Lab(PipelineConfig pipeline = {}, PerfParams perf = {});
+
+  [[nodiscard]] const PipelineConfig& pipeline() const { return pipeline_; }
+  [[nodiscard]] const PerfParams& perf() const { return perf_; }
+
+  /// Prepares the named workloads concurrently (optional warm-up).
+  void prepare_all(const std::vector<std::string>& names);
+
+  const PreparedWorkload& workload(const std::string& name);
+
+  /// nullopt = the original (baseline) layout.
+  const CodeLayout& layout(const std::string& name,
+                           std::optional<Optimizer> optimizer);
+
+  const SimResult& solo(const std::string& name,
+                        std::optional<Optimizer> optimizer, Measure measure);
+
+  /// Co-run of `self` (full trace, measured) against wrapping `peer`.
+  const CorunResult& corun(const std::string& self_name,
+                           std::optional<Optimizer> self_opt,
+                           const std::string& peer_name,
+                           std::optional<Optimizer> peer_opt,
+                           Measure measure);
+
+  /// Modeled runtimes (hardware flavour, per the paper's wall-clock timing).
+  double solo_cycles(const std::string& name,
+                     std::optional<Optimizer> optimizer);
+  double corun_self_cycles(const std::string& self_name,
+                           std::optional<Optimizer> self_opt,
+                           const std::string& peer_name,
+                           std::optional<Optimizer> peer_opt);
+
+  /// Whether the paper's BB-reordering compiler handled this program
+  /// (it failed on perlbench and povray; reproduced as N/A).
+  static bool bb_reordering_supported(const std::string& name);
+
+ private:
+  static std::string opt_key(std::optional<Optimizer> optimizer);
+  SimOptions sim_options(Measure measure) const;
+
+  PipelineConfig pipeline_;
+  PerfParams perf_;
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<PreparedWorkload>> workloads_;
+  std::map<std::string, std::unique_ptr<CodeLayout>> layouts_;
+  std::map<std::string, std::unique_ptr<SimResult>> solos_;
+  std::map<std::string, std::unique_ptr<CorunResult>> coruns_;
+};
+
+}  // namespace codelayout

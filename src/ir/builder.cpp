@@ -1,0 +1,79 @@
+#include "ir/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder& parent, FuncId func)
+    : parent_(parent), func_(func) {}
+
+BlockId FunctionBuilder::block(std::uint32_t size_bytes, std::string label) {
+  return parent_.module_.add_block(func_, size_bytes, std::move(label));
+}
+
+FunctionBuilder& FunctionBuilder::jump(BlockId from, BlockId to,
+                                       bool fallthrough) {
+  parent_.module_.add_edge(from, to, 1.0, fallthrough);
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::branch(BlockId from, BlockId taken,
+                                         BlockId fall, double taken_prob) {
+  CL_CHECK(taken_prob > 0.0 && taken_prob < 1.0);
+  parent_.module_.add_edge(from, fall, 1.0 - taken_prob, /*fallthrough=*/true);
+  parent_.module_.add_edge(from, taken, taken_prob);
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::fan(BlockId from,
+                                      const std::vector<BlockId>& targets,
+                                      const std::vector<double>& weights) {
+  CL_CHECK(!targets.empty());
+  CL_CHECK(targets.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    CL_CHECK(w > 0.0);
+    total += w;
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    parent_.module_.add_edge(from, targets[i], weights[i] / total,
+                             /*fallthrough=*/i == 0);
+  }
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::loop(BlockId latch, BlockId head,
+                                       BlockId exit, double back_prob) {
+  CL_CHECK(back_prob > 0.0 && back_prob < 1.0);
+  parent_.module_.add_edge(latch, exit, 1.0 - back_prob, /*fallthrough=*/true);
+  parent_.module_.add_edge(latch, head, back_prob);
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::call(BlockId from, FuncId callee,
+                                       double probability) {
+  parent_.module_.add_call(from, callee, probability);
+  return *this;
+}
+
+std::vector<BlockId> FunctionBuilder::chain(std::size_t n,
+                                            std::uint32_t size_bytes) {
+  CL_CHECK(n > 0);
+  std::vector<BlockId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(block(size_bytes));
+  for (std::size_t i = 0; i + 1 < n; ++i) jump(ids[i], ids[i + 1]);
+  return ids;
+}
+
+FunctionBuilder ModuleBuilder::function(std::string name) {
+  const FuncId id = module_.add_function(std::move(name));
+  return FunctionBuilder(*this, id);
+}
+
+Module ModuleBuilder::build() && {
+  module_.validate();
+  return std::move(module_);
+}
+
+}  // namespace codelayout

@@ -1,0 +1,75 @@
+// Fluent construction helpers for Module.
+//
+// The generator, examples and tests all build CFGs from a small set of
+// shapes: straight-line chains, if/else diamonds, loops, and switch fans.
+// FunctionBuilder provides those shapes on top of the raw Module API and
+// guarantees the result validates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace codelayout {
+
+class ModuleBuilder;
+
+/// Builds one function; blocks are appended in source order so the "original"
+/// layout of the paper corresponds to construction order.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(ModuleBuilder& parent, FuncId func);
+
+  [[nodiscard]] FuncId id() const { return func_; }
+
+  /// Appends a block of `size_bytes`; does not connect it.
+  BlockId block(std::uint32_t size_bytes, std::string label = {});
+
+  /// `from` falls through to `to` unconditionally.
+  FunctionBuilder& jump(BlockId from, BlockId to, bool fallthrough = true);
+
+  /// Two-way branch: `taken_prob` to `taken`, rest falls through to `fall`.
+  FunctionBuilder& branch(BlockId from, BlockId taken, BlockId fall,
+                          double taken_prob);
+
+  /// N-way dispatch with the given weights (normalized internally).
+  FunctionBuilder& fan(BlockId from, const std::vector<BlockId>& targets,
+                       const std::vector<double>& weights);
+
+  /// Loop back-edge: from `latch` to `head` with probability `back_prob`;
+  /// the exit edge (1 - back_prob) goes to `exit`.
+  FunctionBuilder& loop(BlockId latch, BlockId head, BlockId exit,
+                        double back_prob);
+
+  /// Call site inside `from`.
+  FunctionBuilder& call(BlockId from, FuncId callee, double probability = 1.0);
+
+  /// Convenience: appends a chain of `n` blocks of `size_bytes` each,
+  /// connected by fall-through edges; returns the block ids.
+  std::vector<BlockId> chain(std::size_t n, std::uint32_t size_bytes);
+
+ private:
+  ModuleBuilder& parent_;
+  FuncId func_;
+};
+
+/// Owns a Module while it is being constructed.
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name) : module_(std::move(name)) {}
+
+  FunctionBuilder function(std::string name);
+
+  [[nodiscard]] Module& module() { return module_; }
+
+  /// Validates and returns the finished module.
+  Module build() &&;
+
+ private:
+  friend class FunctionBuilder;
+  Module module_;
+};
+
+}  // namespace codelayout

@@ -1,0 +1,57 @@
+// Strong identifier types for IR entities.
+//
+// Blocks and functions are numbered densely per Module; the ids double as
+// indices into the module's storage vectors and as trace symbols.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace codelayout {
+
+namespace detail {
+
+template <typename Tag>
+struct StrongId {
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalidValue =
+      std::numeric_limits<underlying>::max();
+
+  underlying value = kInvalidValue;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+  [[nodiscard]] constexpr std::size_t index() const { return value; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+struct BlockTag {};
+struct FuncTag {};
+
+/// Identifies a basic block within a Module (dense, module-global).
+using BlockId = detail::StrongId<BlockTag>;
+/// Identifies a function within a Module (dense).
+using FuncId = detail::StrongId<FuncTag>;
+
+}  // namespace codelayout
+
+template <>
+struct std::hash<codelayout::BlockId> {
+  std::size_t operator()(codelayout::BlockId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<codelayout::FuncId> {
+  std::size_t operator()(codelayout::FuncId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,167 @@
+#include "ir/module.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+const Function& Module::function(FuncId id) const {
+  CL_CHECK_MSG(id.valid() && id.index() < functions_.size(),
+               "bad FuncId " << id.value);
+  return functions_[id.index()];
+}
+
+Function& Module::function(FuncId id) {
+  CL_CHECK_MSG(id.valid() && id.index() < functions_.size(),
+               "bad FuncId " << id.value);
+  return functions_[id.index()];
+}
+
+const BasicBlock& Module::block(BlockId id) const {
+  CL_CHECK_MSG(id.valid() && id.index() < blocks_.size(),
+               "bad BlockId " << id.value);
+  return blocks_[id.index()];
+}
+
+BasicBlock& Module::block(BlockId id) {
+  CL_CHECK_MSG(id.valid() && id.index() < blocks_.size(),
+               "bad BlockId " << id.value);
+  return blocks_[id.index()];
+}
+
+void Module::set_entry_function(FuncId f) {
+  CL_CHECK(f.valid() && f.index() < functions_.size());
+  entry_ = f;
+}
+
+std::optional<FuncId> Module::find_function(std::string_view name) const {
+  for (const auto& f : functions_) {
+    if (f.name == name) return f.id;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Module::static_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_) total += b.size_bytes;
+  return total;
+}
+
+FuncId Module::add_function(std::string name) {
+  const FuncId id(static_cast<std::uint32_t>(functions_.size()));
+  functions_.push_back(Function{.id = id,
+                                .name = std::move(name),
+                                .entry = BlockId{},
+                                .blocks = {}});
+  if (!entry_.valid()) entry_ = id;
+  return id;
+}
+
+BlockId Module::add_block(FuncId parent, std::uint32_t size_bytes,
+                          std::string label) {
+  Function& f = function(parent);
+  const BlockId id(static_cast<std::uint32_t>(blocks_.size()));
+  if (label.empty()) {
+    label = f.name + ".bb" + std::to_string(f.blocks.size());
+  }
+  blocks_.push_back(BasicBlock{.id = id,
+                               .parent = parent,
+                               .size_bytes = size_bytes,
+                               .successors = {},
+                               .calls = {},
+                               .label = std::move(label),
+                               .has_fallthrough = false});
+  f.blocks.push_back(id);
+  if (!f.entry.valid()) f.entry = id;
+  return id;
+}
+
+void Module::add_edge(BlockId from, BlockId to, double probability,
+                      bool fallthrough) {
+  BasicBlock& b = block(from);
+  CL_CHECK_MSG(block(to).parent == b.parent,
+               "edge crosses functions: " << b.label << " -> "
+                                          << block(to).label);
+  CL_CHECK_MSG(probability > 0.0 && probability <= 1.0,
+               "edge probability " << probability);
+  if (fallthrough) {
+    CL_CHECK_MSG(!b.has_fallthrough, "block " << b.label
+                                              << " already has a fallthrough");
+    b.successors.insert(b.successors.begin(), CfgEdge{to, probability});
+    b.has_fallthrough = true;
+  } else {
+    b.successors.push_back(CfgEdge{to, probability});
+  }
+}
+
+void Module::add_call(BlockId from, FuncId callee, double probability) {
+  CL_CHECK(probability > 0.0 && probability <= 1.0);
+  (void)function(callee);  // bounds check
+  block(from).calls.push_back(CallSite{callee, probability});
+}
+
+void Module::validate() const {
+  CL_CHECK_MSG(entry_.valid(), "module has no entry function");
+  CL_CHECK_MSG(!functions_.empty(), "module has no functions");
+  for (const auto& f : functions_) {
+    CL_CHECK_MSG(!f.blocks.empty(), "function " << f.name << " has no blocks");
+    CL_CHECK_MSG(f.entry.valid(), "function " << f.name << " has no entry");
+    CL_CHECK_MSG(f.blocks.front() == f.entry,
+                 "function " << f.name << " entry is not its first block");
+    for (BlockId bid : f.blocks) {
+      const BasicBlock& b = block(bid);
+      CL_CHECK_MSG(b.parent == f.id,
+                   "block " << b.label << " parent mismatch in " << f.name);
+      CL_CHECK_MSG(b.size_bytes >= kInstrBytes,
+                   "block " << b.label << " is empty");
+      CL_CHECK_MSG(b.size_bytes % kInstrBytes == 0,
+                   "block " << b.label << " size not instruction-aligned");
+      if (!b.successors.empty()) {
+        double sum = 0.0;
+        for (const CfgEdge& e : b.successors) {
+          CL_CHECK_MSG(block(e.target).parent == f.id,
+                       "edge out of " << b.label << " leaves " << f.name);
+          sum += e.probability;
+        }
+        CL_CHECK_MSG(std::fabs(sum - 1.0) < 1e-6,
+                     "edge probabilities of " << b.label << " sum to " << sum);
+      }
+      for (const CallSite& c : b.calls) {
+        CL_CHECK_MSG(c.callee.valid() && c.callee.index() < functions_.size(),
+                     "call in " << b.label << " targets bad function");
+      }
+    }
+  }
+}
+
+std::string Module::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  node [shape=box];\n";
+  for (const auto& f : functions_) {
+    os << "  subgraph cluster_" << f.id.value << " {\n    label=\"" << f.name
+       << "\";\n";
+    for (BlockId bid : f.blocks) {
+      const BasicBlock& b = block(bid);
+      os << "    b" << bid.value << " [label=\"" << b.label << "\\n"
+         << b.size_bytes << "B\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (const auto& b : blocks_) {
+    for (const CfgEdge& e : b.successors) {
+      os << "  b" << b.id.value << " -> b" << e.target.value << " [label=\""
+         << e.probability << "\"];\n";
+    }
+    for (const CallSite& c : b.calls) {
+      os << "  b" << b.id.value << " -> b"
+         << function(c.callee).entry.value
+         << " [style=dashed, color=blue];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace codelayout

@@ -1,0 +1,104 @@
+// Code layout: the assignment of addresses to basic blocks (paper Sec.
+// II-D/E).
+//
+// A CodeLayout places every block of a Module at a byte address. Three
+// builders mirror the paper:
+//   * original_layout     — functions in program order, blocks in source
+//                           order (the compiler's default).
+//   * function_reordering — whole functions permuted by a model-produced
+//                           sequence; block order inside each function is
+//                           untouched and no padding is inserted (Sec. II-D).
+//   * bb_reordering       — inter-procedural basic-block reordering (Sec.
+//                           II-E): blocks are free to move anywhere; each
+//                           function gains an entry trampoline jump, and any
+//                           block whose fall-through successor is no longer
+//                           adjacent gains an explicit jump (pre-processing),
+//                           both of which enlarge the placed code.
+//
+// The fall-through fix-up rule is applied uniformly to every layout
+// (including the original) so comparisons are fair: a block with a
+// fall-through successor that is not physically adjacent carries one extra
+// jump instruction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+class CodeLayout {
+ public:
+  struct Placement {
+    std::uint64_t address = 0;
+    std::uint32_t bytes = 0;  ///< effective size including appended jumps
+  };
+
+  CodeLayout(const Module& module, std::vector<BlockId> block_order,
+             bool with_entry_stubs);
+
+  /// Builds a layout from explicit addresses (padded placements like
+  /// Gloy-Smith's). `placed` maps every block to its start address; blocks
+  /// must not overlap when each is given its size plus one jump of headroom
+  /// for a potential fall-through fix-up (and one for an entry trampoline
+  /// when `with_entry_stubs`). Fix-ups are charged exactly as in the
+  /// order-based constructor: a fall-through successor not starting exactly
+  /// at this block's end costs one jump.
+  static CodeLayout from_addresses(
+      const Module& module,
+      std::vector<std::pair<BlockId, std::uint64_t>> placed,
+      bool with_entry_stubs);
+
+  [[nodiscard]] const Placement& placement(BlockId b) const;
+  [[nodiscard]] std::span<const BlockId> block_order() const { return order_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Bytes added by fall-through fix-ups and entry trampolines.
+  [[nodiscard]] std::uint64_t overhead_bytes() const { return overhead_; }
+  [[nodiscard]] std::uint32_t fixup_count() const { return fixups_; }
+
+  /// Cache lines [first, first+count) covered by the block.
+  struct LineSpan {
+    std::uint64_t first_line;
+    std::uint32_t line_count;
+  };
+  [[nodiscard]] LineSpan lines_of(BlockId b, std::uint32_t line_bytes) const;
+
+  /// Human-readable map (label @ address, size) for examples/debugging.
+  [[nodiscard]] std::string describe(const Module& module,
+                                     std::size_t max_blocks = 64) const;
+
+ private:
+  CodeLayout() = default;  // used by from_addresses
+
+  std::vector<Placement> placements_;
+  std::vector<BlockId> order_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t overhead_ = 0;
+  std::uint32_t fixups_ = 0;
+};
+
+/// The compiler's default layout.
+CodeLayout original_layout(const Module& module);
+
+/// Functions permuted by `function_order` (FuncId values, e.g. the affinity
+/// or TRG sequence over the function trace). Functions missing from the
+/// sequence (cold, never profiled) follow in program order.
+CodeLayout function_reordering(const Module& module,
+                               std::span<const Symbol> function_order);
+
+/// Inter-procedural basic-block reordering by `block_order` (BlockId
+/// values). Unlisted (cold) blocks follow, grouped by function in program
+/// order. Every function gets an entry trampoline (+1 jump).
+CodeLayout bb_reordering(const Module& module,
+                         std::span<const Symbol> block_order);
+
+/// Layout with functions (and blocks inside them) in random order — the
+/// pessimistic baseline used by ablation benches.
+CodeLayout random_layout(const Module& module, std::uint64_t seed);
+
+}  // namespace codelayout

@@ -1,0 +1,107 @@
+#include "locality/footprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+FootprintCurve FootprintCurve::compute(const Trace& trace,
+                                       std::span<const std::uint32_t> weights) {
+  const auto symbols = trace.symbols();
+  const std::size_t n = symbols.size();
+  const Symbol space = trace.symbol_space();
+  if (!weights.empty()) {
+    CL_CHECK_MSG(weights.size() >= space,
+                 "weights cover " << weights.size() << " symbols, need "
+                                  << space);
+  }
+  auto weight_of = [&](Symbol s) -> double {
+    return weights.empty() ? 1.0 : static_cast<double>(weights[s]);
+  };
+
+  FootprintCurve curve;
+  curve.fp_.assign(n + 1, 0.0);
+  if (n == 0) {
+    curve.fp_.assign(1, 0.0);
+    return curve;
+  }
+
+  // gap_mass[g] accumulates the total weight of symbols having a maximal gap
+  // of exactly g window positions in which the symbol is absent. A gap of g
+  // positions contributes (g - w + 1) missing windows of length w <= g.
+  std::vector<double> gap_mass(n + 1, 0.0);
+  std::vector<std::uint64_t> last(space, ~std::uint64_t{0});
+  std::vector<std::uint64_t> first(space, ~std::uint64_t{0});
+  double total_weight = 0.0;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const Symbol s = symbols[t];
+    if (last[s] == ~std::uint64_t{0}) {
+      first[s] = t;
+      total_weight += weight_of(s);
+    } else {
+      const std::uint64_t gap = t - last[s] - 1;  // positions without s
+      if (gap > 0) gap_mass[gap] += weight_of(s);
+    }
+    last[s] = t;
+  }
+  for (Symbol s = 0; s < space; ++s) {
+    if (first[s] == ~std::uint64_t{0}) continue;  // never accessed
+    const std::uint64_t head_gap = first[s];
+    if (head_gap > 0) gap_mass[head_gap] += weight_of(s);
+    const std::uint64_t tail_gap = n - 1 - last[s];
+    if (tail_gap > 0) gap_mass[tail_gap] += weight_of(s);
+  }
+
+  // missing(w) = sum_{g >= w} (g - w + 1) * gap_mass[g]; computed for all w
+  // by two suffix accumulations, descending from w = n.
+  double suffix_count = 0.0;  // sum_{g >= w} gap_mass[g]
+  double missing = 0.0;       // sum_{g >= w} (g - w + 1) gap_mass[g]
+  curve.fp_[0] = 0.0;
+  for (std::size_t w = n; w >= 1; --w) {
+    suffix_count += gap_mass[w];
+    missing += suffix_count;
+    const double windows = static_cast<double>(n - w + 1);
+    curve.fp_[w] = total_weight - missing / windows;
+  }
+  return curve;
+}
+
+double FootprintCurve::at(double w) const {
+  const double n = static_cast<double>(trace_length());
+  if (w <= 0.0) return 0.0;
+  if (w >= n) return fp_.back();
+  const auto lo = static_cast<std::size_t>(w);
+  const double frac = w - static_cast<double>(lo);
+  return fp_[lo] * (1.0 - frac) + fp_[lo + 1] * frac;
+}
+
+double FootprintCurve::fill_time(double capacity) const {
+  if (capacity <= 0.0) return 0.0;
+  if (capacity >= fp_.back()) return static_cast<double>(trace_length());
+  // fp_ is monotone non-decreasing: binary search the first w with
+  // fp(w) >= capacity, then interpolate within the step.
+  const auto it = std::lower_bound(fp_.begin(), fp_.end(), capacity);
+  const auto w_hi = static_cast<std::size_t>(it - fp_.begin());
+  if (w_hi == 0) return 0.0;
+  const double lo_v = fp_[w_hi - 1];
+  const double hi_v = fp_[w_hi];
+  const double frac = hi_v > lo_v ? (capacity - lo_v) / (hi_v - lo_v) : 0.0;
+  return static_cast<double>(w_hi - 1) + frac;
+}
+
+double FootprintCurve::derivative(double w) const {
+  const double n = static_cast<double>(trace_length());
+  if (n < 1.0) return 0.0;
+  // Central difference with a window that widens at large w, where the curve
+  // is flat and the per-step difference underflows.
+  const double h = std::max(1.0, w * 0.01);
+  const double lo = std::clamp(w - h, 0.0, n);
+  const double hi = std::clamp(w + h, 0.0, n);
+  if (hi <= lo) return 0.0;
+  return (at(hi) - at(lo)) / (hi - lo);
+}
+
+}  // namespace codelayout

@@ -1,0 +1,57 @@
+// All-window average footprint (paper Sec. II-A, Definition 2; Xiang et al.
+// PPoPP'11 / HOTL ASPLOS'13).
+//
+// The footprint fp(w) is the average amount of distinct code touched over
+// all length-w windows of the trace. It is computed exactly for every window
+// length in O(N) after a single pass that gathers reuse-time and boundary
+// histograms:
+//
+//   fp(w) = M - (1/(n-w+1)) * sum_e weight(e) * (#windows of length w
+//                                                 that do not contain e)
+//
+// where the per-symbol missing-window count decomposes into the symbol's
+// reuse-time gaps plus the two boundary gaps. The curve is monotonically
+// non-decreasing and concave, which the property tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+class FootprintCurve {
+ public:
+  /// Computes fp(w) for w = 0..trace length. `weights[s]` is the footprint
+  /// contribution of symbol s (e.g. its size in cache lines or bytes);
+  /// defaults to 1 (footprint in distinct symbols, as the paper
+  /// approximates).
+  static FootprintCurve compute(const Trace& trace,
+                                std::span<const std::uint32_t> weights = {});
+
+  /// fp at (possibly fractional) window length, linearly interpolated and
+  /// clamped to [0, n].
+  [[nodiscard]] double at(double w) const;
+
+  /// Smallest window length whose footprint reaches `capacity` (the fill
+  /// time ft(c) of HOTL); returns trace length when never reached.
+  [[nodiscard]] double fill_time(double capacity) const;
+
+  /// Numerical derivative dfp/dw at window length w — the HOTL miss-ratio
+  /// read-out when evaluated at w = ft(cache capacity).
+  [[nodiscard]] double derivative(double w) const;
+
+  [[nodiscard]] std::size_t trace_length() const { return fp_.size() - 1; }
+
+  /// Total weight of all distinct symbols = fp(n).
+  [[nodiscard]] double max_footprint() const { return fp_.back(); }
+
+  [[nodiscard]] std::span<const double> values() const { return fp_; }
+
+ private:
+  std::vector<double> fp_;  ///< fp_[w], w = 0..n
+};
+
+}  // namespace codelayout

@@ -1,0 +1,54 @@
+#include "locality/missmodel.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+double solo_miss_ratio(const FootprintCurve& self, double capacity) {
+  CL_CHECK(capacity > 0.0);
+  if (self.trace_length() == 0) return 0.0;
+  if (self.max_footprint() <= capacity) {
+    // Whole program fits; only cold misses, amortized away over the run.
+    return 0.0;
+  }
+  return self.derivative(self.fill_time(capacity));
+}
+
+double corun_miss_ratio(const FootprintCurve& self, const FootprintCurve& peer,
+                        double capacity, double peer_speed) {
+  CL_CHECK(capacity > 0.0);
+  CL_CHECK(peer_speed > 0.0);
+  if (self.trace_length() == 0) return 0.0;
+
+  // The combined demand self.fp(w) + peer.fp(s*w) is monotone in w; find the
+  // window at which the two programs together fill the cache.
+  const double n = static_cast<double>(self.trace_length());
+  auto demand = [&](double w) {
+    return self.at(w) + peer.at(peer_speed * w);
+  };
+  if (demand(n) <= capacity) return 0.0;  // both fit entirely
+
+  double lo = 0.0, hi = n;
+  for (int iter = 0; iter < 64 && hi - lo > 0.25; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (demand(mid) < capacity ? lo : hi) = mid;
+  }
+  const double w_fill = 0.5 * (lo + hi);
+  return self.derivative(w_fill);
+}
+
+SharedCacheAssessment assess_corun(const FootprintCurve& self,
+                                   const FootprintCurve& peer,
+                                   double capacity, double peer_speed) {
+  return SharedCacheAssessment{
+      .self_solo = solo_miss_ratio(self, capacity),
+      .self_corun = corun_miss_ratio(self, peer, capacity, peer_speed),
+      .peer_solo = solo_miss_ratio(peer, capacity),
+      .peer_corun = corun_miss_ratio(peer, self, capacity,
+                                     peer_speed > 0 ? 1.0 / peer_speed : 1.0),
+  };
+}
+
+}  // namespace codelayout

@@ -1,0 +1,53 @@
+// Footprint-based shared-cache miss modeling: the paper's Eq. 1 / Eq. 2 and
+// the formal definitions of defensiveness and politeness (Sec. II-A).
+//
+//   P(self.miss) = P(self.FP + peer.FP >= C)            (Eq. 1)
+//   P(self.icache.miss) = P(self.FP.inst + peer.FP.inst >= C')   (Eq. 2)
+//
+// Following HOTL, the probability is evaluated through the average footprint
+// curves: the solo miss ratio is the footprint derivative at the fill time of
+// the cache, and in a co-run the peer's footprint at the same window shrinks
+// the capacity available to self.
+#pragma once
+
+#include "locality/footprint.hpp"
+
+namespace codelayout {
+
+/// Solo fully-associative LRU miss ratio at `capacity` (same footprint units
+/// as the curve — distinct symbols, lines or bytes).
+double solo_miss_ratio(const FootprintCurve& self, double capacity);
+
+/// Co-run miss ratio of `self` sharing a `capacity` cache with `peer`
+/// (Eq. 1/2). `peer_speed` scales the peer's window relative to self's (a
+/// peer issuing accesses twice as fast covers twice the window). Solves
+/// self.fp(w) + peer.fp(peer_speed * w) = capacity for w, then reads self's
+/// miss ratio at that window.
+double corun_miss_ratio(const FootprintCurve& self, const FootprintCurve& peer,
+                        double capacity, double peer_speed = 1.0);
+
+/// The formal optimization-goal metrics of Sec. II-A. All are *losses*:
+/// smaller is better; optimizing self reduces `defensiveness_loss` of self
+/// (goal 2) and `politeness_loss` toward each peer (goal 3).
+struct SharedCacheAssessment {
+  double self_solo;        ///< P(self.miss) running alone
+  double self_corun;       ///< P(self.miss) sharing with peer (Eq. 1/2)
+  double peer_solo;        ///< P(peer.miss) running alone
+  double peer_corun;       ///< P(peer.miss) sharing with self
+
+  /// Increase in self's miss ratio caused by the peer. Defensiveness is the
+  /// resistance to this increase: lower loss = more defensive.
+  [[nodiscard]] double defensiveness_loss() const {
+    return self_corun - self_solo;
+  }
+  /// Increase in the peer's miss ratio caused by self: lower = more polite.
+  [[nodiscard]] double politeness_loss() const {
+    return peer_corun - peer_solo;
+  }
+};
+
+SharedCacheAssessment assess_corun(const FootprintCurve& self,
+                                   const FootprintCurve& peer,
+                                   double capacity, double peer_speed = 1.0);
+
+}  // namespace codelayout

@@ -1,0 +1,111 @@
+#include "locality/reuse.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+namespace {
+
+/// Fenwick tree over access positions; marks each symbol's latest access.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of marks in positions [0, pos).
+  [[nodiscard]] std::int64_t prefix(std::size_t pos) const {
+    std::int64_t s = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+  [[nodiscard]] std::int64_t total() const {
+    return prefix(tree_.size() - 1);
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+template <typename PerAccess>
+void scan_reuse(const Trace& trace, PerAccess&& on_access) {
+  const auto symbols = trace.symbols();
+  const Symbol space = trace.symbol_space();
+  Fenwick marks(symbols.size());
+  std::vector<std::uint64_t> last(space, kColdReuse);
+
+  for (std::size_t t = 0; t < symbols.size(); ++t) {
+    const Symbol s = symbols[t];
+    const std::uint64_t prev = last[s];
+    std::uint64_t distance = kColdReuse;
+    std::uint64_t time = kColdReuse;
+    if (prev != kColdReuse) {
+      // Distinct symbols accessed strictly after prev: marks in (prev, t).
+      distance = static_cast<std::uint64_t>(marks.total() -
+                                            marks.prefix(prev + 1));
+      time = t - prev;
+      marks.add(prev, -1);
+    }
+    marks.add(t, +1);
+    last[s] = t;
+    on_access(distance, time);
+  }
+}
+
+}  // namespace
+
+double ReuseProfile::miss_ratio_at(std::uint64_t capacity) const {
+  if (total_accesses == 0) return 0.0;
+  std::uint64_t misses = cold_accesses;
+  for (std::uint64_t d = capacity; d < distance_histogram.size(); ++d) {
+    misses += distance_histogram[d];
+  }
+  return static_cast<double>(misses) / static_cast<double>(total_accesses);
+}
+
+double ReuseProfile::mean_distance() const {
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  for (std::uint64_t d = 0; d < distance_histogram.size(); ++d) {
+    n += distance_histogram[d];
+    sum += static_cast<double>(d) * static_cast<double>(distance_histogram[d]);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+ReuseProfile compute_reuse(const Trace& trace) {
+  ReuseProfile profile;
+  profile.total_accesses = trace.size();
+  scan_reuse(trace, [&](std::uint64_t distance, std::uint64_t time) {
+    if (distance == kColdReuse) {
+      ++profile.cold_accesses;
+      return;
+    }
+    if (profile.distance_histogram.size() <= distance) {
+      profile.distance_histogram.resize(distance + 1, 0);
+    }
+    ++profile.distance_histogram[distance];
+    if (profile.time_histogram.size() <= time) {
+      profile.time_histogram.resize(time + 1, 0);
+    }
+    ++profile.time_histogram[time];
+  });
+  return profile;
+}
+
+std::vector<std::uint64_t> per_access_reuse_distances(const Trace& trace) {
+  std::vector<std::uint64_t> out;
+  out.reserve(trace.size());
+  scan_reuse(trace, [&](std::uint64_t distance, std::uint64_t) {
+    out.push_back(distance);
+  });
+  return out;
+}
+
+}  // namespace codelayout

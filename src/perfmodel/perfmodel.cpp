@@ -1,0 +1,60 @@
+#include "perfmodel/perfmodel.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+double solo_cycles(const SimResult& sim, double data_stall_cpi,
+                   const PerfParams& params) {
+  CL_CHECK(data_stall_cpi >= 0.0);
+  const auto program = static_cast<double>(sim.instructions -
+                                           sim.overhead_instructions);
+  const auto overhead = static_cast<double>(sim.overhead_instructions);
+  return program * (params.base_cpi + data_stall_cpi) +
+         overhead * params.jump_cpi +
+         static_cast<double>(sim.misses()) * params.l1i_miss_penalty;
+}
+
+double corun_cycles(const SimResult& sim, std::uint64_t full_instructions,
+                    double data_stall_cpi, const PerfParams& params) {
+  CL_CHECK(sim.instructions > 0);
+  const double miss_per_instr = static_cast<double>(sim.misses()) /
+                                static_cast<double>(sim.instructions);
+  const double overhead_share =
+      static_cast<double>(sim.overhead_instructions) /
+      static_cast<double>(sim.instructions);
+  const auto instructions = static_cast<double>(full_instructions);
+  const double program = instructions * (1.0 - overhead_share);
+  const double overhead = instructions * overhead_share;
+  return (program * (params.base_cpi + data_stall_cpi) +
+          overhead * params.jump_cpi) *
+             params.smt_cpi_inflation +
+         instructions * miss_per_instr * params.corun_miss_penalty;
+}
+
+double speedup(double baseline_cycles, double improved_cycles) {
+  CL_CHECK(baseline_cycles > 0.0 && improved_cycles > 0.0);
+  return baseline_cycles / improved_cycles;
+}
+
+ThroughputResult corun_throughput(double solo_cycles_1, double corun_cycles_1,
+                                  double solo_cycles_2,
+                                  double corun_cycles_2) {
+  CL_CHECK(solo_cycles_1 > 0.0 && solo_cycles_2 > 0.0);
+  CL_CHECK(corun_cycles_1 > 0.0 && corun_cycles_2 > 0.0);
+  const double serial = solo_cycles_1 + solo_cycles_2;
+
+  // Both run concurrently until the shorter co-run finishes; the survivor's
+  // unfinished fraction then runs alone at its solo rate.
+  const double first = std::min(corun_cycles_1, corun_cycles_2);
+  const double survivor_corun = std::max(corun_cycles_1, corun_cycles_2);
+  const double survivor_solo =
+      corun_cycles_1 >= corun_cycles_2 ? solo_cycles_1 : solo_cycles_2;
+  const double remaining_fraction = 1.0 - first / survivor_corun;
+  const double total = first + remaining_fraction * survivor_solo;
+  return ThroughputResult{serial, total};
+}
+
+}  // namespace codelayout

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking for the codelayout library.
+//
+// CL_CHECK is always on (it guards API contracts and is cheap relative to the
+// analyses it protects). CL_DCHECK compiles away in NDEBUG builds and is used
+// inside hot simulation loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace codelayout {
+
+/// Thrown when a CL_CHECK contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace codelayout
+
+#define CL_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::codelayout::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define CL_CHECK_MSG(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream cl_check_os_;                                      \
+      cl_check_os_ << msg;                                                  \
+      ::codelayout::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                         cl_check_os_.str());               \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define CL_DCHECK(expr) ((void)0)
+#else
+#define CL_DCHECK(expr) CL_CHECK(expr)
+#endif

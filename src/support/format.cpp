@@ -1,0 +1,142 @@
+#include "support/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+std::string fmt_pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fmt_signed_pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << (fraction >= 0 ? "+" : "") << std::fixed << std::setprecision(decimals)
+     << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  const char* suffix[] = {"", "K", "M", "G"};
+  double v = static_cast<double>(bytes);
+  int s = 0;
+  while (v >= 1024.0 && s < 3) {
+    v /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  if (s == 0) {
+    os << bytes;
+  } else {
+    os << std::fixed << std::setprecision(2) << v << suffix[s];
+  }
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= s.size();
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CL_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CL_CHECK_MSG(row.size() == header_.size(),
+               "row has " << row.size() << " cells, header has "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      const bool right = align_numeric && looks_numeric(row[c]);
+      os << (right ? std::setiosflags(std::ios::right)
+                   : std::setiosflags(std::ios::left))
+         << std::setw(static_cast<int>(widths[c])) << row[c]
+         << std::resetiosflags(std::ios::adjustfield);
+    }
+    os << '\n';
+  };
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& data,
+                       int width, const std::string& unit) {
+  double max_abs = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, value] : data) {
+    max_abs = std::max(max_abs, std::fabs(value));
+    label_w = std::max(label_w, label.size());
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  std::ostringstream os;
+  for (const auto& [label, value] : data) {
+    const int len =
+        static_cast<int>(std::lround(std::fabs(value) / max_abs * width));
+    os << std::left << std::setw(static_cast<int>(label_w)) << label << " |"
+       << (value < 0 ? std::string(static_cast<std::size_t>(len), '-')
+                     : std::string(static_cast<std::size_t>(len), '#'))
+       << ' ' << fmt_fixed(value, 3) << unit << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace codelayout

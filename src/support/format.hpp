@@ -1,0 +1,48 @@
+// Text formatting helpers and a plain-text table renderer used by the
+// experiment harness, the bench binaries and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codelayout {
+
+/// "12.34%" with the given number of decimals.
+std::string fmt_pct(double fraction, int decimals = 2);
+
+/// Signed percent: "+4.20%" / "-1.10%".
+std::string fmt_signed_pct(double fraction, int decimals = 2);
+
+/// Fixed-point double.
+std::string fmt_fixed(double value, int decimals = 2);
+
+/// Human-readable byte count ("86.91K", "1.90M").
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Human-readable count with thousands grouping ("1,937,320").
+std::string fmt_count(std::uint64_t n);
+
+/// Simple monospaced table: first row is the header; columns are padded to
+/// their widest cell, numeric-looking cells right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart: one line per (label, value).
+/// Values may be negative; bars are scaled to `width` characters.
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& data,
+                       int width = 40, const std::string& unit = "");
+
+}  // namespace codelayout

@@ -1,0 +1,46 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace codelayout {
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  CL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CL_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  CL_CHECK_MSG(total > 0.0, "all weights zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  CL_CHECK(n > 0);
+  if (s <= 0.0) return below(n);
+  // Inverse-CDF over the harmonic weights; n is small in our uses (<= a few
+  // thousand), so the linear scan is acceptable and exact.
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double r = uniform() * norm;
+  for (std::size_t k = 1; k <= n; ++k) {
+    r -= 1.0 / std::pow(double(k), s);
+    if (r < 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0u);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace codelayout

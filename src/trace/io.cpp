@@ -1,0 +1,115 @@
+#include "trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace codelayout {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434c5452;  // "CLTR"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  os.write(buf, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char buf[4];
+  is.read(buf, 4);
+  CL_CHECK_MSG(is.gcount() == 4, "truncated trace stream");
+  std::uint32_t v;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  CL_CHECK_MSG(is.gcount() == 8, "truncated trace stream");
+  std::uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+}  // namespace
+
+std::vector<RlePair> rle_encode(const Trace& trace) {
+  std::vector<RlePair> out;
+  for (Symbol s : trace.symbols()) {
+    if (!out.empty() && out.back().symbol == s &&
+        out.back().run < ~std::uint32_t{0}) {
+      ++out.back().run;
+    } else {
+      out.push_back(RlePair{s, 1});
+    }
+  }
+  return out;
+}
+
+Trace rle_decode(const std::vector<RlePair>& pairs, Trace::Granularity g) {
+  Trace out(g);
+  std::size_t total = 0;
+  for (const RlePair& p : pairs) total += p.run;
+  out.reserve(total);
+  for (const RlePair& p : pairs) {
+    for (std::uint32_t i = 0; i < p.run; ++i) out.push_symbol(p.symbol);
+  }
+  return out;
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  const auto rle = rle_encode(trace);
+  put_u32(os, kMagic);
+  put_u32(os, kVersion);
+  put_u32(os, trace.is_block() ? 0u : 1u);
+  put_u64(os, trace.size());
+  put_u64(os, rle.size());
+  for (const RlePair& p : rle) {
+    put_u32(os, p.symbol);
+    put_u32(os, p.run);
+  }
+  CL_CHECK_MSG(os.good(), "trace write failed");
+}
+
+Trace read_trace(std::istream& is) {
+  CL_CHECK_MSG(get_u32(is) == kMagic, "bad trace magic");
+  CL_CHECK_MSG(get_u32(is) == kVersion, "unsupported trace version");
+  const auto gran = get_u32(is) == 0 ? Trace::Granularity::kBlock
+                                     : Trace::Granularity::kFunction;
+  const std::uint64_t events = get_u64(is);
+  const std::uint64_t pairs = get_u64(is);
+  std::vector<RlePair> rle;
+  rle.reserve(pairs);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const Symbol s = get_u32(is);
+    const std::uint32_t run = get_u32(is);
+    rle.push_back(RlePair{s, run});
+  }
+  Trace out = rle_decode(rle, gran);
+  CL_CHECK_MSG(out.size() == events, "trace event count mismatch");
+  return out;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream f(path, std::ios::binary);
+  CL_CHECK_MSG(f.is_open(), "cannot open " << path << " for writing");
+  write_trace(f, trace);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  CL_CHECK_MSG(f.is_open(), "cannot open " << path);
+  return read_trace(f);
+}
+
+}  // namespace codelayout

@@ -1,0 +1,35 @@
+// Trace serialization (paper Sec. II-F "Instrumentation" records traces and a
+// symbol mapping to files between the profiling run and the analysis).
+//
+// Format: magic, version, granularity, event count, then varint-delta
+// run-length encoded symbols. RLE exploits loop-heavy traces' repetitiveness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+/// Run-length encoding of a symbol sequence: (symbol, repeat) pairs.
+struct RlePair {
+  Symbol symbol;
+  std::uint32_t run;
+};
+
+std::vector<RlePair> rle_encode(const Trace& trace);
+Trace rle_decode(const std::vector<RlePair>& pairs, Trace::Granularity g);
+
+/// Writes/reads the binary trace format. Throws ContractError on a corrupt
+/// stream (bad magic, truncated payload, wrong version).
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace codelayout

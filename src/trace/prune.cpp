@@ -1,0 +1,54 @@
+#include "trace/prune.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace codelayout {
+
+PruneResult prune_to_hot(const Trace& trace, std::size_t top_k) {
+  CL_CHECK(top_k > 0);
+  const auto counts = trace.occurrence_counts();
+
+  std::vector<Symbol> order;
+  order.reserve(counts.size());
+  for (Symbol s = 0; s < counts.size(); ++s) {
+    if (counts[s] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(), [&](Symbol a, Symbol b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+  if (order.size() > top_k) order.resize(top_k);
+
+  std::unordered_set<Symbol> hot(order.begin(), order.end());
+
+  PruneResult result{.trace = Trace(trace.granularity()),
+                     .hot_set = std::move(order),
+                     .kept_events = 0,
+                     .total_events = trace.size()};
+  result.trace.reserve(trace.size());
+  for (Symbol s : trace.symbols()) {
+    if (hot.contains(s)) {
+      result.trace.push_symbol(s);
+      ++result.kept_events;
+    }
+  }
+  result.trace = result.trace.trimmed();
+  return result;
+}
+
+Trace sample_windows(const Trace& trace, std::size_t window_len,
+                     std::size_t stride) {
+  CL_CHECK(window_len > 0);
+  CL_CHECK(stride >= window_len);
+  Trace out(trace.granularity());
+  const auto symbols = trace.symbols();
+  out.reserve(symbols.size() / stride * window_len + window_len);
+  for (std::size_t start = 0; start < symbols.size(); start += stride) {
+    const std::size_t end = std::min(start + window_len, symbols.size());
+    for (std::size_t i = start; i < end; ++i) out.push_symbol(symbols[i]);
+  }
+  return out.trimmed();
+}
+
+}  // namespace codelayout

@@ -1,0 +1,39 @@
+// Trace pruning and sampling (paper Sec. II-F "Trace Pruning").
+//
+// Large basic-block traces (gcc's test-input trace is 8 GB in the paper) are
+// pruned by keeping only the occurrences of the top-K most frequently
+// executed blocks — the Hashemi-style hot-set selection — which "typically
+// keeps over 90% of the original trace". Window sampling further shortens a
+// trace while preserving local co-occurrence structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+struct PruneResult {
+  Trace trace;                    ///< pruned (and re-trimmed) trace
+  std::vector<Symbol> hot_set;    ///< the kept symbols, hottest first
+  std::uint64_t kept_events = 0;  ///< events surviving the prune
+  std::uint64_t total_events = 0;
+
+  [[nodiscard]] double kept_fraction() const {
+    return total_events ? static_cast<double>(kept_events) /
+                              static_cast<double>(total_events)
+                        : 1.0;
+  }
+};
+
+/// Keeps only occurrences of the `top_k` most frequent symbols (ties broken
+/// by symbol value for determinism), then re-trims.
+PruneResult prune_to_hot(const Trace& trace, std::size_t top_k);
+
+/// Keeps windows of `window_len` events every `stride` events (stride >=
+/// window_len); preserves w-window co-occurrence statistics inside windows.
+Trace sample_windows(const Trace& trace, std::size_t window_len,
+                     std::size_t stride);
+
+}  // namespace codelayout

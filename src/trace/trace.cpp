@@ -1,0 +1,61 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+#include "ir/module.hpp"
+
+namespace codelayout {
+
+Trace Trace::trimmed() const {
+  Trace out(granularity_);
+  out.reserve(events_.size());
+  Symbol last = ~Symbol{0};
+  bool first = true;
+  for (Symbol s : events_) {
+    if (first || s != last) out.events_.push_back(s);
+    last = s;
+    first = false;
+  }
+  return out;
+}
+
+bool Trace::is_trimmed() const {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i] == events_[i - 1]) return false;
+  }
+  return true;
+}
+
+std::size_t Trace::distinct_count() const {
+  std::unordered_set<Symbol> seen(events_.begin(), events_.end());
+  return seen.size();
+}
+
+Symbol Trace::symbol_space() const {
+  Symbol max = 0;
+  for (Symbol s : events_) max = std::max(max, s + 1);
+  return max;
+}
+
+std::vector<std::uint64_t> Trace::occurrence_counts() const {
+  std::vector<std::uint64_t> counts(symbol_space(), 0);
+  for (Symbol s : events_) ++counts[s];
+  return counts;
+}
+
+Trace project_to_functions(const Trace& block_trace, const Module& module) {
+  CL_CHECK(block_trace.is_block());
+  Trace out(Trace::Granularity::kFunction);
+  out.reserve(block_trace.size() / 4);
+  FuncId last;
+  for (std::size_t i = 0; i < block_trace.size(); ++i) {
+    const FuncId f = module.block(block_trace.block_at(i)).parent;
+    if (!(f == last)) {
+      out.push(f);
+      last = f;
+    }
+  }
+  return out;
+}
+
+}  // namespace codelayout

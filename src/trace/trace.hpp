@@ -1,0 +1,90 @@
+// Dynamic code-block traces (paper Sec. II-B, Definition 1).
+//
+// A Trace is a sequence of code-block symbols at either basic-block or
+// function granularity. Symbols are the dense BlockId/FuncId values of the
+// profiled Module, stored untyped so the locality analyses can share one
+// implementation across both granularities; the typed push/at accessors keep
+// granularity mix-ups out of client code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/ids.hpp"
+#include "support/check.hpp"
+
+namespace codelayout {
+
+/// Untyped code-block symbol; the value of a BlockId or FuncId.
+using Symbol = std::uint32_t;
+
+class Trace {
+ public:
+  enum class Granularity { kBlock, kFunction };
+
+  explicit Trace(Granularity g) : granularity_(g) {}
+
+  [[nodiscard]] Granularity granularity() const { return granularity_; }
+  [[nodiscard]] bool is_block() const {
+    return granularity_ == Granularity::kBlock;
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::span<const Symbol> symbols() const { return events_; }
+
+  void reserve(std::size_t n) { events_.reserve(n); }
+  void clear() { events_.clear(); }
+
+  void push(BlockId b) {
+    CL_DCHECK(granularity_ == Granularity::kBlock);
+    CL_DCHECK(b.valid());
+    events_.push_back(b.value);
+  }
+  void push(FuncId f) {
+    CL_DCHECK(granularity_ == Granularity::kFunction);
+    CL_DCHECK(f.valid());
+    events_.push_back(f.value);
+  }
+  void push_symbol(Symbol s) { events_.push_back(s); }
+
+  [[nodiscard]] BlockId block_at(std::size_t i) const {
+    CL_DCHECK(granularity_ == Granularity::kBlock);
+    return BlockId(events_[i]);
+  }
+  [[nodiscard]] FuncId function_at(std::size_t i) const {
+    CL_DCHECK(granularity_ == Granularity::kFunction);
+    return FuncId(events_[i]);
+  }
+
+  /// Trimmed trace (Definition 1): collapses runs of the same symbol.
+  [[nodiscard]] Trace trimmed() const;
+
+  /// True when no two consecutive symbols are equal.
+  [[nodiscard]] bool is_trimmed() const;
+
+  /// Number of distinct symbols.
+  [[nodiscard]] std::size_t distinct_count() const;
+
+  /// Largest symbol value + 1 (0 for an empty trace); the dense symbol space.
+  [[nodiscard]] Symbol symbol_space() const;
+
+  /// occurrence_counts()[s] = number of events of symbol s; indexed to
+  /// symbol_space().
+  [[nodiscard]] std::vector<std::uint64_t> occurrence_counts() const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  Granularity granularity_;
+  std::vector<Symbol> events_;
+};
+
+/// Projects a block trace to the function trace of the same run (trimmed per
+/// Definition 1: consecutive blocks of the same function collapse to one
+/// function event).
+class Module;  // fwd (ir/module.hpp)
+Trace project_to_functions(const Trace& block_trace, const Module& module);
+
+}  // namespace codelayout

@@ -1,0 +1,106 @@
+#include "trg/graph.hpp"
+
+#include <algorithm>
+
+#include "locality/lru_stack.hpp"
+#include "support/check.hpp"
+
+namespace codelayout {
+
+std::uint32_t trg_window_entries(std::uint64_t cache_bytes,
+                                 std::uint32_t block_bytes) {
+  CL_CHECK(block_bytes > 0);
+  const std::uint64_t entries = 2 * cache_bytes / block_bytes;
+  CL_CHECK_MSG(entries > 0, "window smaller than one block");
+  return static_cast<std::uint32_t>(entries);
+}
+
+std::uint32_t trg_slot_count(std::uint64_t cache_bytes, std::uint32_t assoc,
+                             std::uint32_t line_bytes,
+                             std::uint32_t block_bytes) {
+  CL_CHECK(assoc > 0 && line_bytes > 0 && block_bytes > 0);
+  const std::uint64_t way_bytes = assoc * static_cast<std::uint64_t>(line_bytes);
+  const std::uint64_t sets = cache_bytes / way_bytes;
+  const std::uint64_t sets_per_block = (block_bytes + way_bytes - 1) / way_bytes;
+  CL_CHECK(sets > 0);
+  const std::uint64_t slots = sets / sets_per_block;
+  CL_CHECK_MSG(slots > 0, "code block larger than the cache");
+  return static_cast<std::uint32_t>(slots);
+}
+
+Trg Trg::build(const Trace& trace, const TrgConfig& config) {
+  CL_CHECK(config.window_entries > 0);
+  const Trace trimmed = trace.is_trimmed() ? trace : trace.trimmed();
+
+  Trg graph;
+  const Symbol space = trimmed.symbol_space();
+  if (space == 0) return graph;
+  LruStack stack(space);
+
+  for (Symbol a : trimmed.symbols()) {
+    graph.note_node(a);
+    if (stack.resident(a)) {
+      // Everything above `a` occurred between its two successive
+      // occurrences — one potential conflict per such pair (Definition 6).
+      stack.for_above(a, [&](Symbol b) {
+        graph.add_edge(a, b, 1);
+        return true;
+      });
+    }
+    stack.touch(a);
+    stack.evict_to_weight(config.window_entries);
+  }
+  return graph;
+}
+
+void Trg::note_node(Symbol s) {
+  if (!adj_.contains(s)) {
+    adj_.emplace(s, std::unordered_map<Symbol, Weight>{});
+    nodes_.push_back(s);
+  }
+}
+
+void Trg::add_edge(Symbol a, Symbol b, Weight w) {
+  CL_CHECK(a != b);
+  note_node(a);
+  note_node(b);
+  adj_[a][b] += w;
+  adj_[b][a] += w;
+}
+
+Trg::Weight Trg::edge_weight(Symbol a, Symbol b) const {
+  const auto it = adj_.find(a);
+  if (it == adj_.end()) return 0;
+  const auto jt = it->second.find(b);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::size_t Trg::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [s, nbrs] : adj_) n += nbrs.size();
+  return n / 2;
+}
+
+std::vector<Trg::Edge> Trg::edges_by_weight() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count());
+  for (const auto& [a, nbrs] : adj_) {
+    for (const auto& [b, w] : nbrs) {
+      if (a < b) out.push_back(Edge{a, b, w});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& x, const Edge& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return out;
+}
+
+const std::unordered_map<Symbol, Trg::Weight>& Trg::neighbors(Symbol a) const {
+  const auto it = adj_.find(a);
+  CL_CHECK_MSG(it != adj_.end(), "symbol " << a << " not in TRG");
+  return it->second;
+}
+
+}  // namespace codelayout

@@ -1,0 +1,75 @@
+// Temporal Relationship Graph (paper Sec. II-C, Definition 6; Gloy & Smith
+// TOPLAS'99).
+//
+// Nodes are code blocks; an undirected edge carries the number of potential
+// conflicts: the times two successive occurrences of one endpoint are
+// interleaved by at least one occurrence of the other. Construction runs the
+// trace through an LRU stack capped at a 2C footprint window (the paper
+// follows Gloy & Smith's advice of examining a window of twice the cache
+// size): on a reuse of block A, every block above A on the stack occurred
+// between A's two successive occurrences, so each such pair's edge weight is
+// incremented. The stack uses the hash-table-plus-list layout of Sec. II-F
+// for O(1) touch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+struct TrgConfig {
+  /// Footprint cap of the co-occurrence window, in code blocks. The paper's
+  /// 2C bytes with uniform block size S gives 2C/S entries; see
+  /// trg_window_entries().
+  std::uint32_t window_entries = 1024;
+};
+
+/// Entries of the 2C-byte window under the uniform-block-size assumption.
+std::uint32_t trg_window_entries(std::uint64_t cache_bytes,
+                                 std::uint32_t block_bytes);
+
+/// Number of code slots K for TRG reduction: (C/(A*B)) / ceil(S/(A*B))
+/// cache-set groups, after aligning blocks to line boundaries (Sec. II-C).
+std::uint32_t trg_slot_count(std::uint64_t cache_bytes, std::uint32_t assoc,
+                             std::uint32_t line_bytes,
+                             std::uint32_t block_bytes);
+
+class Trg {
+ public:
+  using Weight = std::uint64_t;
+
+  static Trg build(const Trace& trace, const TrgConfig& config = {});
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::span<const Symbol> nodes() const { return nodes_; }
+
+  [[nodiscard]] Weight edge_weight(Symbol a, Symbol b) const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// All edges as (a, b, weight) with a < b, sorted by descending weight then
+  /// ascending (a, b) for determinism.
+  struct Edge {
+    Symbol a;
+    Symbol b;
+    Weight weight;
+  };
+  [[nodiscard]] std::vector<Edge> edges_by_weight() const;
+
+  /// Adjacency of one node.
+  [[nodiscard]] const std::unordered_map<Symbol, Weight>& neighbors(
+      Symbol a) const;
+
+  void add_edge(Symbol a, Symbol b, Weight w);  ///< also used by tests
+
+ private:
+  void note_node(Symbol s);
+
+  std::vector<Symbol> nodes_;  ///< first-appearance order
+  std::unordered_map<Symbol, std::unordered_map<Symbol, Weight>> adj_;
+};
+
+}  // namespace codelayout

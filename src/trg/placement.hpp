@@ -1,0 +1,43 @@
+// Gloy & Smith's original TRG placement (TOPLAS'99), for comparison.
+//
+// The paper's TRG *reduction* (Algorithm 2) emits a new linear order and
+// inserts no space. The original procedure instead chooses a cache-relative
+// alignment for each code block — greedily placing the endpoints of the
+// heaviest edges at set offsets that minimize weighted overlap — and then
+// lays blocks out with padding so each starts at its chosen offset. The
+// padding buys conflict freedom at the cost of address-space (and
+// memory/TLB) bloat, which is exactly why the paper switched to reordering;
+// bench_ablation_placement quantifies the trade-off.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/module.hpp"
+#include "layout/layout.hpp"
+#include "trg/graph.hpp"
+
+namespace codelayout {
+
+struct PlacementConfig {
+  std::uint64_t cache_bytes = 32 * 1024;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_bytes = 64;
+};
+
+struct PlacementResult {
+  CodeLayout layout;
+  std::uint64_t padding_bytes = 0;  ///< space inserted between blocks
+};
+
+/// Places the blocks of `module` at Gloy-Smith-style cache-aligned
+/// addresses: blocks are ordered by the TRG reduction sequence but each is
+/// additionally padded so that it starts in the cache set chosen by the
+/// greedy alignment pass (heaviest-edge-first, pick the start set with the
+/// least weighted conflict against already-placed neighbors).
+///
+/// `granularity` selects which trace the TRG models; the graph must be at
+/// block granularity (symbols are BlockId values).
+PlacementResult gloy_smith_placement(const Module& module, const Trg& graph,
+                                     const PlacementConfig& config = {});
+
+}  // namespace codelayout

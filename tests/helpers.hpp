@@ -1,0 +1,28 @@
+// Shared test utilities.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace codelayout::testing {
+
+/// Builds a block-granularity trace from raw symbols.
+inline Trace make_trace(std::initializer_list<Symbol> symbols) {
+  Trace t(Trace::Granularity::kBlock);
+  for (Symbol s : symbols) t.push_symbol(s);
+  return t;
+}
+
+inline Trace make_trace(const std::vector<Symbol>& symbols) {
+  Trace t(Trace::Granularity::kBlock);
+  for (Symbol s : symbols) t.push_symbol(s);
+  return t;
+}
+
+/// The paper's Figure 1 example trace: B1 B4 B2 B4 B2 B3 B5 B1 B4, with
+/// B1..B5 encoded as symbols 1..5.
+inline Trace fig1_trace() { return make_trace({1, 4, 2, 4, 2, 3, 5, 1, 4}); }
+
+}  // namespace codelayout::testing

@@ -1,0 +1,168 @@
+// End-to-end integration tests over the real workload suite: these assert
+// the paper's qualitative findings (directions and rough factors), using a
+// small subset of programs to stay fast.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "harness/lab.hpp"
+#include "workloads/spec.hpp"
+
+namespace codelayout {
+namespace {
+
+class LabTest : public ::testing::Test {
+ protected:
+  Lab lab_;
+};
+
+TEST_F(LabTest, SelectedBenchmarkSoloRatiosInPaperRange) {
+  // Table I solo column: all below 5%, gobmk the highest of the eight,
+  // mcf essentially zero.
+  double gobmk = 0, mcf = 1;
+  for (const auto& name : selected_benchmarks()) {
+    const double ratio =
+        lab_.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
+    EXPECT_LT(ratio, 0.06) << name;
+    if (name == "445.gobmk") gobmk = ratio;
+    if (name == "429.mcf") mcf = ratio;
+  }
+  EXPECT_LT(mcf, 0.002);
+  EXPECT_GT(gobmk, 0.015);
+}
+
+TEST_F(LabTest, GamessProbeWorseThanGccProbe) {
+  // The intro table: co-run 2 (gamess) inflates more than co-run 1 (gcc).
+  for (const std::string name : {"458.sjeng", "471.omnetpp"}) {
+    const double solo =
+        lab_.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
+    const double with_gcc =
+        lab_.corun(name, std::nullopt, kProbe1, std::nullopt,
+                   Measure::kHardware)
+            .self.miss_ratio();
+    const double with_gamess =
+        lab_.corun(name, std::nullopt, kProbe2, std::nullopt,
+                   Measure::kHardware)
+            .self.miss_ratio();
+    EXPECT_GT(with_gcc, solo * 1.5) << name;
+    EXPECT_GT(with_gamess, with_gcc) << name;
+  }
+}
+
+TEST_F(LabTest, AffinityOptimizersReduceSoloMisses) {
+  // Fig. 5(b): dramatic miss reductions for the affinity optimizers.
+  const std::string name = "458.sjeng";
+  const double base =
+      lab_.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
+  for (const Optimizer opt : {kFuncAffinity, kBBAffinity}) {
+    const double reduced = lab_.solo(name, opt, Measure::kHardware).miss_ratio();
+    EXPECT_LT(reduced, base * 0.9) << opt.name();
+  }
+}
+
+TEST_F(LabTest, SoloSpeedupsAreModest) {
+  // Fig. 5(a): layout optimization changes solo runtime by a few percent
+  // at most, even when miss reductions are dramatic.
+  const std::string name = "458.sjeng";
+  const double base = lab_.solo_cycles(name, std::nullopt);
+  for (const Optimizer opt : {kFuncAffinity, kBBAffinity}) {
+    const double s = base / lab_.solo_cycles(name, opt);
+    EXPECT_GT(s, 0.97) << opt.name();
+    EXPECT_LT(s, 1.10) << opt.name();
+  }
+}
+
+TEST_F(LabTest, CorunSpeedupExceedsSoloSpeedupForSensitivePrograms) {
+  // The paper's point 5: optimizations that barely move solo performance
+  // improve co-run performance (sjeng/omnetpp class programs).
+  const std::string name = "471.omnetpp";
+  const double solo_speedup = lab_.solo_cycles(name, std::nullopt) /
+                              lab_.solo_cycles(name, kBBAffinity);
+  const double corun_base =
+      lab_.corun_self_cycles(name, std::nullopt, kProbe2, std::nullopt);
+  const double corun_opt =
+      lab_.corun_self_cycles(name, kBBAffinity, kProbe2, std::nullopt);
+  const double corun_speedup = corun_base / corun_opt;
+  EXPECT_GT(corun_speedup, solo_speedup);
+  EXPECT_GT(corun_speedup, 1.01);
+}
+
+TEST_F(LabTest, HardwareReductionsTrackSimulatedReductions) {
+  // Sec. III-C: hardware-counted and simulated reductions show the same
+  // trend (both positive here), with simulation typically larger.
+  const std::string name = "458.sjeng";
+  const double hw0 = lab_.corun(name, std::nullopt, kProbe1, std::nullopt,
+                                Measure::kHardware)
+                         .self.miss_ratio();
+  const double hw1 =
+      lab_.corun(name, kBBAffinity, kProbe1, std::nullopt, Measure::kHardware)
+          .self.miss_ratio();
+  const double sim0 = lab_.corun(name, std::nullopt, kProbe1, std::nullopt,
+                                 Measure::kSimulator)
+                          .self.miss_ratio();
+  const double sim1 = lab_.corun(name, kBBAffinity, kProbe1, std::nullopt,
+                                 Measure::kSimulator)
+                          .self.miss_ratio();
+  const double hw_red = 1.0 - hw1 / hw0;
+  const double sim_red = 1.0 - sim1 / sim0;
+  EXPECT_GT(hw_red, 0.0);
+  EXPECT_GT(sim_red, 0.0);
+}
+
+TEST_F(LabTest, HyperThreadingThroughputGainInPaperRange) {
+  // Fig. 7(a): co-running two programs beats running them back to back,
+  // by roughly 15-30%.
+  const std::string a = "458.sjeng";
+  const std::string b = "429.mcf";
+  const double solo_a = lab_.solo_cycles(a, std::nullopt);
+  const double solo_b = lab_.solo_cycles(b, std::nullopt);
+  const double corun_a =
+      lab_.corun_self_cycles(a, std::nullopt, b, std::nullopt);
+  const double corun_b =
+      lab_.corun_self_cycles(b, std::nullopt, a, std::nullopt);
+  const auto r = corun_throughput(solo_a, corun_a, solo_b, corun_b);
+  EXPECT_GT(r.improvement(), 0.05);
+  EXPECT_LT(r.improvement(), 0.45);
+}
+
+TEST_F(LabTest, OptimizingThePeerTooAddsLittle) {
+  // Sec. III-F: optimized+optimized is at most marginally better than
+  // optimized+baseline, and not slower.
+  const std::string a = "458.sjeng";
+  const std::string b = "471.omnetpp";
+  const double base = lab_.corun_self_cycles(a, std::nullopt, b, std::nullopt);
+  const double opt_base = lab_.corun_self_cycles(a, kFuncAffinity, b,
+                                                 std::nullopt);
+  const double opt_opt =
+      lab_.corun_self_cycles(a, kFuncAffinity, b, kFuncAffinity);
+  const double additional = opt_base / opt_opt - 1.0;
+  EXPECT_GT(base / opt_base, 1.0);       // the optimization itself helps
+  // "Negligible" both ways: our SMT fetch model lets an optimized (less
+  // stalled) peer issue slightly more pressure, so a small negative is
+  // tolerated where the paper reports "no slowdown".
+  EXPECT_GT(additional, -0.05);
+  EXPECT_LT(additional, 0.05);
+}
+
+TEST_F(LabTest, BBReorderingNAForPerlbenchAndPovray) {
+  EXPECT_FALSE(Lab::bb_reordering_supported("400.perlbench"));
+  EXPECT_FALSE(Lab::bb_reordering_supported("453.povray"));
+  EXPECT_TRUE(Lab::bb_reordering_supported("403.gcc"));
+}
+
+TEST_F(LabTest, LayoutAndSimCachingReturnsSameObject) {
+  const SimResult& a = lab_.solo("429.mcf", std::nullopt, Measure::kHardware);
+  const SimResult& b = lab_.solo("429.mcf", std::nullopt, Measure::kHardware);
+  EXPECT_EQ(&a, &b);
+  const CodeLayout& l1 = lab_.layout("429.mcf", kFuncAffinity);
+  const CodeLayout& l2 = lab_.layout("429.mcf", kFuncAffinity);
+  EXPECT_EQ(&l1, &l2);
+}
+
+TEST_F(LabTest, PrepareAllWarmsTheCache) {
+  lab_.prepare_all({"429.mcf", "458.sjeng"});
+  const PreparedWorkload& w = lab_.workload("429.mcf");
+  EXPECT_EQ(w.spec.name, "429.mcf");
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+#include "support/check.hpp"
+
+namespace codelayout {
+namespace {
+
+TEST(Ids, InvalidByDefault) {
+  BlockId b;
+  FuncId f;
+  EXPECT_FALSE(b.valid());
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(Ids, Comparisons) {
+  EXPECT_LT(BlockId(1), BlockId(2));
+  EXPECT_EQ(FuncId(3), FuncId(3));
+}
+
+TEST(Module, AddFunctionAndBlocks) {
+  Module m("test");
+  const FuncId f = m.add_function("foo");
+  const BlockId b0 = m.add_block(f, 32);
+  const BlockId b1 = m.add_block(f, 64, "custom");
+  EXPECT_EQ(m.function_count(), 1u);
+  EXPECT_EQ(m.block_count(), 2u);
+  EXPECT_EQ(m.function(f).entry, b0);
+  EXPECT_EQ(m.block(b0).label, "foo.bb0");
+  EXPECT_EQ(m.block(b1).label, "custom");
+  EXPECT_EQ(m.block(b1).instructions(), 16u);
+  EXPECT_EQ(m.static_bytes(), 96u);
+}
+
+TEST(Module, FirstFunctionBecomesEntry) {
+  Module m;
+  const FuncId f0 = m.add_function("main");
+  m.add_function("other");
+  EXPECT_EQ(m.entry_function(), f0);
+}
+
+TEST(Module, FindFunction) {
+  Module m;
+  m.add_function("alpha");
+  const FuncId beta = m.add_function("beta");
+  EXPECT_EQ(m.find_function("beta"), beta);
+  EXPECT_FALSE(m.find_function("gamma").has_value());
+}
+
+TEST(Module, BadIdsThrow) {
+  Module m;
+  m.add_function("f");
+  EXPECT_THROW((void)m.block(BlockId(0)), ContractError);
+  EXPECT_THROW((void)m.function(FuncId(7)), ContractError);
+  EXPECT_THROW((void)m.function(FuncId{}), ContractError);
+}
+
+TEST(Module, EdgeAcrossFunctionsRejected) {
+  Module m;
+  const FuncId f = m.add_function("f");
+  const FuncId g = m.add_function("g");
+  const BlockId bf = m.add_block(f, 16);
+  const BlockId bg = m.add_block(g, 16);
+  EXPECT_THROW(m.add_edge(bf, bg, 1.0), ContractError);
+}
+
+TEST(Module, SecondFallthroughRejected) {
+  Module m;
+  const FuncId f = m.add_function("f");
+  const BlockId a = m.add_block(f, 16);
+  const BlockId b = m.add_block(f, 16);
+  const BlockId c = m.add_block(f, 16);
+  m.add_edge(a, b, 0.5, /*fallthrough=*/true);
+  EXPECT_THROW(m.add_edge(a, c, 0.5, /*fallthrough=*/true), ContractError);
+}
+
+TEST(Module, ValidateAcceptsWellFormed) {
+  Module m("ok");
+  const FuncId f = m.add_function("main");
+  const BlockId a = m.add_block(f, 16);
+  const BlockId b = m.add_block(f, 16);
+  m.add_edge(a, b, 1.0, true);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Module, ValidateRejectsBadProbabilitySum) {
+  Module m;
+  const FuncId f = m.add_function("main");
+  const BlockId a = m.add_block(f, 16);
+  const BlockId b = m.add_block(f, 16);
+  m.add_edge(a, b, 0.4);
+  EXPECT_THROW(m.validate(), ContractError);
+}
+
+TEST(Module, ValidateRejectsEmptyFunction) {
+  Module m;
+  m.add_function("empty");
+  EXPECT_THROW(m.validate(), ContractError);
+}
+
+TEST(Module, ValidateRejectsMisalignedBlock) {
+  Module m;
+  const FuncId f = m.add_function("main");
+  m.add_block(f, 18);  // not a multiple of kInstrBytes
+  EXPECT_THROW(m.validate(), ContractError);
+}
+
+TEST(Module, AddEdgeRejectsBadProbability) {
+  Module m;
+  const FuncId f = m.add_function("main");
+  const BlockId a = m.add_block(f, 16);
+  const BlockId b = m.add_block(f, 16);
+  EXPECT_THROW(m.add_edge(a, b, 0.0), ContractError);
+  EXPECT_THROW(m.add_edge(a, b, 1.5), ContractError);
+}
+
+TEST(Module, CallSitesRecorded) {
+  Module m;
+  const FuncId f = m.add_function("caller");
+  const FuncId g = m.add_function("callee");
+  m.add_block(g, 16);
+  const BlockId b = m.add_block(f, 16);
+  m.add_call(b, g, 0.5);
+  ASSERT_EQ(m.block(b).calls.size(), 1u);
+  EXPECT_EQ(m.block(b).calls[0].callee, g);
+  EXPECT_DOUBLE_EQ(m.block(b).calls[0].probability, 0.5);
+}
+
+TEST(Module, DotContainsLabelsAndEdges) {
+  Module m("dotted");
+  const FuncId f = m.add_function("main");
+  const BlockId a = m.add_block(f, 16);
+  const BlockId b = m.add_block(f, 16);
+  m.add_edge(a, b, 1.0, true);
+  const std::string dot = m.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("main.bb0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// ---------- builder ----------------------------------------------------------
+
+TEST(Builder, ChainConnectsSequentially) {
+  ModuleBuilder mb("chain");
+  auto f = mb.function("main");
+  const auto ids = f.chain(4, 16);
+  const Module m = std::move(mb).build();
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    const auto& succ = m.block(ids[i]).successors;
+    ASSERT_EQ(succ.size(), 1u);
+    EXPECT_EQ(succ[0].target, ids[i + 1]);
+  }
+  EXPECT_TRUE(m.block(ids.back()).is_return());
+}
+
+TEST(Builder, BranchSplitsProbability) {
+  ModuleBuilder mb("branch");
+  auto f = mb.function("main");
+  const BlockId head = f.block(16);
+  const BlockId taken = f.block(16);
+  const BlockId fall = f.block(16);
+  f.branch(head, taken, fall, 0.3);
+  const Module m = std::move(mb).build();
+  const auto& succ = m.block(head).successors;
+  ASSERT_EQ(succ.size(), 2u);
+  // Fall-through edge is stored first.
+  EXPECT_EQ(succ[0].target, fall);
+  EXPECT_DOUBLE_EQ(succ[0].probability, 0.7);
+  EXPECT_EQ(succ[1].target, taken);
+  EXPECT_TRUE(m.block(head).has_fallthrough);
+}
+
+TEST(Builder, FanNormalizesWeights) {
+  ModuleBuilder mb("fan");
+  auto f = mb.function("main");
+  const BlockId head = f.block(16);
+  const BlockId a = f.block(16);
+  const BlockId b = f.block(16);
+  const BlockId c = f.block(16);
+  f.fan(head, {a, b, c}, {2.0, 1.0, 1.0});
+  const Module m = std::move(mb).build();
+  const auto& succ = m.block(head).successors;
+  ASSERT_EQ(succ.size(), 3u);
+  double sum = 0;
+  for (const auto& e : succ) sum += e.probability;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(succ[0].probability, 0.5, 1e-12);
+}
+
+TEST(Builder, LoopBackEdge) {
+  ModuleBuilder mb("loop");
+  auto f = mb.function("main");
+  const BlockId head = f.block(16);
+  const BlockId latch = f.block(16);
+  const BlockId exit = f.block(16);
+  f.jump(head, latch);
+  f.loop(latch, head, exit, 0.9);
+  const Module m = std::move(mb).build();
+  const auto& succ = m.block(latch).successors;
+  ASSERT_EQ(succ.size(), 2u);
+  EXPECT_EQ(succ[0].target, exit);   // fall-through exit
+  EXPECT_NEAR(succ[0].probability, 0.1, 1e-12);
+  EXPECT_EQ(succ[1].target, head);   // back edge
+}
+
+TEST(Builder, BuildValidates) {
+  ModuleBuilder mb("invalid");
+  auto f = mb.function("main");
+  const BlockId a = f.block(16);
+  const BlockId b = f.block(16);
+  mb.module().add_edge(a, b, 0.25);  // probabilities will not sum to 1
+  EXPECT_THROW(std::move(mb).build(), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,245 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "affinity/analysis.hpp"
+#include "exec/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "layout/layout.hpp"
+
+namespace codelayout {
+namespace {
+
+/// Two functions and a main; f and g each have two blocks.
+Module two_function_module() {
+  ModuleBuilder mb("two");
+  auto f = mb.function("f");
+  f.chain(2, 32);
+  auto g = mb.function("g");
+  g.chain(2, 32);
+  auto main_fn = mb.function("main");
+  const BlockId entry = main_fn.block(16);
+  main_fn.call(entry, f.id());
+  main_fn.call(entry, g.id());
+  Module m = std::move(mb).build();
+  m.set_entry_function(*m.find_function("main"));
+  return m;
+}
+
+TEST(OriginalLayout, SequentialAddressesInProgramOrder) {
+  const Module m = two_function_module();
+  const CodeLayout layout = original_layout(m);
+  std::uint64_t expected = 0;
+  for (BlockId b : layout.block_order()) {
+    EXPECT_EQ(layout.placement(b).address, expected);
+    expected += layout.placement(b).bytes;
+  }
+  EXPECT_EQ(layout.total_bytes(), expected);
+  // Program order: f's blocks, g's blocks, main.
+  EXPECT_EQ(layout.block_order()[0], m.function(FuncId(0)).blocks[0]);
+}
+
+TEST(OriginalLayout, NoOverheadWhenFallthroughsAdjacent) {
+  const Module m = two_function_module();
+  const CodeLayout layout = original_layout(m);
+  EXPECT_EQ(layout.overhead_bytes(), 0u);
+  EXPECT_EQ(layout.fixup_count(), 0u);
+  EXPECT_EQ(layout.total_bytes(), m.static_bytes());
+}
+
+TEST(FunctionReordering, PermutesWholeFunctions) {
+  const Module m = two_function_module();
+  // Order: g (id 1), f (id 0); main unlisted follows.
+  const std::vector<Symbol> order = {1, 0};
+  const CodeLayout layout = function_reordering(m, order);
+  const auto& g_blocks = m.function(FuncId(1)).blocks;
+  const auto& f_blocks = m.function(FuncId(0)).blocks;
+  EXPECT_EQ(layout.placement(g_blocks[0]).address, 0u);
+  EXPECT_LT(layout.placement(g_blocks[1]).address,
+            layout.placement(f_blocks[0]).address);
+  // Blocks inside each function stay in source order.
+  EXPECT_LT(layout.placement(f_blocks[0]).address,
+            layout.placement(f_blocks[1]).address);
+}
+
+TEST(FunctionReordering, UnlistedFunctionsFollowInProgramOrder) {
+  const Module m = two_function_module();
+  const CodeLayout layout = function_reordering(m, std::vector<Symbol>{2});
+  // main (id 2) first, then f, then g.
+  const BlockId main_entry = m.function(FuncId(2)).entry;
+  EXPECT_EQ(layout.placement(main_entry).address, 0u);
+}
+
+TEST(FunctionReordering, DuplicatesIgnored) {
+  const Module m = two_function_module();
+  const CodeLayout layout =
+      function_reordering(m, std::vector<Symbol>{1, 1, 0, 1});
+  EXPECT_EQ(layout.block_order().size(), m.block_count());
+}
+
+TEST(FunctionReordering, OutOfRangeSymbolRejected) {
+  const Module m = two_function_module();
+  EXPECT_THROW(function_reordering(m, std::vector<Symbol>{9}), ContractError);
+}
+
+TEST(BBReordering, EntryStubsCharged) {
+  const Module m = two_function_module();
+  // Keep source order: no fall-through breaks, but every function entry
+  // gains a trampoline jump.
+  std::vector<Symbol> order;
+  for (const auto& b : m.blocks()) order.push_back(b.id.value);
+  const CodeLayout layout = bb_reordering(m, order);
+  EXPECT_EQ(layout.overhead_bytes(),
+            m.function_count() * kJumpBytes + layout.fixup_count() * kJumpBytes);
+}
+
+TEST(BBReordering, BrokenFallthroughGetsJump) {
+  ModuleBuilder mb("ft");
+  auto f = mb.function("f");
+  const BlockId a = f.block(16);
+  const BlockId b = f.block(16);
+  const BlockId c = f.block(16);
+  f.jump(a, b, /*fallthrough=*/true);
+  f.jump(b, c, /*fallthrough=*/true);
+  const Module m = std::move(mb).build();
+  // Layout a, c, b: a's fall-through (b) is no longer adjacent; b's (c) is
+  // not adjacent either (b is last). The chain window would normally repair
+  // this, so force the order through the CodeLayout constructor directly.
+  const CodeLayout layout(m, {a, c, b}, /*with_entry_stubs=*/false);
+  EXPECT_EQ(layout.fixup_count(), 2u);
+  EXPECT_EQ(layout.placement(a).bytes, 16u + kJumpBytes);
+}
+
+TEST(BBReordering, ChainingKeepsHotFallthroughsAdjacent) {
+  ModuleBuilder mb("chain");
+  auto f = mb.function("f");
+  const auto blocks = f.chain(6, 16);
+  const Module m = std::move(mb).build();
+  // The model emits a scrambled-but-nearby order; chaining should restore
+  // fall-through adjacency and avoid fix-ups entirely.
+  const std::vector<Symbol> scrambled = {
+      blocks[0].value, blocks[2].value, blocks[1].value,
+      blocks[3].value, blocks[5].value, blocks[4].value};
+  const CodeLayout layout = bb_reordering(m, scrambled);
+  EXPECT_EQ(layout.fixup_count(), 0u);
+  // Order follows the chain from block 0.
+  EXPECT_EQ(layout.block_order().front(), blocks[0]);
+}
+
+TEST(BBReordering, ColdBlocksAppendedGroupedByFunction) {
+  const Module m = two_function_module();
+  // Only main's entry is "hot".
+  const BlockId main_entry = m.function(FuncId(2)).entry;
+  const CodeLayout layout =
+      bb_reordering(m, std::vector<Symbol>{main_entry.value});
+  EXPECT_EQ(layout.block_order().front(), main_entry);
+  // All blocks are still placed exactly once.
+  std::set<std::uint32_t> seen;
+  for (BlockId b : layout.block_order()) seen.insert(b.value);
+  EXPECT_EQ(seen.size(), m.block_count());
+}
+
+TEST(Layout, LinesOfSpansCorrectLines) {
+  const Module m = two_function_module();
+  const CodeLayout layout = original_layout(m);
+  // First block: 32 bytes at address 0 -> one 64B line.
+  const auto span0 = layout.lines_of(layout.block_order()[0], 64);
+  EXPECT_EQ(span0.first_line, 0u);
+  EXPECT_EQ(span0.line_count, 1u);
+  // Second block: 32 bytes at address 32 -> still line 0.
+  const auto span1 = layout.lines_of(layout.block_order()[1], 64);
+  EXPECT_EQ(span1.first_line, 0u);
+  EXPECT_EQ(span1.line_count, 1u);
+  // A block crossing a boundary.
+  const auto span2 = layout.lines_of(layout.block_order()[2], 64);
+  EXPECT_EQ(span2.first_line, 1u);
+}
+
+TEST(Layout, DescribeListsBlocks) {
+  const Module m = two_function_module();
+  const CodeLayout layout = original_layout(m);
+  const std::string desc = layout.describe(m);
+  EXPECT_NE(desc.find("f.bb0"), std::string::npos);
+  EXPECT_NE(desc.find("0x0"), std::string::npos);
+}
+
+TEST(Layout, IncompleteOrderRejected) {
+  const Module m = two_function_module();
+  EXPECT_THROW(CodeLayout(m, {m.function(FuncId(0)).blocks[0]}, false),
+               ContractError);
+}
+
+TEST(RandomLayout, IsValidPermutation) {
+  const Module m = two_function_module();
+  const CodeLayout layout = random_layout(m, 99);
+  std::set<std::uint32_t> seen;
+  for (BlockId b : layout.block_order()) seen.insert(b.value);
+  EXPECT_EQ(seen.size(), m.block_count());
+  // Deterministic for a seed.
+  const CodeLayout again = random_layout(m, 99);
+  EXPECT_TRUE(std::equal(layout.block_order().begin(),
+                         layout.block_order().end(),
+                         again.block_order().begin()));
+}
+
+// ---------- the paper's Figure 3 example -------------------------------------
+
+/// Builds the Fig. 3 program: main loops calling X then Y; X branches to
+/// X2 (b=1) or X3 (b=2); Y branches on b, so X2,Y2 and X3,Y3 always execute
+/// together.
+TEST(Fig3, InterProceduralReorderingExtractsCorrelatedHalves) {
+  ModuleBuilder mb("fig3");
+  auto x = mb.function("X");
+  const BlockId x1 = x.block(16, "X1");
+  const BlockId x2 = x.block(16, "X2");
+  const BlockId x3 = x.block(16, "X3");
+  x.branch(x1, x3, x2, 0.5);  // X2 is the fall-through (then) side
+
+  auto y = mb.function("Y");
+  const BlockId y1 = y.block(16, "Y1");
+  const BlockId y2 = y.block(16, "Y2");
+  const BlockId y3 = y.block(16, "Y3");
+  y.branch(y1, y3, y2, 0.5);
+
+  auto main_fn = mb.function("main");
+  const BlockId loop = main_fn.block(16, "loop");
+  const BlockId done = main_fn.block(16, "done");
+  main_fn.call(loop, x.id());
+  main_fn.call(loop, y.id());
+  main_fn.loop(loop, loop, done, 0.99);
+  Module m = std::move(mb).build();
+  m.set_entry_function(*m.find_function("main"));
+
+  // In the real program X's branch outcome decides Y's; emulate the
+  // correlated trace directly (the probabilistic CFG cannot express the
+  // global variable): 100 iterations alternating the b=1 and b=2 paths.
+  Trace trace(Trace::Granularity::kBlock);
+  for (int i = 0; i < 100; ++i) {
+    trace.push(loop);
+    trace.push(x1);
+    trace.push(i % 2 ? x2 : x3);
+    trace.push(y1);
+    trace.push(i % 2 ? y2 : y3);
+  }
+
+  // BB affinity over the correlated trace groups (X2,Y2) and (X3,Y3).
+  const auto order = analyze_affinity(trace).layout_order();
+  auto pos = [&](BlockId b) {
+    return std::find(order.begin(), order.end(), b.value) - order.begin();
+  };
+  // The correlated pairs are adjacent in the optimized order.
+  EXPECT_EQ(std::abs(pos(x2) - pos(y2)), 1);
+  EXPECT_EQ(std::abs(pos(x3) - pos(y3)), 1);
+
+  // And the transformation places them adjacently in memory.
+  const CodeLayout layout = bb_reordering(m, order);
+  const auto px2 = layout.placement(x2);
+  const auto py2 = layout.placement(y2);
+  EXPECT_EQ(std::min(px2.address, py2.address) +
+                layout.placement(px2.address < py2.address ? x2 : y2).bytes,
+            std::max(px2.address, py2.address));
+}
+
+}  // namespace
+}  // namespace codelayout

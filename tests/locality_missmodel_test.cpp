@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "locality/missmodel.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+namespace {
+
+/// Cyclic loop over `n` symbols repeated `reps` times.
+Trace cyclic(Symbol n, int reps) {
+  Trace t(Trace::Granularity::kBlock);
+  for (int r = 0; r < reps; ++r) {
+    for (Symbol s = 0; s < n; ++s) t.push_symbol(s);
+  }
+  return t;
+}
+
+TEST(MissModel, FittingProgramHasZeroMissRatio) {
+  const auto fp = FootprintCurve::compute(cyclic(8, 100));
+  EXPECT_DOUBLE_EQ(solo_miss_ratio(fp, 16.0), 0.0);
+  EXPECT_DOUBLE_EQ(solo_miss_ratio(fp, 8.0), 0.0);
+}
+
+TEST(MissModel, ThrashingProgramHasHighMissRatio) {
+  // A cyclic loop over 64 symbols in a 16-symbol cache misses heavily; the
+  // footprint-derivative model reports the asymptotic miss rate of the
+  // window where the cache fills.
+  const auto fp = FootprintCurve::compute(cyclic(64, 50));
+  const double mr = solo_miss_ratio(fp, 16.0);
+  EXPECT_GT(mr, 0.5);
+  EXPECT_LE(mr, 1.0 + 1e-9);
+}
+
+TEST(MissModel, MissRatioDecreasesWithCapacity) {
+  Rng rng(3);
+  Trace t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 20000; ++i) {
+    t.push_symbol(static_cast<Symbol>(rng.zipf(200, 0.7)));
+  }
+  const auto fp = FootprintCurve::compute(t);
+  double prev = 1.0;
+  for (double c : {10.0, 40.0, 100.0, 180.0}) {
+    const double mr = solo_miss_ratio(fp, c);
+    EXPECT_LE(mr, prev + 1e-9) << "capacity " << c;
+    prev = mr;
+  }
+}
+
+TEST(MissModel, CorunNeverBelowSolo) {
+  const auto self = FootprintCurve::compute(cyclic(20, 200));
+  const auto peer = FootprintCurve::compute(cyclic(30, 150));
+  for (double c : {16.0, 32.0, 64.0}) {
+    EXPECT_GE(corun_miss_ratio(self, peer, c) + 1e-12,
+              solo_miss_ratio(self, c))
+        << "capacity " << c;
+  }
+}
+
+TEST(MissModel, CorunWithEmptyPeerEqualsSolo) {
+  const auto self = FootprintCurve::compute(cyclic(20, 200));
+  const auto peer = FootprintCurve::compute(Trace(Trace::Granularity::kBlock));
+  EXPECT_NEAR(corun_miss_ratio(self, peer, 16.0), solo_miss_ratio(self, 16.0),
+              1e-9);
+}
+
+TEST(MissModel, BiggerPeerHurtsMore) {
+  const auto self = FootprintCurve::compute(cyclic(24, 200));
+  const auto small_peer = FootprintCurve::compute(cyclic(8, 200));
+  const auto big_peer = FootprintCurve::compute(cyclic(40, 200));
+  const double with_small = corun_miss_ratio(self, small_peer, 48.0);
+  const double with_big = corun_miss_ratio(self, big_peer, 48.0);
+  EXPECT_GE(with_big + 1e-12, with_small);
+  EXPECT_GT(with_big, 0.0);
+}
+
+TEST(MissModel, FasterPeerHurtsMore) {
+  Rng rng(9);
+  Trace self_t(Trace::Granularity::kBlock), peer_t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 20000; ++i) {
+    self_t.push_symbol(static_cast<Symbol>(rng.zipf(64, 0.6)));
+    peer_t.push_symbol(static_cast<Symbol>(rng.zipf(64, 0.6)) + 1000);
+  }
+  const auto self = FootprintCurve::compute(self_t);
+  const auto peer = FootprintCurve::compute(peer_t);
+  const double slow = corun_miss_ratio(self, peer, 64.0, 0.5);
+  const double fast = corun_miss_ratio(self, peer, 64.0, 2.0);
+  EXPECT_GE(fast + 1e-12, slow);
+}
+
+TEST(MissModel, BothFitTogetherNoMisses) {
+  const auto a = FootprintCurve::compute(cyclic(8, 100));
+  const auto b = FootprintCurve::compute(cyclic(8, 100));
+  EXPECT_DOUBLE_EQ(corun_miss_ratio(a, b, 32.0), 0.0);
+}
+
+TEST(MissModel, AssessmentSigns) {
+  // Self fits alone but not with the peer: positive defensiveness loss; the
+  // peer likewise suffers from self: positive politeness loss.
+  const auto self = FootprintCurve::compute(cyclic(20, 300));
+  const auto peer = FootprintCurve::compute(cyclic(24, 300));
+  const auto assessment = assess_corun(self, peer, 32.0);
+  EXPECT_DOUBLE_EQ(assessment.self_solo, 0.0);
+  EXPECT_GT(assessment.defensiveness_loss(), 0.0);
+  EXPECT_GT(assessment.politeness_loss(), 0.0);
+}
+
+TEST(MissModel, SmallerSelfFootprintIsMorePolite) {
+  // Politeness (Sec. II-A): shrinking self's footprint reduces the peer's
+  // co-run misses. The same peer is assessed against a compact and a bloated
+  // version of self.
+  const auto compact_self = FootprintCurve::compute(cyclic(8, 300));
+  const auto bloated_self = FootprintCurve::compute(cyclic(28, 300));
+  const auto peer = FootprintCurve::compute(cyclic(24, 300));
+  const auto with_compact = assess_corun(compact_self, peer, 32.0);
+  const auto with_bloated = assess_corun(bloated_self, peer, 32.0);
+  EXPECT_LT(with_compact.politeness_loss(), with_bloated.politeness_loss());
+}
+
+TEST(MissModel, RejectsBadCapacity) {
+  const auto fp = FootprintCurve::compute(cyclic(4, 10));
+  EXPECT_THROW(solo_miss_ratio(fp, 0.0), ContractError);
+  EXPECT_THROW(corun_miss_ratio(fp, fp, -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,123 @@
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "locality/reuse.hpp"
+#include "support/rng.hpp"
+
+namespace codelayout {
+namespace {
+
+using testing::make_trace;
+
+/// Reference O(N^2) reuse distances: distinct symbols strictly between
+/// consecutive accesses of the same symbol.
+std::vector<std::uint64_t> naive_reuse(const Trace& t) {
+  const auto symbols = t.symbols();
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    std::size_t prev = symbols.size();
+    for (std::size_t j = i; j-- > 0;) {
+      if (symbols[j] == symbols[i]) {
+        prev = j;
+        break;
+      }
+    }
+    if (prev == symbols.size()) {
+      out.push_back(kColdReuse);
+      continue;
+    }
+    std::unordered_set<Symbol> distinct;
+    for (std::size_t j = prev + 1; j < i; ++j) distinct.insert(symbols[j]);
+    out.push_back(distinct.size());
+  }
+  return out;
+}
+
+TEST(Reuse, HandComputedExample) {
+  // Trace: a b c a a b
+  const Trace t = make_trace({0, 1, 2, 0, 0, 1});
+  const auto d = per_access_reuse_distances(t);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[0], kColdReuse);
+  EXPECT_EQ(d[1], kColdReuse);
+  EXPECT_EQ(d[2], kColdReuse);
+  EXPECT_EQ(d[3], 2u);  // b, c between
+  EXPECT_EQ(d[4], 0u);  // immediate reuse
+  EXPECT_EQ(d[5], 2u);  // c? no: between b@1 and b@5: c,a distinct = 2
+}
+
+TEST(Reuse, HistogramMatchesPerAccess) {
+  Rng rng(5);
+  Trace t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 3000; ++i) {
+    t.push_symbol(static_cast<Symbol>(rng.zipf(40, 0.8)));
+  }
+  const ReuseProfile p = compute_reuse(t);
+  const auto d = per_access_reuse_distances(t);
+  std::vector<std::uint64_t> hist;
+  std::uint64_t cold = 0;
+  for (std::uint64_t x : d) {
+    if (x == kColdReuse) {
+      ++cold;
+      continue;
+    }
+    if (hist.size() <= x) hist.resize(x + 1, 0);
+    ++hist[x];
+  }
+  EXPECT_EQ(p.cold_accesses, cold);
+  EXPECT_EQ(p.distance_histogram, hist);
+  EXPECT_EQ(p.total_accesses, t.size());
+}
+
+class ReusePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReusePropertyTest, FenwickMatchesNaive) {
+  Rng rng(GetParam());
+  Trace t(Trace::Granularity::kBlock);
+  const auto len = 50 + rng.below(300);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    t.push_symbol(static_cast<Symbol>(rng.below(20)));
+  }
+  EXPECT_EQ(per_access_reuse_distances(t), naive_reuse(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReusePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Reuse, ReuseTimeHistogram) {
+  // Trace: x y x -> reuse time 2 for the second x.
+  const Trace t = make_trace({3, 4, 3});
+  const ReuseProfile p = compute_reuse(t);
+  ASSERT_GT(p.time_histogram.size(), 2u);
+  EXPECT_EQ(p.time_histogram[2], 1u);
+}
+
+TEST(Reuse, MissRatioAtCapacity) {
+  // Cyclic trace over 4 symbols: with capacity 4 all reuses hit; with
+  // capacity 3, LRU misses every access (classic cyclic thrash).
+  Trace t(Trace::Granularity::kBlock);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (Symbol s = 0; s < 4; ++s) t.push_symbol(s);
+  }
+  const ReuseProfile p = compute_reuse(t);
+  EXPECT_NEAR(p.miss_ratio_at(4), 4.0 / 200, 1e-9);   // only cold misses
+  EXPECT_NEAR(p.miss_ratio_at(3), 1.0, 1e-9);         // everything misses
+}
+
+TEST(Reuse, MeanDistance) {
+  // a b a b: two reuses each at distance 1.
+  const Trace t = make_trace({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(compute_reuse(t).mean_distance(), 1.0);
+}
+
+TEST(Reuse, EmptyTrace) {
+  const Trace t(Trace::Granularity::kBlock);
+  const ReuseProfile p = compute_reuse(t);
+  EXPECT_EQ(p.total_accesses, 0u);
+  EXPECT_EQ(p.miss_ratio_at(10), 0.0);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "perfmodel/perfmodel.hpp"
+
+namespace codelayout {
+namespace {
+
+SimResult sim_with(std::uint64_t instructions, std::uint64_t misses,
+                   std::uint64_t overhead = 0) {
+  SimResult s;
+  s.instructions = instructions;
+  s.overhead_instructions = overhead;
+  s.demand_misses = misses;
+  return s;
+}
+
+TEST(PerfModel, SoloCyclesFormula) {
+  const PerfParams p{.base_cpi = 1.0,
+                     .jump_cpi = 0.25,
+                     .l1i_miss_penalty = 10.0,
+                     .smt_cpi_inflation = 1.5};
+  const double cycles = solo_cycles(sim_with(1000, 20), 0.5, p);
+  EXPECT_DOUBLE_EQ(cycles, 1000 * 1.5 + 20 * 10.0);
+}
+
+TEST(PerfModel, OverheadInstructionsCostJumpCpi) {
+  const PerfParams p{.base_cpi = 1.0,
+                     .jump_cpi = 0.25,
+                     .l1i_miss_penalty = 10.0,
+                     .smt_cpi_inflation = 1.5};
+  const double cycles = solo_cycles(sim_with(1000, 0, 100), 0.5, p);
+  EXPECT_DOUBLE_EQ(cycles, 900 * 1.5 + 100 * 0.25);
+}
+
+TEST(PerfModel, FewerMissesFewerCycles) {
+  const double worse = solo_cycles(sim_with(1000, 50), 0.5);
+  const double better = solo_cycles(sim_with(1000, 10), 0.5);
+  EXPECT_LT(better, worse);
+}
+
+TEST(PerfModel, CorunInflatesComputeAndMissPenalty) {
+  const PerfParams p{.base_cpi = 1.0,
+                     .jump_cpi = 0.25,
+                     .l1i_miss_penalty = 10.0,
+                     .corun_miss_penalty = 18.0,
+                     .smt_cpi_inflation = 2.0};
+  const SimResult s = sim_with(1000, 20);
+  const double corun = corun_cycles(s, 1000, 0.5, p);
+  // Compute CPI inflates by the SMT factor; misses cost the (higher) co-run
+  // penalty reflecting shared-L2 contention.
+  EXPECT_DOUBLE_EQ(corun, 1000 * 1.5 * 2.0 + 20 * 18.0);
+  EXPECT_GT(corun, solo_cycles(s, 0.5, p));
+}
+
+TEST(PerfModel, CorunScalesToFullInstructionCount) {
+  // The sim covered half the program (wrapped peer measurement); rates are
+  // per-instruction so doubling the instruction count doubles cycles.
+  const SimResult s = sim_with(500, 10);
+  const double half = corun_cycles(s, 500, 0.5);
+  const double full = corun_cycles(s, 1000, 0.5);
+  EXPECT_NEAR(full, 2 * half, 1e-9);
+}
+
+TEST(PerfModel, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(speedup(104.0, 100.0), 1.04);
+  EXPECT_THROW(speedup(0.0, 1.0), ContractError);
+}
+
+TEST(Throughput, IdenticalProgramsGainFromOverlap) {
+  // Two programs of 100 solo cycles each; SMT inflates each to 150.
+  const ThroughputResult r = corun_throughput(100, 150, 100, 150);
+  EXPECT_DOUBLE_EQ(r.serial_cycles, 200.0);
+  // They finish together at 150: 25% faster than serial.
+  EXPECT_DOUBLE_EQ(r.corun_cycles, 150.0);
+  EXPECT_DOUBLE_EQ(r.improvement(), 0.25);
+}
+
+TEST(Throughput, SurvivorFinishesAtSoloSpeed) {
+  // Program 1: 100 solo / 150 corun. Program 2: 300 solo / 450 corun.
+  // P1 finishes at 150; P2 has 1 - 150/450 = 2/3 of work left, at solo
+  // speed that is 200 cycles: total 350 < serial 400.
+  const ThroughputResult r = corun_throughput(100, 150, 300, 450);
+  EXPECT_DOUBLE_EQ(r.corun_cycles, 350.0);
+  EXPECT_NEAR(r.improvement(), 0.125, 1e-12);
+}
+
+TEST(Throughput, OrderOfArgumentsIrrelevant) {
+  const ThroughputResult a = corun_throughput(100, 150, 300, 450);
+  const ThroughputResult b = corun_throughput(300, 450, 100, 150);
+  EXPECT_DOUBLE_EQ(a.corun_cycles, b.corun_cycles);
+  EXPECT_DOUBLE_EQ(a.serial_cycles, b.serial_cycles);
+}
+
+TEST(Throughput, HeavySlowdownCanLoseToSerial) {
+  // Pathological contention: co-run 3x slower than solo — worse than serial.
+  const ThroughputResult r = corun_throughput(100, 300, 100, 300);
+  EXPECT_LT(r.improvement(), 0.0);
+}
+
+TEST(Throughput, RejectsNonPositiveCycles) {
+  EXPECT_THROW(corun_throughput(0, 1, 1, 1), ContractError);
+  EXPECT_THROW(corun_throughput(1, 1, 1, -2), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout

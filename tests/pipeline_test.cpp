@@ -1,0 +1,102 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/pipeline.hpp"
+
+namespace codelayout {
+namespace {
+
+/// A fast-to-prepare spec for pipeline tests.
+WorkloadSpec small_spec() {
+  WorkloadSpec s = find_spec("429.mcf");
+  s.profile_events = 20'000;
+  s.eval_events = 20'000;
+  return s;
+}
+
+TEST(Optimizer, Names) {
+  EXPECT_EQ(kFuncAffinity.name(), "Function Affinity");
+  EXPECT_EQ(kBBAffinity.name(), "BB Affinity");
+  EXPECT_EQ(kFuncTrg.name(), "Function TRG");
+  EXPECT_EQ(kBBTrg.name(), "BB TRG");
+}
+
+TEST(Pipeline, PrepareIsDeterministic) {
+  const WorkloadSpec spec = small_spec();
+  const PreparedWorkload a = prepare_workload(spec);
+  const PreparedWorkload b = prepare_workload(spec);
+  EXPECT_EQ(a.profile_blocks, b.profile_blocks);
+  EXPECT_EQ(a.eval_blocks, b.eval_blocks);
+  EXPECT_EQ(a.eval_instructions, b.eval_instructions);
+}
+
+TEST(Pipeline, ProfileAndEvalUseDifferentInputs) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  // Test input (profile) and reference input (eval) differ by seed; their
+  // traces must differ while covering the same program.
+  EXPECT_NE(w.profile_blocks, w.eval_blocks);
+}
+
+TEST(Pipeline, ProfileTraceIsTrimmedAndPruned) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  EXPECT_TRUE(w.profile_blocks.is_trimmed());
+  EXPECT_TRUE(w.profile_functions.is_trimmed());
+  EXPECT_GT(w.prune_kept_fraction, 0.9);  // the paper's Sec. II-F claim
+}
+
+TEST(Pipeline, ModelSequencesCoverTheHotSymbols) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  for (const Optimizer opt : kAllOptimizers) {
+    const auto seq = model_sequence(w, opt);
+    const Trace& trace = opt.granularity == Granularity::kFunction
+                             ? w.profile_functions
+                             : w.profile_blocks;
+    std::set<Symbol> in_seq(seq.begin(), seq.end());
+    std::set<Symbol> in_trace(trace.symbols().begin(), trace.symbols().end());
+    EXPECT_EQ(in_seq, in_trace) << opt.name();
+    EXPECT_EQ(in_seq.size(), seq.size()) << opt.name() << ": duplicates";
+  }
+}
+
+TEST(Pipeline, AllFourOptimizersProduceCompleteLayouts) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  for (const Optimizer opt : kAllOptimizers) {
+    const CodeLayout layout = optimize_layout(w, opt);
+    EXPECT_EQ(layout.block_order().size(), w.module.block_count())
+        << opt.name();
+  }
+}
+
+TEST(Pipeline, FunctionReorderingAddsNoBytes) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  const CodeLayout layout = optimize_layout(w, kFuncAffinity);
+  // Function reordering inserts no spaces (Sec. II-D) and no trampolines;
+  // only fall-through fix-ups may add bytes, and whole-function moves keep
+  // intra-function adjacency, so overhead stays zero.
+  EXPECT_EQ(layout.overhead_bytes(), 0u);
+}
+
+TEST(Pipeline, BBReorderingChargesTrampolines) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  const CodeLayout layout = optimize_layout(w, kBBAffinity);
+  EXPECT_GE(layout.overhead_bytes(),
+            w.module.function_count() * kJumpBytes);
+}
+
+TEST(Pipeline, OptimizedLayoutsDifferFromOriginal) {
+  const PreparedWorkload w = prepare_workload(small_spec());
+  const CodeLayout opt = optimize_layout(w, kBBAffinity);
+  bool any_moved = false;
+  for (const auto& block : w.module.blocks()) {
+    if (opt.placement(block.id).address !=
+        w.original.placement(block.id).address) {
+      any_moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,204 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "ir/builder.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "trace/io.hpp"
+#include "trace/prune.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout {
+namespace {
+
+using testing::make_trace;
+
+TEST(Trace, TrimmingRemovesConsecutiveDuplicates) {
+  const Trace t = make_trace({1, 1, 2, 2, 2, 3, 1, 1});
+  const Trace trimmed = t.trimmed();
+  EXPECT_EQ(trimmed, make_trace({1, 2, 3, 1}));
+  EXPECT_TRUE(trimmed.is_trimmed());
+  EXPECT_FALSE(t.is_trimmed());
+}
+
+TEST(Trace, TrimmedOfEmptyIsEmpty) {
+  const Trace t(Trace::Granularity::kBlock);
+  EXPECT_TRUE(t.trimmed().empty());
+  EXPECT_TRUE(t.is_trimmed());
+}
+
+TEST(Trace, TrimIsIdempotent) {
+  const Trace t = make_trace({5, 5, 1, 3, 3, 5});
+  EXPECT_EQ(t.trimmed(), t.trimmed().trimmed());
+}
+
+TEST(Trace, DistinctAndSymbolSpace) {
+  const Trace t = make_trace({0, 7, 3, 7, 0});
+  EXPECT_EQ(t.distinct_count(), 3u);
+  EXPECT_EQ(t.symbol_space(), 8u);
+  EXPECT_EQ(Trace(Trace::Granularity::kBlock).symbol_space(), 0u);
+}
+
+TEST(Trace, OccurrenceCounts) {
+  const Trace t = make_trace({2, 0, 2, 2});
+  const auto counts = t.occurrence_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+TEST(Trace, TypedAccessors) {
+  Trace t(Trace::Granularity::kFunction);
+  t.push(FuncId(4));
+  EXPECT_EQ(t.function_at(0), FuncId(4));
+  EXPECT_FALSE(t.is_block());
+}
+
+TEST(Trace, ProjectToFunctionsCollapsesRuns) {
+  ModuleBuilder mb("p");
+  auto f = mb.function("f");
+  const auto fb = f.chain(2, 16);
+  auto g = mb.function("g");
+  const auto gb = g.chain(1, 16);
+  const Module m = std::move(mb).build();
+
+  Trace blocks(Trace::Granularity::kBlock);
+  blocks.push(fb[0]);
+  blocks.push(fb[1]);  // same function: collapses
+  blocks.push(gb[0]);
+  blocks.push(fb[0]);
+  const Trace funcs = project_to_functions(blocks, m);
+  ASSERT_EQ(funcs.size(), 3u);
+  EXPECT_EQ(funcs.function_at(0), m.find_function("f"));
+  EXPECT_EQ(funcs.function_at(1), m.find_function("g"));
+  EXPECT_EQ(funcs.function_at(2), m.find_function("f"));
+}
+
+// ---------- pruning -----------------------------------------------------------
+
+TEST(Prune, KeepsHottestSymbols) {
+  // 1 appears 4x, 2 appears 3x, 3 appears 1x.
+  const Trace t = make_trace({1, 2, 1, 3, 1, 2, 1, 2});
+  const PruneResult r = prune_to_hot(t, 2);
+  EXPECT_EQ(r.hot_set, (std::vector<Symbol>{1, 2}));
+  EXPECT_EQ(r.kept_events, 7u);
+  EXPECT_EQ(r.total_events, 8u);
+  EXPECT_NEAR(r.kept_fraction(), 7.0 / 8, 1e-12);
+  // 3 is gone; result re-trimmed.
+  for (Symbol s : r.trace.symbols()) EXPECT_NE(s, 3u);
+}
+
+TEST(Prune, TieBreaksBySymbolValue) {
+  const Trace t = make_trace({5, 4, 5, 4});
+  const PruneResult r = prune_to_hot(t, 1);
+  EXPECT_EQ(r.hot_set, (std::vector<Symbol>{4}));
+}
+
+TEST(Prune, BudgetLargerThanAlphabetKeepsEverything) {
+  const Trace t = make_trace({1, 2, 3});
+  const PruneResult r = prune_to_hot(t, 100);
+  EXPECT_DOUBLE_EQ(r.kept_fraction(), 1.0);
+  EXPECT_EQ(r.trace, t);
+}
+
+TEST(Prune, ResultIsTrimmed) {
+  // Removing 9 makes the two 1s adjacent; they must collapse.
+  const Trace t = make_trace({1, 9, 1, 2});
+  const PruneResult r = prune_to_hot(t, 2);
+  EXPECT_TRUE(r.trace.is_trimmed());
+  EXPECT_EQ(r.trace, make_trace({1, 2}));
+}
+
+TEST(Prune, PaperClaimHoldsOnSkewedTrace) {
+  // On a hot-loop dominated trace, a small hot set keeps >90% of events
+  // (Sec. II-F).
+  Rng rng(7);
+  Trace t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 20000; ++i) {
+    t.push_symbol(static_cast<Symbol>(rng.zipf(500, 2.0)));
+  }
+  const PruneResult r = prune_to_hot(t, 50);
+  EXPECT_GT(r.kept_fraction(), 0.9);
+}
+
+// ---------- sampling ----------------------------------------------------------
+
+TEST(Sample, StrideEqualWindowKeepsAll) {
+  const Trace t = make_trace({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sample_windows(t, 3, 3).size(), 6u);
+}
+
+TEST(Sample, KeepsWindowsOnly) {
+  const Trace t = make_trace({1, 2, 3, 4, 5, 6, 7, 8});
+  const Trace s = sample_windows(t, 2, 4);
+  // windows [0,1] and [4,5]: 1 2 5 6
+  EXPECT_EQ(s, make_trace({1, 2, 5, 6}));
+}
+
+TEST(Sample, RejectsStrideBelowWindow) {
+  const Trace t = make_trace({1, 2});
+  EXPECT_THROW(sample_windows(t, 4, 2), ContractError);
+}
+
+// ---------- RLE & IO ----------------------------------------------------------
+
+TEST(Rle, EncodeDecodeRoundtrip) {
+  const Trace t = make_trace({1, 1, 1, 2, 3, 3, 1});
+  const auto rle = rle_encode(t);
+  ASSERT_EQ(rle.size(), 4u);
+  EXPECT_EQ(rle[0].symbol, 1u);
+  EXPECT_EQ(rle[0].run, 3u);
+  EXPECT_EQ(rle_decode(rle, Trace::Granularity::kBlock), t);
+}
+
+TEST(Rle, EmptyTrace) {
+  const Trace t(Trace::Granularity::kBlock);
+  EXPECT_TRUE(rle_encode(t).empty());
+  EXPECT_TRUE(rle_decode({}, Trace::Granularity::kBlock).empty());
+}
+
+TEST(TraceIo, StreamRoundtrip) {
+  Trace t(Trace::Granularity::kFunction);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    t.push_symbol(static_cast<Symbol>(rng.below(64)));
+  }
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace back = read_trace(ss);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.granularity(), Trace::Granularity::kFunction);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a trace file at all";
+  EXPECT_THROW(read_trace(ss), ContractError);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  Trace t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 100; ++i) t.push_symbol(static_cast<Symbol>(i));
+  std::stringstream ss;
+  write_trace(ss, t);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_trace(cut), ContractError);
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  const Trace t = make_trace({9, 9, 1, 2});
+  const std::string path = ::testing::TempDir() + "/trace.bin";
+  save_trace(path, t);
+  EXPECT_EQ(load_trace(path), t);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/trace.bin"), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -1,0 +1,185 @@
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.hpp"
+#include "workloads/spec.hpp"
+
+namespace codelayout {
+namespace {
+
+TEST(Suite, Has29UniquelyNamedPrograms) {
+  const auto& suite = spec_suite();
+  EXPECT_EQ(suite.size(), 29u);
+  std::set<std::string> names;
+  for (const auto& s : suite) names.insert(s.name);
+  EXPECT_EQ(names.size(), 29u);
+}
+
+TEST(Suite, SelectedBenchmarksAreInTheSuite) {
+  const auto& selected = selected_benchmarks();
+  EXPECT_EQ(selected.size(), 8u);
+  for (const auto& name : selected) {
+    EXPECT_NO_THROW(find_spec(name));
+  }
+}
+
+TEST(Suite, ProbesExist) {
+  EXPECT_NO_THROW(find_spec(kProbe1));
+  EXPECT_NO_THROW(find_spec(kProbe2));
+}
+
+TEST(Suite, FindSpecThrowsOnUnknown) {
+  EXPECT_THROW(find_spec("999.nonexistent"), ContractError);
+}
+
+TEST(Suite, SeedsAreUnique) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : spec_suite()) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), spec_suite().size());
+}
+
+TEST(Generator, ModulesValidate) {
+  for (const auto& name : selected_benchmarks()) {
+    const Module m = build_workload(find_spec(name));
+    EXPECT_NO_THROW(m.validate()) << name;
+    EXPECT_EQ(m.name(), name);
+  }
+}
+
+TEST(Generator, DeterministicForSpec) {
+  const WorkloadSpec& spec = find_spec("458.sjeng");
+  const Module a = build_workload(spec);
+  const Module b = build_workload(spec);
+  EXPECT_EQ(a.block_count(), b.block_count());
+  EXPECT_EQ(a.static_bytes(), b.static_bytes());
+  for (std::size_t i = 0; i < a.block_count(); ++i) {
+    const BlockId id(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(a.block(id).size_bytes, b.block(id).size_bytes);
+    EXPECT_EQ(a.block(id).label, b.block(id).label);
+  }
+}
+
+TEST(Generator, DifferentSeedsDifferentPrograms) {
+  WorkloadSpec spec = find_spec("458.sjeng");
+  const Module a = build_workload(spec);
+  spec.seed ^= 0xdeadbeef;
+  const Module b = build_workload(spec);
+  // Same shape parameters but different random sizes.
+  bool any_difference = a.block_count() != b.block_count();
+  for (std::size_t i = 0; !any_difference && i < a.block_count(); ++i) {
+    const BlockId id(static_cast<std::uint32_t>(i));
+    any_difference = a.block(id).size_bytes != b.block(id).size_bytes;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, StaticSizeOrderingMatchesTableI) {
+  // xalancbmk carries by far the largest static code; mcf the smallest.
+  const std::uint64_t xalanc =
+      build_workload(find_spec("483.xalancbmk")).static_bytes();
+  const std::uint64_t mcf = build_workload(find_spec("429.mcf")).static_bytes();
+  const std::uint64_t gcc = build_workload(find_spec("403.gcc")).static_bytes();
+  EXPECT_GT(xalanc, gcc);
+  EXPECT_GT(gcc, mcf);
+  EXPECT_LT(mcf, 64 * 1024u);
+}
+
+TEST(Generator, EntryIsMain) {
+  const Module m = build_workload(find_spec("429.mcf"));
+  EXPECT_EQ(m.function(m.entry_function()).name, "main");
+}
+
+TEST(Generator, RunsToTheEventBudget) {
+  const WorkloadSpec& spec = find_spec("429.mcf");
+  const ProfileResult r = profile(build_workload(spec), 1,
+                                  {.max_events = spec.profile_events});
+  EXPECT_EQ(r.block_trace.size(), spec.profile_events);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(Generator, ColdFunctionsStayCold) {
+  // Cold functions must be (nearly) absent from the dynamic trace.
+  const WorkloadSpec& spec = find_spec("458.sjeng");
+  const Module m = build_workload(spec);
+  const ProfileResult r = profile(m, 1, {.max_events = 100'000});
+  std::uint64_t cold_events = 0;
+  for (std::size_t i = 0; i < r.block_trace.size(); ++i) {
+    const auto& fn = m.function(m.block(r.block_trace.block_at(i)).parent);
+    if (fn.name.starts_with("cold")) ++cold_events;
+  }
+  EXPECT_LT(static_cast<double>(cold_events) /
+                static_cast<double>(r.block_trace.size()),
+            0.01);
+}
+
+TEST(Generator, DenseStyleKeepsHotFunctionsContiguous) {
+  // gamess (interleave_cold_funcs = false): the hot p*_f* functions occupy a
+  // contiguous index range, with all remaining cold code after them.
+  const Module m = build_workload(find_spec(kProbe2));
+  std::size_t first_hot = m.function_count(), last_hot = 0;
+  for (const Function& f : m.functions()) {
+    if (f.name.size() > 1 && f.name[0] == 'p' &&
+        std::isdigit(static_cast<unsigned char>(f.name[1]))) {
+      first_hot = std::min<std::size_t>(first_hot, f.id.index());
+      last_hot = std::max<std::size_t>(last_hot, f.id.index());
+    }
+  }
+  ASSERT_LT(first_hot, last_hot);
+  for (std::size_t i = first_hot; i <= last_hot; ++i) {
+    const auto& name = m.function(FuncId(static_cast<std::uint32_t>(i))).name;
+    EXPECT_FALSE(name.starts_with("cold")) << name << " inside hot range";
+  }
+}
+
+TEST(Generator, InterleavedStyleScattersHotFunctions) {
+  // gcc (default): cold functions are sprinkled between hot ones.
+  const Module m = build_workload(find_spec(kProbe1));
+  std::size_t first_hot = m.function_count(), last_hot = 0;
+  std::size_t cold_inside = 0;
+  for (const Function& f : m.functions()) {
+    if (f.name.size() > 1 && f.name[0] == 'p' &&
+        std::isdigit(static_cast<unsigned char>(f.name[1]))) {
+      first_hot = std::min<std::size_t>(first_hot, f.id.index());
+      last_hot = std::max<std::size_t>(last_hot, f.id.index());
+    }
+  }
+  for (std::size_t i = first_hot; i <= last_hot; ++i) {
+    const auto& name = m.function(FuncId(static_cast<std::uint32_t>(i))).name;
+    if (name.starts_with("cold")) ++cold_inside;
+  }
+  EXPECT_GT(cold_inside, 10u);
+}
+
+TEST(Generator, PhaseStructureShowsUpInTrace) {
+  // Functions of different phases dominate different trace regions.
+  const WorkloadSpec& spec = find_spec("453.povray");
+  const Module m = build_workload(spec);
+  const ProfileResult r = profile(m, 1, {.max_events = 200'000});
+  // Count events per phase in the first and second halves of the trace.
+  std::vector<std::uint64_t> first_half(spec.phases, 0),
+      second_half(spec.phases, 0);
+  for (std::size_t i = 0; i < r.block_trace.size(); ++i) {
+    const auto& fn = m.function(m.block(r.block_trace.block_at(i)).parent);
+    if (fn.name.size() > 1 && fn.name[0] == 'p' && std::isdigit(fn.name[1])) {
+      const auto phase = static_cast<std::size_t>(fn.name[1] - '0');
+      if (phase < spec.phases) {
+        (i < r.block_trace.size() / 2 ? first_half : second_half)[phase]++;
+      }
+    }
+  }
+  // The distribution over phases must differ between halves (phased, not
+  // uniformly mixed).
+  double shift = 0;
+  for (std::uint32_t p = 0; p < spec.phases; ++p) {
+    const double a = static_cast<double>(first_half[p]);
+    const double b = static_cast<double>(second_half[p]);
+    shift += std::abs(a - b) / (a + b + 1);
+  }
+  EXPECT_GT(shift, 0.2);
+}
+
+}  // namespace
+
+}  // namespace codelayout
