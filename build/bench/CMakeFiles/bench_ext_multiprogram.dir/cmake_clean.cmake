@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiprogram.dir/bench_ext_multiprogram.cpp.o"
+  "CMakeFiles/bench_ext_multiprogram.dir/bench_ext_multiprogram.cpp.o.d"
+  "bench_ext_multiprogram"
+  "bench_ext_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_solo.dir/bench_fig5_solo.cpp.o"
+  "CMakeFiles/bench_fig5_solo.dir/bench_fig5_solo.cpp.o.d"
+  "bench_fig5_solo"
+  "bench_fig5_solo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_solo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

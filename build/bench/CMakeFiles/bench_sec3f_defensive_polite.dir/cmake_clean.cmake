@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3f_defensive_polite.dir/bench_sec3f_defensive_polite.cpp.o"
+  "CMakeFiles/bench_sec3f_defensive_polite.dir/bench_sec3f_defensive_polite.cpp.o.d"
+  "bench_sec3f_defensive_polite"
+  "bench_sec3f_defensive_polite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3f_defensive_polite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec3f_defensive_polite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec3f_defensive_polite.
+# This may be replaced when dependencies are built.

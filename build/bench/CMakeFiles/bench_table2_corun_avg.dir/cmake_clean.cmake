@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_corun_avg.dir/bench_table2_corun_avg.cpp.o"
+  "CMakeFiles/bench_table2_corun_avg.dir/bench_table2_corun_avg.cpp.o.d"
+  "bench_table2_corun_avg"
+  "bench_table2_corun_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_corun_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

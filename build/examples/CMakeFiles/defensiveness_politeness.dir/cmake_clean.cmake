@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defensiveness_politeness.dir/defensiveness_politeness.cpp.o"
+  "CMakeFiles/defensiveness_politeness.dir/defensiveness_politeness.cpp.o.d"
+  "defensiveness_politeness"
+  "defensiveness_politeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defensiveness_politeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for defensiveness_politeness.
+# This may be replaced when dependencies are built.

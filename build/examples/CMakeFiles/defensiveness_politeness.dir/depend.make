@@ -1,0 +1,2 @@
+# Empty dependencies file for defensiveness_politeness.
+# This may be replaced when dependencies are built.

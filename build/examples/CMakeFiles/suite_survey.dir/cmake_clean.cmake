@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_survey.dir/suite_survey.cpp.o"
+  "CMakeFiles/suite_survey.dir/suite_survey.cpp.o.d"
+  "suite_survey"
+  "suite_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_affinity.dir/affinity/analysis.cpp.o"
+  "CMakeFiles/codelayout_affinity.dir/affinity/analysis.cpp.o.d"
+  "CMakeFiles/codelayout_affinity.dir/affinity/hierarchy.cpp.o"
+  "CMakeFiles/codelayout_affinity.dir/affinity/hierarchy.cpp.o.d"
+  "CMakeFiles/codelayout_affinity.dir/affinity/hierarchy_builder.cpp.o"
+  "CMakeFiles/codelayout_affinity.dir/affinity/hierarchy_builder.cpp.o.d"
+  "CMakeFiles/codelayout_affinity.dir/affinity/naive.cpp.o"
+  "CMakeFiles/codelayout_affinity.dir/affinity/naive.cpp.o.d"
+  "libcodelayout_affinity.a"
+  "libcodelayout_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_cache.dir/cache/icache_sim.cpp.o"
+  "CMakeFiles/codelayout_cache.dir/cache/icache_sim.cpp.o.d"
+  "CMakeFiles/codelayout_cache.dir/cache/set_assoc.cpp.o"
+  "CMakeFiles/codelayout_cache.dir/cache/set_assoc.cpp.o.d"
+  "libcodelayout_cache.a"
+  "libcodelayout_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

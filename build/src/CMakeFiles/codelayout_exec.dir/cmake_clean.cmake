@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_exec.dir/exec/interpreter.cpp.o"
+  "CMakeFiles/codelayout_exec.dir/exec/interpreter.cpp.o.d"
+  "libcodelayout_exec.a"
+  "libcodelayout_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_harness.dir/harness/experiments.cpp.o"
+  "CMakeFiles/codelayout_harness.dir/harness/experiments.cpp.o.d"
+  "CMakeFiles/codelayout_harness.dir/harness/lab.cpp.o"
+  "CMakeFiles/codelayout_harness.dir/harness/lab.cpp.o.d"
+  "CMakeFiles/codelayout_harness.dir/harness/pipeline.cpp.o"
+  "CMakeFiles/codelayout_harness.dir/harness/pipeline.cpp.o.d"
+  "libcodelayout_harness.a"
+  "libcodelayout_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

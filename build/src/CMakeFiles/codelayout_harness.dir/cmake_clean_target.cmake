@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcodelayout_harness.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/codelayout_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/codelayout_ir.dir/ir/module.cpp.o"
+  "CMakeFiles/codelayout_ir.dir/ir/module.cpp.o.d"
+  "libcodelayout_ir.a"
+  "libcodelayout_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_layout.dir/layout/layout.cpp.o"
+  "CMakeFiles/codelayout_layout.dir/layout/layout.cpp.o.d"
+  "libcodelayout_layout.a"
+  "libcodelayout_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

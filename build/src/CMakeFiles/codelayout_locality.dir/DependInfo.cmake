@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locality/footprint.cpp" "src/CMakeFiles/codelayout_locality.dir/locality/footprint.cpp.o" "gcc" "src/CMakeFiles/codelayout_locality.dir/locality/footprint.cpp.o.d"
+  "/root/repo/src/locality/lru_stack.cpp" "src/CMakeFiles/codelayout_locality.dir/locality/lru_stack.cpp.o" "gcc" "src/CMakeFiles/codelayout_locality.dir/locality/lru_stack.cpp.o.d"
+  "/root/repo/src/locality/missmodel.cpp" "src/CMakeFiles/codelayout_locality.dir/locality/missmodel.cpp.o" "gcc" "src/CMakeFiles/codelayout_locality.dir/locality/missmodel.cpp.o.d"
+  "/root/repo/src/locality/reuse.cpp" "src/CMakeFiles/codelayout_locality.dir/locality/reuse.cpp.o" "gcc" "src/CMakeFiles/codelayout_locality.dir/locality/reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/codelayout_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_locality.dir/locality/footprint.cpp.o"
+  "CMakeFiles/codelayout_locality.dir/locality/footprint.cpp.o.d"
+  "CMakeFiles/codelayout_locality.dir/locality/lru_stack.cpp.o"
+  "CMakeFiles/codelayout_locality.dir/locality/lru_stack.cpp.o.d"
+  "CMakeFiles/codelayout_locality.dir/locality/missmodel.cpp.o"
+  "CMakeFiles/codelayout_locality.dir/locality/missmodel.cpp.o.d"
+  "CMakeFiles/codelayout_locality.dir/locality/reuse.cpp.o"
+  "CMakeFiles/codelayout_locality.dir/locality/reuse.cpp.o.d"
+  "libcodelayout_locality.a"
+  "libcodelayout_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

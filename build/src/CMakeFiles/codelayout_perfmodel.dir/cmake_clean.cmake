@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_perfmodel.dir/perfmodel/perfmodel.cpp.o"
+  "CMakeFiles/codelayout_perfmodel.dir/perfmodel/perfmodel.cpp.o.d"
+  "libcodelayout_perfmodel.a"
+  "libcodelayout_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_support.dir/support/format.cpp.o"
+  "CMakeFiles/codelayout_support.dir/support/format.cpp.o.d"
+  "CMakeFiles/codelayout_support.dir/support/rng.cpp.o"
+  "CMakeFiles/codelayout_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/codelayout_support.dir/support/stats.cpp.o"
+  "CMakeFiles/codelayout_support.dir/support/stats.cpp.o.d"
+  "libcodelayout_support.a"
+  "libcodelayout_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_trace.dir/trace/io.cpp.o"
+  "CMakeFiles/codelayout_trace.dir/trace/io.cpp.o.d"
+  "CMakeFiles/codelayout_trace.dir/trace/prune.cpp.o"
+  "CMakeFiles/codelayout_trace.dir/trace/prune.cpp.o.d"
+  "CMakeFiles/codelayout_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/codelayout_trace.dir/trace/trace.cpp.o.d"
+  "libcodelayout_trace.a"
+  "libcodelayout_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_trg.dir/trg/graph.cpp.o"
+  "CMakeFiles/codelayout_trg.dir/trg/graph.cpp.o.d"
+  "CMakeFiles/codelayout_trg.dir/trg/placement.cpp.o"
+  "CMakeFiles/codelayout_trg.dir/trg/placement.cpp.o.d"
+  "CMakeFiles/codelayout_trg.dir/trg/reduction.cpp.o"
+  "CMakeFiles/codelayout_trg.dir/trg/reduction.cpp.o.d"
+  "libcodelayout_trg.a"
+  "libcodelayout_trg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_trg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

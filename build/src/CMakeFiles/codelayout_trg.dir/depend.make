@@ -1,0 +1,2 @@
+# Empty dependencies file for codelayout_trg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codelayout_workloads.dir/workloads/generator.cpp.o"
+  "CMakeFiles/codelayout_workloads.dir/workloads/generator.cpp.o.d"
+  "CMakeFiles/codelayout_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/codelayout_workloads.dir/workloads/suite.cpp.o.d"
+  "libcodelayout_workloads.a"
+  "libcodelayout_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codelayout_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corun_many_test.cpp" "tests/CMakeFiles/corun_many_test.dir/corun_many_test.cpp.o" "gcc" "tests/CMakeFiles/corun_many_test.dir/corun_many_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/codelayout_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_trg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/codelayout_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

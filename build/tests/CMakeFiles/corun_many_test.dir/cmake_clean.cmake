@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_many_test.dir/corun_many_test.cpp.o"
+  "CMakeFiles/corun_many_test.dir/corun_many_test.cpp.o.d"
+  "corun_many_test"
+  "corun_many_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_many_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_footprint_test.dir/locality_footprint_test.cpp.o"
+  "CMakeFiles/locality_footprint_test.dir/locality_footprint_test.cpp.o.d"
+  "locality_footprint_test"
+  "locality_footprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_lru_test.dir/locality_lru_test.cpp.o"
+  "CMakeFiles/locality_lru_test.dir/locality_lru_test.cpp.o.d"
+  "locality_lru_test"
+  "locality_lru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_lru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

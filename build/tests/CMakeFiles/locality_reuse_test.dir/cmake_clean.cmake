@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_reuse_test.dir/locality_reuse_test.cpp.o"
+  "CMakeFiles/locality_reuse_test.dir/locality_reuse_test.cpp.o.d"
+  "locality_reuse_test"
+  "locality_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

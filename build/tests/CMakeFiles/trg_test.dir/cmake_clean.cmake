@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trg_test.dir/trg_test.cpp.o"
+  "CMakeFiles/trg_test.dir/trg_test.cpp.o.d"
+  "trg_test"
+  "trg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
