@@ -8,7 +8,9 @@
 // workloads and reports miss ratios and code-size bloat — the padding
 // variant buys conflict freedom at a large address-space cost.
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "harness/lab.hpp"
 #include "support/format.hpp"
 #include "trg/placement.hpp"
@@ -16,15 +18,24 @@
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
+  const std::vector<std::string> names = {"403.gcc", "458.sjeng",
+                                          "471.omnetpp", "483.xalancbmk"};
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : names) {
+    requests.push_back(
+        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
+    requests.push_back(EvalRequest::solo(name, kBBTrg, Measure::kHardware));
+  }
+  lab.evaluate_all(requests);
   std::printf(
       "Ablation: TRG reduction (reorder, the paper) vs Gloy-Smith padded "
       "placement\n(solo hw miss ratio; BB granularity)\n\n");
   TextTable table({"program", "original", "reorder (paper)", "padded",
                    "reorder bytes", "padded bytes", "padding"});
-  for (const std::string name : {"403.gcc", "458.sjeng", "471.omnetpp",
-                                 "483.xalancbmk"}) {
+  for (const std::string& name : names) {
     const PreparedWorkload& w = lab.workload(name);
     const double base =
         lab.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
@@ -49,5 +60,6 @@ int main() {
               "column —\nthe cost that motivated the paper's switch to pure "
               "reordering.\n",
               table.render().c_str());
+  emit_metrics_json(args, "ablation_placement", lab);
   return 0;
 }

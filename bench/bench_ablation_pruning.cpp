@@ -7,6 +7,7 @@
 // the BB-affinity optimizer built from the reduced trace.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/lab.hpp"
 #include "support/format.hpp"
 #include "trace/prune.hpp"
@@ -14,7 +15,8 @@
 
 using namespace codelayout;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::string target = "403.gcc";  // the paper's worst-case trace
 
   std::printf("Ablation (paper Sec. II-F): trace pruning on %s\n\n",
@@ -27,7 +29,11 @@ int main() {
                             std::size_t{10000}}) {
     PipelineConfig config;
     config.prune_top_k = top_k;
-    Lab lab(config);
+    Lab lab(bench_lab_options(args).pipeline(config));
+    const std::vector<EvalRequest> requests = {
+        EvalRequest::solo(target, std::nullopt, Measure::kHardware),
+        EvalRequest::solo(target, kBBAffinity, Measure::kHardware)};
+    lab.evaluate_all(requests);
     const PreparedWorkload& w = lab.workload(target);
     const double base =
         lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
@@ -41,7 +47,7 @@ int main() {
 
   std::printf("Window sampling of the pruned trace (window 4096):\n");
   TextTable stable({"stride", "events kept", "solo miss red."});
-  Lab base_lab;
+  Lab base_lab(bench_lab_options(args));
   const PreparedWorkload& full = base_lab.workload(target);
   const double base =
       base_lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
@@ -60,5 +66,6 @@ int main() {
                     fmt_pct(base > 0 ? 1.0 - sim.miss_ratio() / base : 0, 1)});
   }
   std::printf("%s", stable.render().c_str());
+  emit_metrics_json(args, "ablation_pruning", base_lab);
   return 0;
 }

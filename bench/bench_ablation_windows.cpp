@@ -8,6 +8,7 @@
 // average co-run miss reductions on a selected benchmark.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/lab.hpp"
 #include "support/format.hpp"
 #include "support/stats.hpp"
@@ -16,6 +17,22 @@
 using namespace codelayout;
 
 namespace {
+
+/// Batches the sweep point's full cell set (solos + co-runs vs every probe)
+/// before any row math touches the memo.
+void submit_sweep_point(Lab& lab, const std::string& name, Optimizer opt) {
+  std::vector<EvalRequest> requests = {
+      EvalRequest::solo(name, std::nullopt, Measure::kHardware),
+      EvalRequest::solo(name, opt, Measure::kHardware)};
+  for (const std::string& probe : selected_benchmarks()) {
+    requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
+                                          std::nullopt, Measure::kHardware));
+    requests.push_back(
+        EvalRequest::corun(name, opt, probe, std::nullopt,
+                           Measure::kHardware));
+  }
+  lab.evaluate_all(requests);
+}
 
 double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt) {
   RunningStats stats;
@@ -33,7 +50,8 @@ double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::string target = "458.sjeng";
 
   std::printf(
@@ -51,7 +69,8 @@ int main() {
     // examined window is f*C.
     config.trg_cache_bytes =
         static_cast<std::uint64_t>(32 * 1024 * f / 2.0);
-    Lab lab(config);
+    Lab lab(bench_lab_options(args).pipeline(config));
+    submit_sweep_point(lab, target, kFuncTrg);
     const double solo_base =
         lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
     const double solo_opt =
@@ -77,7 +96,8 @@ int main() {
   for (const auto& [label, grid] : grids) {
     PipelineConfig config;
     config.affinity.w_values = grid;
-    Lab lab(config);
+    Lab lab(bench_lab_options(args).pipeline(config));
+    submit_sweep_point(lab, target, kBBAffinity);
     const double solo_base =
         lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
     const double solo_opt =
@@ -89,3 +109,5 @@ int main() {
   std::printf("%s", aff_table.render().c_str());
   return 0;
 }
+// (Per-sweep-point Labs are short-lived, so no single metrics dump covers
+// the whole run; pass --json to the other benches for engine metrics.)

@@ -1,0 +1,59 @@
+// Shared command-line handling for the bench binaries.
+//
+//   --threads N | --threads=N   engine width (0 = one per hardware thread)
+//   --json                      append a one-line JSON metrics dump (per-
+//                               stage cache hits/computes/waits, wall & CPU
+//                               time, dedup counts) after the table output
+//
+// (bench_analysis_perf is the exception: it is a google-benchmark binary
+// with its own --benchmark_* flags and JSON format.)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/lab.hpp"
+
+namespace codelayout {
+
+struct BenchArgs {
+  unsigned threads = 0;  ///< 0 = one worker per hardware thread
+  bool json = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--threads N] [--json]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline LabOptions bench_lab_options(const BenchArgs& args) {
+  return LabOptions().threads(args.threads).metrics(true);
+}
+
+/// Prints the engine metrics as one JSON line when --json was given.
+inline void emit_metrics_json(const BenchArgs& args, const char* bench,
+                              const Lab& lab) {
+  if (!args.json) return;
+  std::printf("%s\n", lab.metrics().to_json(bench).c_str());
+}
+
+}  // namespace codelayout

@@ -13,18 +13,27 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "harness/lab.hpp"
 #include "support/format.hpp"
 #include "workloads/spec.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   // Cache-sensitive programs with moderate footprints.
   const std::vector<std::string> names = {"458.sjeng", "471.omnetpp",
                                           "403.gcc", "483.xalancbmk"};
-  lab.prepare_all(names);
+  // Everything the N-way co-runs below consume: prepared workloads plus the
+  // baseline and BB-affinity layouts, as one up-front batch.
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : names) {
+    requests.push_back(EvalRequest::layout(name, std::nullopt));
+    requests.push_back(EvalRequest::layout(name, kBBAffinity));
+  }
+  lab.evaluate_all(requests);
 
   std::printf(
       "Extension: N-way SMT co-run, optimizing peers one at a time\n"
@@ -73,5 +82,6 @@ int main() {
       "supporting the paper's synergy conjecture for higher thread counts.\n"
       "(Runtime synergy at 2 threads remains negligible, as in Sec. III-F;\n"
       "see bench_sec3f_defensive_polite.)\n");
+  emit_metrics_json(args, "ext_multiprogram", lab);
   return 0;
 }

@@ -8,13 +8,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   auto rows = fig4_rows(lab);
   std::sort(rows.begin(), rows.end(), [](const Fig4Row& a, const Fig4Row& b) {
     return a.solo > b.solo;
@@ -38,5 +40,6 @@ int main() {
   std::printf("solo miss ratio (%%):\n%s\n", ascii_bars(bars, 40).c_str());
   std::printf("%zu of %zu programs have non-trivial (>=0.5%%) solo ratios\n",
               nontrivial, rows.size());
+  emit_metrics_json(args, "fig4_miss_ratios", lab);
   return 0;
 }

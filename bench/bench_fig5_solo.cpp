@@ -7,13 +7,15 @@
 // BB entries for perlbench and povray are N/A (their compiler erred there).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   std::printf(
       "Figure 5: solo-run effect of the affinity optimizers\n"
       "(paper: speedups -1%%..3%%; hw miss reductions up to ~37%%)\n\n");
@@ -31,5 +33,6 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("(a) function-affinity solo speedup (%%):\n%s",
               ascii_bars(speedup_bars, 40).c_str());
+  emit_metrics_json(args, "fig5_solo", lab);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 #include "support/stats.hpp"
@@ -38,11 +39,13 @@ void render(Lab& lab, Optimizer opt, const char* caption) {
 
 }  // namespace
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   render(lab, kFuncAffinity,
          "(a) Function layout opt based on affinity model");
   render(lab, kBBAffinity, "(b) BB layout opt based on affinity model");
   render(lab, kFuncTrg, "(c) Function layout opt based on TRG model");
+  emit_metrics_json(args, "fig6_corun_speedup", lab);
   return 0;
 }

@@ -9,14 +9,16 @@
 // degradation (-8%, the 453-453 pair).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 #include "support/stats.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   const auto pairs = fig7_pairs(lab);
 
   std::printf(
@@ -51,5 +53,6 @@ int main() {
       over56, pairs.size(), over10, pairs.size(), degradations,
       fmt_pct(mag_stats.mean(), 1).c_str(),
       fmt_pct(mag_stats.max(), 1).c_str());
+  emit_metrics_json(args, "fig7_throughput", lab);
   return 0;
 }

@@ -6,13 +6,15 @@
 // (+153%), over 9 of 29 SPEC CPU2006 programs.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   const IntroTable table = intro_table(lab);
 
   std::printf(
@@ -30,5 +32,6 @@ int main() {
   std::printf("%s\nNon-trivial programs:", out.render().c_str());
   for (const auto& p : table.programs) std::printf(" %s", p.c_str());
   std::printf("\n");
+  emit_metrics_json(args, "intro_table", lab);
   return 0;
 }

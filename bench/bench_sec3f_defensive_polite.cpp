@@ -8,14 +8,16 @@
 // contention to remove.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 #include "support/stats.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   const auto programs = top_improving_programs(lab, 3);
   std::printf("Top-3 programs by function-affinity co-run speedup:");
   for (const auto& p : programs) std::printf(" %s", p.c_str());
@@ -40,5 +42,6 @@ int main() {
               fmt_signed_pct(additional.mean()).c_str(),
               fmt_signed_pct(additional.min()).c_str(),
               fmt_signed_pct(additional.max()).c_str());
+  emit_metrics_json(args, "sec3f_defensive_polite", lab);
   return 0;
 }

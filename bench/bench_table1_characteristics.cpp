@@ -10,13 +10,15 @@
 // scaled down ~1000x (simulated traces, not full reference runs).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 
 using namespace codelayout;
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   std::printf(
       "Table I: characteristics of the 8 selected benchmarks\n"
       "(instr counts are simulator-scale; the paper's are full SPEC runs)\n\n");
@@ -28,5 +30,6 @@ int main() {
                    fmt_pct(row.corun_gcc), fmt_pct(row.corun_gamess)});
   }
   std::printf("%s", table.render().c_str());
+  emit_metrics_json(args, "table1_characteristics", lab);
   return 0;
 }

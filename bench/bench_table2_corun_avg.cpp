@@ -8,6 +8,7 @@
 // hardware-counted reductions are smaller than simulated ones.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "harness/experiments.hpp"
 #include "support/format.hpp"
 #include "support/stats.hpp"
@@ -24,8 +25,9 @@ std::vector<std::string> cell_columns(const Table2Cell& cell) {
 
 }  // namespace
 
-int main() {
-  Lab lab;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  Lab lab(bench_lab_options(args));
   std::printf(
       "Table II: average co-run speedup and miss ratio reduction by the "
       "three optimizers\n(speedup | hw-counted miss red. | simulated miss "
@@ -60,5 +62,6 @@ int main() {
               fmt_signed_pct(fa.mean() - 1.0).c_str(),
               fmt_signed_pct(ba.mean() - 1.0).c_str(),
               fmt_signed_pct(ft.mean() - 1.0).c_str());
+  emit_metrics_json(args, "table2_corun_avg", lab);
   return 0;
 }

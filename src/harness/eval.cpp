@@ -1,0 +1,96 @@
+#include "harness/eval.hpp"
+
+#include <functional>
+
+namespace codelayout {
+namespace {
+
+/// 0 for the original layout, 1..4 for the four optimizers.
+std::size_t optimizer_code(const std::optional<Optimizer>& optimizer) {
+  if (!optimizer) return 0;
+  return 1 + (static_cast<std::size_t>(optimizer->model) << 1) +
+         static_cast<std::size_t>(optimizer->granularity);
+}
+
+void mix(std::size_t& h, std::size_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kPrepare: return "prepare";
+    case Stage::kLayout: return "layout";
+    case Stage::kSolo: return "solo";
+    case Stage::kCorun: return "corun";
+  }
+  return "?";
+}
+
+std::string EvalKey::to_string() const {
+  std::string out = workload;
+  out += '|';
+  out += optimizer ? optimizer->name() : "Original";
+  if (peer) {
+    out += "|vs|";
+    out += *peer;
+    out += '|';
+    out += peer_optimizer ? peer_optimizer->name() : "Original";
+  }
+  out += measure == Measure::kHardware ? "|hw" : "|sim";
+  return out;
+}
+
+std::size_t EvalKeyHash::operator()(const EvalKey& key) const noexcept {
+  std::size_t h = std::hash<std::string>{}(key.workload);
+  mix(h, optimizer_code(key.optimizer));
+  mix(h, key.peer ? std::hash<std::string>{}(*key.peer) + 1 : 0);
+  mix(h, optimizer_code(key.peer_optimizer));
+  mix(h, static_cast<std::size_t>(key.measure));
+  return h;
+}
+
+EvalRequest EvalRequest::prepare(std::string workload) {
+  EvalRequest out;
+  out.stage = Stage::kPrepare;
+  out.key.workload = std::move(workload);
+  return out;
+}
+
+EvalRequest EvalRequest::layout(std::string workload,
+                                std::optional<Optimizer> optimizer) {
+  EvalRequest out;
+  out.stage = Stage::kLayout;
+  out.key.workload = std::move(workload);
+  out.key.optimizer = optimizer;
+  return out;
+}
+
+EvalRequest EvalRequest::solo(std::string workload,
+                              std::optional<Optimizer> optimizer,
+                              Measure measure) {
+  EvalRequest out;
+  out.stage = Stage::kSolo;
+  out.key.workload = std::move(workload);
+  out.key.optimizer = optimizer;
+  out.key.measure = measure;
+  return out;
+}
+
+EvalRequest EvalRequest::corun(std::string self,
+                               std::optional<Optimizer> self_opt,
+                               std::string peer,
+                               std::optional<Optimizer> peer_opt,
+                               Measure measure) {
+  EvalRequest out;
+  out.stage = Stage::kCorun;
+  out.key.workload = std::move(self);
+  out.key.optimizer = self_opt;
+  out.key.peer = std::move(peer);
+  out.key.peer_optimizer = peer_opt;
+  out.key.measure = measure;
+  return out;
+}
+
+}  // namespace codelayout

@@ -1,0 +1,66 @@
+// The typed request API of the evaluation engine.
+//
+// Every cell the Lab can compute is identified by an EvalKey — workload,
+// optional optimizer (nullopt = the original layout), optional peer (engaged
+// = a co-run), and the measurement flavour. An EvalRequest names a stage of
+// the evaluation DAG (prepare -> layout -> solo | co-run) plus the key to
+// materialize; batches of requests are Lab::evaluate_all's unit of work.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "harness/pipeline.hpp"
+
+namespace codelayout {
+
+/// The paper's two instruments (Sec. III-A): PAPI hardware counters on the
+/// Xeon, and the Pin-based cache simulator.
+enum class Measure : std::uint8_t { kSimulator, kHardware };
+
+/// Stages of the evaluation DAG, in dependency order.
+enum class Stage : std::uint8_t { kPrepare, kLayout, kSolo, kCorun };
+
+[[nodiscard]] const char* stage_name(Stage stage);
+
+struct EvalKey {
+  std::string workload;
+  std::optional<Optimizer> optimizer;       ///< nullopt = original layout
+  std::optional<std::string> peer;          ///< engaged = co-run vs this peer
+  std::optional<Optimizer> peer_optimizer;  ///< the peer's layout
+  Measure measure = Measure::kHardware;
+
+  friend bool operator==(const EvalKey&, const EvalKey&) = default;
+  friend auto operator<=>(const EvalKey&, const EvalKey&) = default;
+
+  /// "458.sjeng|BB Affinity|vs|403.gcc|Original|hw" — for logs and errors.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& key) const noexcept;
+};
+
+/// One unit of batch work for Lab::evaluate_all. Use the factories: they
+/// populate exactly the key fields the stage consumes.
+struct EvalRequest {
+  Stage stage = Stage::kSolo;
+  EvalKey key;
+
+  static EvalRequest prepare(std::string workload);
+  static EvalRequest layout(std::string workload,
+                            std::optional<Optimizer> optimizer);
+  static EvalRequest solo(std::string workload,
+                          std::optional<Optimizer> optimizer, Measure measure);
+  static EvalRequest corun(std::string self, std::optional<Optimizer> self_opt,
+                           std::string peer, std::optional<Optimizer> peer_opt,
+                           Measure measure);
+
+  friend bool operator==(const EvalRequest&, const EvalRequest&) = default;
+  friend auto operator<=>(const EvalRequest&, const EvalRequest&) = default;
+};
+
+}  // namespace codelayout

@@ -16,6 +16,36 @@ double corun_miss(Lab& lab, const std::string& self,
       .self.miss_ratio();
 }
 
+// Request-list builders: each driver submits its full table/figure workload
+// to the engine up front (Lab::evaluate_all), so independent cells simulate
+// concurrently; the row-assembly loops below then run entirely off the warm
+// memo and emit rows in the fixed reporting order.
+
+void push_probe_coruns(std::vector<EvalRequest>& requests,
+                       const std::string& name, const std::string& probe) {
+  requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
+                                        std::nullopt, Measure::kHardware));
+}
+
+/// The cells corun_average() consumes for one (name, opt) Table II cell.
+void push_table2_cell(std::vector<EvalRequest>& requests,
+                      const std::string& name, Optimizer opt,
+                      const std::vector<std::string>& probes) {
+  if (opt.granularity == Granularity::kBlock &&
+      !Lab::bb_reordering_supported(name)) {
+    return;
+  }
+  for (const std::string& probe : probes) {
+    for (const Measure measure : {Measure::kHardware, Measure::kSimulator}) {
+      requests.push_back(
+          EvalRequest::corun(name, std::nullopt, probe, std::nullopt,
+                             measure));
+      requests.push_back(
+          EvalRequest::corun(name, opt, probe, std::nullopt, measure));
+    }
+  }
+}
+
 /// Average co-run speedup/miss reductions of `opt` for `name` across probes.
 Table2Cell corun_average(Lab& lab, const std::string& name, Optimizer opt,
                          const std::vector<std::string>& probes) {
@@ -50,6 +80,25 @@ Table2Cell corun_average(Lab& lab, const std::string& name, Optimizer opt,
 }  // namespace
 
 IntroTable intro_table(Lab& lab, double nontrivial_threshold) {
+  // Two dependency-ordered batches: every solo first (the threshold filter
+  // needs them), then the co-runs of the programs that qualify.
+  std::vector<EvalRequest> requests;
+  for (const WorkloadSpec& spec : spec_suite()) {
+    requests.push_back(
+        EvalRequest::solo(spec.name, std::nullopt, Measure::kHardware));
+  }
+  lab.evaluate_all(requests);
+  requests.clear();
+  for (const WorkloadSpec& spec : spec_suite()) {
+    if (lab.solo(spec.name, std::nullopt, Measure::kHardware).miss_ratio() <
+        nontrivial_threshold) {
+      continue;
+    }
+    push_probe_coruns(requests, spec.name, kProbe1);
+    push_probe_coruns(requests, spec.name, kProbe2);
+  }
+  lab.evaluate_all(requests);
+
   IntroTable out{};
   RunningStats solo, c1, c2;
   for (const WorkloadSpec& spec : spec_suite()) {
@@ -71,6 +120,15 @@ IntroTable intro_table(Lab& lab, double nontrivial_threshold) {
 }
 
 std::vector<Fig4Row> fig4_rows(Lab& lab) {
+  std::vector<EvalRequest> requests;
+  for (const WorkloadSpec& spec : spec_suite()) {
+    requests.push_back(
+        EvalRequest::solo(spec.name, std::nullopt, Measure::kHardware));
+    push_probe_coruns(requests, spec.name, kProbe1);
+    push_probe_coruns(requests, spec.name, kProbe2);
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Fig4Row> rows;
   for (const WorkloadSpec& spec : spec_suite()) {
     rows.push_back(Fig4Row{
@@ -88,6 +146,15 @@ std::vector<Fig4Row> fig4_rows(Lab& lab) {
 }
 
 std::vector<Table1Row> table1_rows(Lab& lab) {
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : selected_benchmarks()) {
+    requests.push_back(
+        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
+    push_probe_coruns(requests, name, kProbe1);
+    push_probe_coruns(requests, name, kProbe2);
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Table1Row> rows;
   for (const std::string& name : selected_benchmarks()) {
     const PreparedWorkload& w = lab.workload(name);
@@ -106,6 +173,19 @@ std::vector<Table1Row> table1_rows(Lab& lab) {
 }
 
 std::vector<Fig5Row> fig5_rows(Lab& lab) {
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : selected_benchmarks()) {
+    requests.push_back(
+        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
+    requests.push_back(
+        EvalRequest::solo(name, kFuncAffinity, Measure::kHardware));
+    if (Lab::bb_reordering_supported(name)) {
+      requests.push_back(
+          EvalRequest::solo(name, kBBAffinity, Measure::kHardware));
+    }
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Fig5Row> rows;
   for (const std::string& name : selected_benchmarks()) {
     Fig5Row row{.name = name,
@@ -135,6 +215,14 @@ std::vector<Fig5Row> fig5_rows(Lab& lab) {
 
 std::vector<Table2Row> table2_rows(Lab& lab) {
   const auto& probes = selected_benchmarks();
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : selected_benchmarks()) {
+    for (const Optimizer opt : {kFuncAffinity, kBBAffinity, kFuncTrg}) {
+      push_table2_cell(requests, name, opt, probes);
+    }
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Table2Row> rows;
   for (const std::string& name : selected_benchmarks()) {
     rows.push_back(Table2Row{
@@ -147,6 +235,23 @@ std::vector<Table2Row> table2_rows(Lab& lab) {
 }
 
 std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer) {
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : selected_benchmarks()) {
+    if (optimizer.granularity == Granularity::kBlock &&
+        !Lab::bb_reordering_supported(name)) {
+      continue;
+    }
+    for (const std::string& probe : selected_benchmarks()) {
+      requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
+                                            std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(name, optimizer, probe,
+                                            std::nullopt,
+                                            Measure::kHardware));
+    }
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Fig6Cell> cells;
   for (const std::string& name : selected_benchmarks()) {
     if (optimizer.granularity == Granularity::kBlock &&
@@ -178,6 +283,29 @@ const std::vector<std::string>& fig7_programs() {
 
 std::vector<Fig7Pair> fig7_pairs(Lab& lab) {
   const auto& programs = fig7_programs();
+  std::vector<EvalRequest> requests;
+  for (const std::string& name : programs) {
+    requests.push_back(
+        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
+    requests.push_back(
+        EvalRequest::solo(name, kFuncAffinity, Measure::kHardware));
+  }
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    for (std::size_t j = i; j < programs.size(); ++j) {
+      const std::string& a = programs[i];
+      const std::string& b = programs[j];
+      requests.push_back(EvalRequest::corun(a, std::nullopt, b, std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(b, std::nullopt, a, std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(a, kFuncAffinity, b, std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(b, std::nullopt, a, kFuncAffinity,
+                                            Measure::kHardware));
+    }
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Fig7Pair> pairs;
   for (std::size_t i = 0; i < programs.size(); ++i) {
     for (std::size_t j = i; j < programs.size(); ++j) {
@@ -229,6 +357,20 @@ std::vector<std::string> top_improving_programs(Lab& lab, std::size_t n) {
 
 std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n) {
   const auto programs = top_improving_programs(lab, top_n);
+  std::vector<EvalRequest> requests;
+  for (const std::string& a : programs) {
+    for (const std::string& b : programs) {
+      requests.push_back(EvalRequest::corun(a, std::nullopt, b, std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(a, kFuncAffinity, b, std::nullopt,
+                                            Measure::kHardware));
+      requests.push_back(EvalRequest::corun(a, kFuncAffinity, b,
+                                            kFuncAffinity,
+                                            Measure::kHardware));
+    }
+  }
+  lab.evaluate_all(requests);
+
   std::vector<Sec3FRow> rows;
   for (const std::string& a : programs) {
     for (const std::string& b : programs) {

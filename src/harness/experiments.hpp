@@ -1,6 +1,11 @@
 // Experiment drivers: one function per paper table/figure, returning
 // structured rows. The bench binaries render these; integration tests assert
 // their invariants (who wins, directions, rough factors).
+//
+// Each driver submits its full table/figure workload to the Lab's parallel
+// evaluation engine up front (Lab::evaluate_all) and then assembles rows
+// from the warm memo in the fixed reporting order — so rows are identical
+// at any thread count.
 #pragma once
 
 #include <optional>

@@ -1,17 +1,75 @@
 #include "harness/lab.hpp"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
+#include <exception>
+#include <future>
 
 #include "support/check.hpp"
 
 namespace codelayout {
+namespace {
 
-Lab::Lab(PipelineConfig pipeline, PerfParams perf)
-    : pipeline_(std::move(pipeline)), perf_(perf) {}
+void stage_json(JsonWriter& json, const char* name,
+                const StageSnapshot& stage) {
+  json.begin_object(name)
+      .field("computed", stage.computed)
+      .field("hits", stage.hits)
+      .field("waited", stage.waited)
+      .field("wall_ms", static_cast<double>(stage.wall_nanos) / 1e6)
+      .field("cpu_ms", static_cast<double>(stage.cpu_nanos) / 1e6)
+      .end_object();
+}
 
-std::string Lab::opt_key(std::optional<Optimizer> optimizer) {
-  return optimizer ? optimizer->name() : "Original";
+}  // namespace
+
+std::uint64_t LabMetrics::tasks_executed() const {
+  return prepare.computed + layout.computed + solo.computed + corun.computed;
+}
+
+std::uint64_t LabMetrics::tasks_deduplicated() const {
+  return prepare.hits + prepare.waited + layout.hits + layout.waited +
+         solo.hits + solo.waited + corun.hits + corun.waited;
+}
+
+std::string LabMetrics::to_json(std::string_view bench) const {
+  JsonWriter json;
+  if (!bench.empty()) json.field("bench", bench);
+  json.begin_object("engine")
+      .field("threads", threads)
+      .field("batches", batches)
+      .field("requests_submitted", requests_submitted)
+      .field("tasks_executed", tasks_executed())
+      .field("tasks_deduplicated", tasks_deduplicated())
+      .field("engine_wall_ms",
+             static_cast<double>(engine_wall_nanos) / 1e6);
+  json.begin_object("stages");
+  stage_json(json, "prepare", prepare);
+  stage_json(json, "layout", layout);
+  stage_json(json, "solo", solo);
+  stage_json(json, "corun", corun);
+  return json.finish();
+}
+
+Lab::Lab(LabOptions options) : options_(std::move(options)) {
+  options_.validate();
+  threads_ = options_.resolved_threads();
+}
+
+ThreadPool& Lab::pool() {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(threads_); });
+  return *pool_;
+}
+
+StageCounters* Lab::counters(Stage stage) {
+  if (!options_.metrics()) return nullptr;
+  switch (stage) {
+    case Stage::kPrepare: return &prepare_counters_;
+    case Stage::kLayout: return &layout_counters_;
+    case Stage::kSolo: return &solo_counters_;
+    case Stage::kCorun: return &corun_counters_;
+  }
+  return nullptr;
 }
 
 SimOptions Lab::sim_options(Measure measure) const {
@@ -19,38 +77,72 @@ SimOptions Lab::sim_options(Measure measure) const {
                                        : SimOptions{};
 }
 
-void Lab::prepare_all(const std::vector<std::string>& names) {
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t workers = std::min<std::size_t>(hw, names.size());
-  if (workers <= 1) {
-    for (const auto& name : names) (void)workload(name);
-    return;
+void Lab::execute(const EvalRequest& request) {
+  const EvalKey& key = request.key;
+  switch (request.stage) {
+    case Stage::kPrepare:
+      (void)workload(key.workload);
+      return;
+    case Stage::kLayout:
+      (void)layout(key.workload, key.optimizer);
+      return;
+    case Stage::kSolo:
+      (void)solo(key.workload, key.optimizer, key.measure);
+      return;
+    case Stage::kCorun:
+      CL_CHECK_MSG(key.peer.has_value(),
+                   "co-run request without a peer: " << key.to_string());
+      (void)corun(key.workload, key.optimizer, *key.peer, key.peer_optimizer,
+                  key.measure);
+      return;
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < names.size();
-           i = next.fetch_add(1)) {
-        (void)workload(names[i]);
+  CL_CHECK_MSG(false, "unknown evaluation stage");
+}
+
+void Lab::evaluate_all(std::span<const EvalRequest> requests) {
+  const std::uint64_t wall0 = wall_nanos_now();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
+
+  if (threads_ <= 1) {
+    for (const EvalRequest& request : requests) execute(request);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(requests.size());
+    for (const EvalRequest& request : requests) {
+      futures.push_back(
+          pool().submit([this, request] { execute(request); }));
+    }
+    // Settle the whole batch before surfacing the first failure, so no task
+    // is left running against a caller that already unwound.
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
       }
-    });
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
-  for (auto& th : pool) th.join();
+  engine_wall_nanos_.fetch_add(wall_nanos_now() - wall0,
+                               std::memory_order_relaxed);
+}
+
+void Lab::prepare_all(const std::vector<std::string>& names) {
+  std::vector<EvalRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    requests.push_back(EvalRequest::prepare(name));
+  }
+  evaluate_all(requests);
 }
 
 const PreparedWorkload& Lab::workload(const std::string& name) {
-  {
-    std::scoped_lock lock(mutex_);
-    const auto it = workloads_.find(name);
-    if (it != workloads_.end()) return *it->second;
-  }
-  auto prepared = std::make_unique<PreparedWorkload>(
-      prepare_workload(find_spec(name), pipeline_));
-  std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = workloads_.try_emplace(name, std::move(prepared));
-  return *it->second;
+  const EvalKey key = EvalRequest::prepare(name).key;
+  return workloads_.get_or_compute(key, counters(Stage::kPrepare), [&] {
+    return prepare_workload(find_spec(name), options_.pipeline());
+  });
 }
 
 const CodeLayout& Lab::layout(const std::string& name,
@@ -58,37 +150,22 @@ const CodeLayout& Lab::layout(const std::string& name,
   const PreparedWorkload& prepared = workload(name);
   if (!optimizer) return prepared.original;
 
-  const std::string key = name + "|" + opt_key(optimizer);
-  {
-    std::scoped_lock lock(mutex_);
-    const auto it = layouts_.find(key);
-    if (it != layouts_.end()) return *it->second;
-  }
-  auto computed = std::make_unique<CodeLayout>(
-      optimize_layout(prepared, *optimizer, pipeline_));
-  std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = layouts_.try_emplace(key, std::move(computed));
-  return *it->second;
+  const EvalKey key = EvalRequest::layout(name, optimizer).key;
+  return layouts_.get_or_compute(key, counters(Stage::kLayout), [&] {
+    return optimize_layout(prepared, *optimizer, options_.pipeline());
+  });
 }
 
 const SimResult& Lab::solo(const std::string& name,
                            std::optional<Optimizer> optimizer,
                            Measure measure) {
-  const std::string key =
-      name + "|" + opt_key(optimizer) +
-      (measure == Measure::kHardware ? "|hw" : "|sim");
-  {
-    std::scoped_lock lock(mutex_);
-    const auto it = solos_.find(key);
-    if (it != solos_.end()) return *it->second;
-  }
-  const PreparedWorkload& prepared = workload(name);
-  const CodeLayout& lay = layout(name, optimizer);
-  auto result = std::make_unique<SimResult>(simulate_solo(
-      prepared.module, lay, prepared.eval_blocks, sim_options(measure)));
-  std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = solos_.try_emplace(key, std::move(result));
-  return *it->second;
+  const EvalKey key = EvalRequest::solo(name, optimizer, measure).key;
+  return solos_.get_or_compute(key, counters(Stage::kSolo), [&] {
+    const PreparedWorkload& prepared = workload(name);
+    const CodeLayout& lay = layout(name, optimizer);
+    return simulate_solo(prepared.module, lay, prepared.eval_blocks,
+                         sim_options(measure));
+  });
 }
 
 const CorunResult& Lab::corun(const std::string& self_name,
@@ -96,36 +173,31 @@ const CorunResult& Lab::corun(const std::string& self_name,
                               const std::string& peer_name,
                               std::optional<Optimizer> peer_opt,
                               Measure measure) {
-  const std::string key = self_name + "|" + opt_key(self_opt) + "|vs|" +
-                          peer_name + "|" + opt_key(peer_opt) +
-                          (measure == Measure::kHardware ? "|hw" : "|sim");
-  {
-    std::scoped_lock lock(mutex_);
-    const auto it = coruns_.find(key);
-    if (it != coruns_.end()) return *it->second;
-  }
-  const PreparedWorkload& self = workload(self_name);
-  const PreparedWorkload& peer = workload(peer_name);
-  const CodeLayout& self_lay = layout(self_name, self_opt);
-  const CodeLayout& peer_lay = layout(peer_name, peer_opt);
-  // SMT threads progress inversely to their CPIs: a data-stalled self sees a
-  // proportionally faster peer fetch stream.
-  const double self_cpi = perf_.base_cpi + self.spec.data_stall_cpi;
-  const double peer_cpi = perf_.base_cpi + peer.spec.data_stall_cpi;
-  const double peer_speed = std::clamp(self_cpi / peer_cpi, 0.25, 4.0);
-  auto result = std::make_unique<CorunResult>(simulate_corun(
-      self.module, self_lay, self.eval_blocks, peer.module, peer_lay,
-      peer.eval_blocks, sim_options(measure), peer_speed));
-  std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = coruns_.try_emplace(key, std::move(result));
-  return *it->second;
+  const EvalKey key =
+      EvalRequest::corun(self_name, self_opt, peer_name, peer_opt, measure).key;
+  return coruns_.get_or_compute(key, counters(Stage::kCorun), [&] {
+    const PreparedWorkload& self = workload(self_name);
+    const PreparedWorkload& peer = workload(peer_name);
+    const CodeLayout& self_lay = layout(self_name, self_opt);
+    const CodeLayout& peer_lay = layout(peer_name, peer_opt);
+    // SMT threads progress inversely to their CPIs: a data-stalled self sees
+    // a proportionally faster peer fetch stream.
+    const double self_cpi =
+        options_.perf().base_cpi + self.spec.data_stall_cpi;
+    const double peer_cpi =
+        options_.perf().base_cpi + peer.spec.data_stall_cpi;
+    const double peer_speed = std::clamp(self_cpi / peer_cpi, 0.25, 4.0);
+    return simulate_corun(self.module, self_lay, self.eval_blocks,
+                          peer.module, peer_lay, peer.eval_blocks,
+                          sim_options(measure), peer_speed);
+  });
 }
 
 double Lab::solo_cycles(const std::string& name,
                         std::optional<Optimizer> optimizer) {
   const SimResult& sim = solo(name, optimizer, Measure::kHardware);
   return codelayout::solo_cycles(sim, workload(name).spec.data_stall_cpi,
-                                 perf_);
+                                 options_.perf());
 }
 
 double Lab::corun_self_cycles(const std::string& self_name,
@@ -135,13 +207,28 @@ double Lab::corun_self_cycles(const std::string& self_name,
   const CorunResult& result =
       corun(self_name, self_opt, peer_name, peer_opt, Measure::kHardware);
   return corun_cycles(result.self, result.self.instructions,
-                      workload(self_name).spec.data_stall_cpi, perf_);
+                      workload(self_name).spec.data_stall_cpi,
+                      options_.perf());
 }
 
 bool Lab::bb_reordering_supported(const std::string& name) {
   // The paper's BB-reordering compiler erred on these two (Sec. III-A);
   // their BB entries are reported as N/A, which we reproduce.
   return name != "400.perlbench" && name != "453.povray";
+}
+
+LabMetrics Lab::metrics() const {
+  LabMetrics out;
+  out.threads = threads_;
+  out.prepare = StageSnapshot::from(prepare_counters_);
+  out.layout = StageSnapshot::from(layout_counters_);
+  out.solo = StageSnapshot::from(solo_counters_);
+  out.corun = StageSnapshot::from(corun_counters_);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.requests_submitted =
+      requests_submitted_.load(std::memory_order_relaxed);
+  out.engine_wall_nanos = engine_wall_nanos_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace codelayout

@@ -1,34 +1,79 @@
-// Lab: a memoizing experiment context shared by the bench binaries.
+// Lab: the parallel, dependency-aware evaluation engine behind the benches.
 //
 // Every bench regenerates paper tables from the same primitives — prepared
 // workloads, optimized layouts, solo and co-run cache simulations under the
-// two measurement flavours — so the Lab computes each once and caches it.
-// Preparation across workloads is embarrassingly parallel and runs on a
-// thread pool.
+// two measurement flavours — forming a natural DAG:
+//
+//   prepare workload ── optimize layout ──┬── solo sim
+//                                         └── co-run sim (x peer's layout)
+//
+// The Lab computes each cell exactly once, keyed by a typed EvalKey, with
+// per-cell latches instead of a global lock: independent cells simulate
+// concurrently on a shared thread pool while duplicate requests block only
+// on their own key. Callers either demand-drive single cells through the
+// stage getters, or submit a whole table/figure workload up front through
+// evaluate_all(requests); both go through the same memo tables, so results
+// are identical (and deterministic) at any thread count. Every stage is
+// instrumented — cache hits / computes / dedup-waits, wall and CPU time —
+// exposed as a LabMetrics snapshot (see the benches' --json flag).
 #pragma once
 
-#include <map>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "harness/eval.hpp"
+#include "harness/memo.hpp"
+#include "harness/options.hpp"
 #include "harness/pipeline.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
 
 namespace codelayout {
 
-/// The paper's two instruments (Sec. III-A): PAPI hardware counters on the
-/// Xeon, and the Pin-based cache simulator.
-enum class Measure { kSimulator, kHardware };
+/// Point-in-time snapshot of the engine's instrumentation.
+struct LabMetrics {
+  unsigned threads = 1;
+  StageSnapshot prepare;
+  StageSnapshot layout;
+  StageSnapshot solo;
+  StageSnapshot corun;
+  std::uint64_t batches = 0;             ///< evaluate_all calls
+  std::uint64_t requests_submitted = 0;  ///< requests across all batches
+  std::uint64_t engine_wall_nanos = 0;   ///< wall time inside evaluate_all
+
+  /// Memo cells actually computed, across all stages.
+  [[nodiscard]] std::uint64_t tasks_executed() const;
+  /// Lookups served without computing (cache hits + waits on in-flight
+  /// cells).
+  [[nodiscard]] std::uint64_t tasks_deduplicated() const;
+
+  /// One JSON object; `bench` (if non-empty) is recorded as the dump's name.
+  [[nodiscard]] std::string to_json(std::string_view bench = {}) const;
+};
 
 class Lab {
  public:
-  explicit Lab(PipelineConfig pipeline = {}, PerfParams perf = {});
+  Lab() : Lab(LabOptions{}) {}
+  /// Validates the options (throws ContractError on nonsense configs).
+  explicit Lab(LabOptions options);
 
-  [[nodiscard]] const PipelineConfig& pipeline() const { return pipeline_; }
-  [[nodiscard]] const PerfParams& perf() const { return perf_; }
+  [[nodiscard]] const PipelineConfig& pipeline() const {
+    return options_.pipeline();
+  }
+  [[nodiscard]] const PerfParams& perf() const { return options_.perf(); }
+  /// Resolved engine width (>= 1).
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Materializes every requested cell, fanning independent cells out over
+  /// the thread pool (inline when threads() == 1). Returns when all are
+  /// done; rethrows the first failure after the batch has settled.
+  void evaluate_all(std::span<const EvalRequest> requests);
 
   /// Prepares the named workloads concurrently (optional warm-up).
   void prepare_all(const std::vector<std::string>& names);
@@ -61,17 +106,32 @@ class Lab {
   /// (it failed on perlbench and povray; reproduced as N/A).
   static bool bb_reordering_supported(const std::string& name);
 
+  [[nodiscard]] LabMetrics metrics() const;
+
  private:
-  static std::string opt_key(std::optional<Optimizer> optimizer);
+  void execute(const EvalRequest& request);
+  ThreadPool& pool();
+  StageCounters* counters(Stage stage);
   SimOptions sim_options(Measure measure) const;
 
-  PipelineConfig pipeline_;
-  PerfParams perf_;
-  std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<PreparedWorkload>> workloads_;
-  std::map<std::string, std::unique_ptr<CodeLayout>> layouts_;
-  std::map<std::string, std::unique_ptr<SimResult>> solos_;
-  std::map<std::string, std::unique_ptr<CorunResult>> coruns_;
+  LabOptions options_;
+  unsigned threads_ = 1;
+
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  MemoTable<PreparedWorkload> workloads_;
+  MemoTable<CodeLayout> layouts_;
+  MemoTable<SimResult> solos_;
+  MemoTable<CorunResult> coruns_;
+
+  StageCounters prepare_counters_;
+  StageCounters layout_counters_;
+  StageCounters solo_counters_;
+  StageCounters corun_counters_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> requests_submitted_{0};
+  std::atomic<std::uint64_t> engine_wall_nanos_{0};
 };
 
 }  // namespace codelayout

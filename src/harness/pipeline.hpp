@@ -27,6 +27,7 @@ struct Optimizer {
 
   [[nodiscard]] std::string name() const;
   friend bool operator==(Optimizer, Optimizer) = default;
+  friend auto operator<=>(Optimizer, Optimizer) = default;
 };
 
 inline constexpr Optimizer kFuncAffinity{ModelKind::kAffinity,

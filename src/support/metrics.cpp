@@ -1,0 +1,114 @@
+#include "support/metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace codelayout {
+
+std::uint64_t wall_nanos_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t thread_cpu_nanos_now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+StageSnapshot StageSnapshot::from(const StageCounters& counters) {
+  StageSnapshot out;
+  out.hits = counters.hits.load(std::memory_order_relaxed);
+  out.computed = counters.computed.load(std::memory_order_relaxed);
+  out.waited = counters.waited.load(std::memory_order_relaxed);
+  out.wall_nanos = counters.wall_nanos.load(std::memory_order_relaxed);
+  out.cpu_nanos = counters.cpu_nanos.load(std::memory_order_relaxed);
+  return out;
+}
+
+JsonWriter::JsonWriter() {
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::comma() {
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::write_key(std::string_view key) {
+  out_ += '"';
+  out_.append(key);
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  comma();
+  write_key(key);
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  comma();
+  write_key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, unsigned value) {
+  return field(key, static_cast<std::uint64_t>(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  comma();
+  write_key(key);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  comma();
+  write_key(key);
+  out_ += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out_ += '\\';
+    out_ += c;
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  comma();
+  write_key(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::finish() {
+  while (!needs_comma_.empty()) {
+    out_ += '}';
+    needs_comma_.pop_back();
+  }
+  return out_;
+}
+
+}  // namespace codelayout

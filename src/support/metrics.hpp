@@ -1,0 +1,80 @@
+// Metrics primitives for the evaluation engine: monotonic clocks, lock-free
+// per-stage counters, and a minimal JSON object writer for the bench
+// binaries' `--json` dumps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codelayout {
+
+/// Monotonic wall-clock nanoseconds (steady_clock).
+std::uint64_t wall_nanos_now();
+
+/// CPU time consumed by the calling thread, in nanoseconds; 0 where the
+/// platform offers no per-thread CPU clock.
+std::uint64_t thread_cpu_nanos_now();
+
+/// Lock-free counters for one memoized evaluation stage. `computed` counts
+/// cells this stage actually executed, `hits` lookups served from a finished
+/// cell, and `waited` lookups deduplicated against a cell another thread was
+/// computing at that moment.
+struct StageCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> waited{0};
+  std::atomic<std::uint64_t> wall_nanos{0};
+  std::atomic<std::uint64_t> cpu_nanos{0};
+
+  void record_hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  void record_wait() { waited.fetch_add(1, std::memory_order_relaxed); }
+  void record_compute(std::uint64_t wall, std::uint64_t cpu) {
+    computed.fetch_add(1, std::memory_order_relaxed);
+    wall_nanos.fetch_add(wall, std::memory_order_relaxed);
+    cpu_nanos.fetch_add(cpu, std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value copy of StageCounters at one point in time.
+struct StageSnapshot {
+  std::uint64_t hits = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t waited = 0;
+  std::uint64_t wall_nanos = 0;
+  std::uint64_t cpu_nanos = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const {
+    return hits + computed + waited;
+  }
+  static StageSnapshot from(const StageCounters& counters);
+};
+
+/// Minimal streaming JSON writer: one root object, nested objects, scalar
+/// fields. Strings are escaped; doubles print with 6 significant digits.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, unsigned value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// Closes all open objects and returns the document.
+  [[nodiscard]] std::string finish();
+
+ private:
+  void comma();
+  void write_key(std::string_view key);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace codelayout

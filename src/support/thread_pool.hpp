@@ -1,0 +1,50 @@
+// A fixed-size worker pool shared by the evaluation engine.
+//
+// Tasks are opaque callables; submit() returns a future observing completion
+// or the task's exception. Tasks are allowed to *block* on values being
+// computed by other tasks (the Lab's memo cells do exactly that): the
+// claim-and-compute-inline discipline there guarantees that every in-progress
+// cell is actively being computed by some thread, so blocked workers always
+// wait on a thread that is making progress and the pool cannot deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace codelayout {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. The returned future rethrows the task's exception.
+  std::future<void> submit(std::function<void()> task);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// One worker per hardware thread, with a floor of 1.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace codelayout

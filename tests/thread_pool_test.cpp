@@ -1,0 +1,110 @@
+// Tests for the evaluation engine's support primitives: the worker pool,
+// the per-stage counters, and the JSON writer behind the benches' --json.
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace codelayout {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillDrainsQueue) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, FuturePropagatesTaskException) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(StageCountersTest, SnapshotReflectsRecordedEvents) {
+  StageCounters counters;
+  counters.record_hit();
+  counters.record_hit();
+  counters.record_wait();
+  counters.record_compute(/*wall=*/100, /*cpu=*/60);
+  counters.record_compute(/*wall=*/50, /*cpu=*/40);
+
+  const StageSnapshot snap = StageSnapshot::from(counters);
+  EXPECT_EQ(snap.hits, 2u);
+  EXPECT_EQ(snap.waited, 1u);
+  EXPECT_EQ(snap.computed, 2u);
+  EXPECT_EQ(snap.wall_nanos, 150u);
+  EXPECT_EQ(snap.cpu_nanos, 100u);
+  EXPECT_EQ(snap.lookups(), 5u);
+}
+
+TEST(MetricsClockTest, WallClockIsMonotonic) {
+  const std::uint64_t a = wall_nanos_now();
+  const std::uint64_t b = wall_nanos_now();
+  EXPECT_LE(a, b);
+}
+
+TEST(JsonWriterTest, NestedObjectsAndScalars) {
+  JsonWriter json;
+  json.field("bench", std::string_view{"table2"});
+  json.begin_object("engine");
+  json.field("threads", 4u);
+  json.field("wall_ms", 1.5);
+  json.field("ok", true);
+  json.begin_object("stages");
+  json.field("computed", std::uint64_t{7});
+  json.end_object();
+  json.field("after", std::uint64_t{1});
+  json.end_object();
+  EXPECT_EQ(json.finish(),
+            "{\"bench\":\"table2\",\"engine\":{\"threads\":4,"
+            "\"wall_ms\":1.5,\"ok\":true,\"stages\":{\"computed\":7},"
+            "\"after\":1}}");
+}
+
+TEST(JsonWriterTest, FinishClosesAllOpenObjects) {
+  JsonWriter json;
+  json.begin_object("a").begin_object("b").field("x", std::uint64_t{1});
+  EXPECT_EQ(json.finish(), "{\"a\":{\"b\":{\"x\":1}}}");
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  JsonWriter json;
+  json.field("s", std::string_view{"a\"b\\c"});
+  EXPECT_EQ(json.finish(), "{\"s\":\"a\\\"b\\\\c\"}");
+}
+
+}  // namespace
+}  // namespace codelayout
