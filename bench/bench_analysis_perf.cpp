@@ -3,12 +3,35 @@
 // versus the naive Algorithm 1's O(W*N*B); TRG construction is O(N*Q); TRG
 // reduction is polynomial in the node count. Run standalone: prints
 // wall-clock per analysis over synthetic traces of growing length.
+//
+// A second mode measures the run-length-encoded trace core over the workload
+// suite: per-kernel events/s for the run-aware production kernels, paired
+// with per-event reference replays where the flat loop is cheap to restate
+// (LRU stack, reuse, I-cache sim), plus the run-compression ratio of every
+// trace. Spin variants (a polling loop grafted onto a suite workload) show
+// the collapse paths on traces with real same-block runs.
+//
+//   bench_analysis_perf --suite [--events N] [--json]
+//   bench_analysis_perf --workload 470.lbm+spin [--events N] [--json]
+//
+// Without these flags the google-benchmark harness runs as before.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "affinity/analysis.hpp"
 #include "affinity/naive.hpp"
+#include "cache/icache_sim.hpp"
 #include "exec/interpreter.hpp"
 #include "harness/pipeline.hpp"
+#include "layout/layout.hpp"
+#include "locality/footprint.hpp"
+#include "locality/lru_stack.hpp"
+#include "locality/reuse.hpp"
 #include "support/rng.hpp"
 #include "trg/graph.hpp"
 #include "trg/reduction.hpp"
@@ -95,6 +118,273 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
 
+// ---- Run-aware kernel suite mode --------------------------------------------
+
+/// One measured kernel: production throughput, and optionally a per-event
+/// reference replay's throughput for the run-aware speedup.
+struct KernelReport {
+  const char* name;
+  double events_per_sec = 0.0;
+  double baseline_events_per_sec = 0.0;  ///< 0 when no reference exists
+};
+
+struct WorkloadReport {
+  std::string name;
+  std::uint64_t events = 0;
+  std::uint64_t runs = 0;
+  double run_compression = 1.0;
+  std::vector<KernelReport> kernels;
+};
+
+/// Times `fn`, repeating until at least ~50 ms of work, and returns events/s.
+template <typename Fn>
+double measure_events_per_sec(std::uint64_t events, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  double elapsed = 0.0;
+  std::uint64_t iterations = 0;
+  do {
+    const auto start = clock::now();
+    fn();
+    elapsed += std::chrono::duration<double>(clock::now() - start).count();
+    ++iterations;
+  } while (elapsed < 0.05 && iterations < 1000);
+  return static_cast<double>(events) * static_cast<double>(iterations) /
+         elapsed;
+}
+
+/// Bennett–Kruskal reuse, one Fenwick update/query per event — the
+/// pre-refactor loop restated as a reference baseline.
+std::uint64_t per_event_reuse(const Trace& trace) {
+  const std::span<const Symbol> symbols = trace.symbols();
+  std::vector<std::int64_t> tree(trace.size() + 1, 0);
+  const auto add = [&](std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i < tree.size(); i += i & (~i + 1)) {
+      tree[i] += delta;
+    }
+  };
+  const auto prefix = [&](std::size_t pos) {
+    std::int64_t s = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1)) s += tree[i];
+    return s;
+  };
+  std::vector<std::uint64_t> last(trace.symbol_space(), kColdReuse);
+  std::uint64_t checksum = 0;
+  for (std::size_t t = 0; t < symbols.size(); ++t) {
+    const Symbol s = symbols[t];
+    const std::uint64_t prev = last[s];
+    if (prev != kColdReuse) {
+      checksum += static_cast<std::uint64_t>(prefix(tree.size() - 1) -
+                                             prefix(prev + 1));
+      add(prev, -1);
+    }
+    add(t, +1);
+    last[s] = t;
+  }
+  return checksum;
+}
+
+/// The pre-refactor per-event solo fetch loop as a reference baseline,
+/// accumulating the same statistics as the production kernel.
+SimResult per_event_solo(const Module& module, const CodeLayout& layout,
+                         const Trace& trace, const SimOptions& options) {
+  SetAssocCache cache(options.geometry);
+  Rng rng = Rng(options.seed).fork(1);
+  SimResult stats;
+  for (const Symbol sym : trace.symbols()) {
+    const BlockId b(sym);
+    const BasicBlock& bb = module.block(b);
+    const auto span = layout.lines_of(b, options.geometry.line_bytes);
+    const auto& place = layout.placement(b);
+    ++stats.blocks;
+    stats.instructions += place.bytes / kInstrBytes;
+    stats.overhead_instructions += (place.bytes - bb.size_bytes) / kInstrBytes;
+    for (std::uint32_t i = 0; i < span.line_count; ++i) {
+      const std::uint64_t line = span.first_line + i;
+      ++stats.line_probes;
+      if (!cache.access(line)) {
+        ++stats.demand_misses;
+        if (options.next_line_prefetch) cache.prefill(line + 1);
+      }
+    }
+    if (options.wrong_path_rate > 0.0 && bb.successors.size() > 1 &&
+        rng.chance(options.wrong_path_rate)) {
+      if (!cache.access(span.first_line + span.line_count)) {
+        ++stats.wrong_path_misses;
+      }
+    }
+  }
+  return stats;
+}
+
+WorkloadReport measure_workload(const WorkloadSpec& spec,
+                                std::uint64_t max_events) {
+  const Module module = build_workload(spec);
+  const std::uint64_t events = std::min(max_events, spec.profile_events);
+  const Trace trace =
+      profile(module, /*seed=*/101, {.max_events = events, .max_call_depth = 64})
+          .block_trace;
+  const CodeLayout layout = original_layout(module);
+  const Symbol space = trace.symbol_space();
+  (void)trace.symbols();  // materialize outside the timed regions
+
+  WorkloadReport report{.name = spec.name,
+                        .events = trace.size(),
+                        .runs = trace.run_count(),
+                        .run_compression = trace.run_compression(),
+                        .kernels = {}};
+  const auto n = trace.size();
+
+  KernelReport lru{.name = "lru_stack"};
+  lru.events_per_sec = measure_events_per_sec(n, [&] {
+    LruStack stack(space);
+    std::uint64_t hits = 0;
+    for (const Run& r : trace.runs()) hits += stack.touch_run(r.symbol, r.length);
+    benchmark::DoNotOptimize(hits);
+  });
+  lru.baseline_events_per_sec = measure_events_per_sec(n, [&] {
+    LruStack stack(space);
+    std::uint64_t hits = 0;
+    for (const Symbol s : trace.symbols()) hits += stack.touch(s) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  });
+  report.kernels.push_back(lru);
+
+  KernelReport reuse{.name = "reuse"};
+  reuse.events_per_sec = measure_events_per_sec(
+      n, [&] { benchmark::DoNotOptimize(compute_reuse(trace)); });
+  reuse.baseline_events_per_sec = measure_events_per_sec(
+      n, [&] { benchmark::DoNotOptimize(per_event_reuse(trace)); });
+  report.kernels.push_back(reuse);
+
+  KernelReport footprint{.name = "footprint"};
+  footprint.events_per_sec = measure_events_per_sec(
+      n, [&] { benchmark::DoNotOptimize(FootprintCurve::compute(trace)); });
+  report.kernels.push_back(footprint);
+
+  const TrgConfig trg_config{.window_entries =
+                                 trg_window_entries(32 * 1024, 64)};
+  KernelReport trg{.name = "trg"};
+  trg.events_per_sec = measure_events_per_sec(
+      n, [&] { benchmark::DoNotOptimize(Trg::build(trace, trg_config)); });
+  report.kernels.push_back(trg);
+
+  // Bare-LRU simulation (the paper's Pin-simulator flavour): no per-event
+  // wrong-path draws, so a run collapses to O(1) in the fast path.
+  const SimOptions sim_options{};
+  KernelReport sim{.name = "icache_sim"};
+  sim.events_per_sec = measure_events_per_sec(n, [&] {
+    benchmark::DoNotOptimize(simulate_solo(module, layout, trace, sim_options));
+  });
+  sim.baseline_events_per_sec = measure_events_per_sec(n, [&] {
+    benchmark::DoNotOptimize(per_event_solo(module, layout, trace, sim_options));
+  });
+  report.kernels.push_back(sim);
+
+  return report;
+}
+
+/// Bench-local spin variants (not part of spec_suite): a polling/latch loop
+/// grafted onto a suite workload, producing the long same-block runs the
+/// run-aware fast paths collapse.
+WorkloadSpec spin_variant(const std::string& base) {
+  WorkloadSpec spec = find_spec(base);
+  spec.name = base + "+spin";
+  spec.spin_prob = 0.7;
+  spec.spin_repeat = 48.0;
+  return spec;
+}
+
+void print_report(const WorkloadReport& r, bool json, bool first) {
+  if (json) {
+    std::printf("%s  {\"workload\": \"%s\", \"events\": %llu, \"runs\": %llu,"
+                " \"run_compression\": %.3f, \"kernels\": [",
+                first ? "" : ",\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.runs), r.run_compression);
+    for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+      const KernelReport& k = r.kernels[i];
+      std::printf("%s{\"name\": \"%s\", \"events_per_sec\": %.0f",
+                  i ? ", " : "", k.name, k.events_per_sec);
+      if (k.baseline_events_per_sec > 0.0) {
+        std::printf(", \"baseline_events_per_sec\": %.0f, \"speedup\": %.2f",
+                    k.baseline_events_per_sec,
+                    k.events_per_sec / k.baseline_events_per_sec);
+      }
+      std::printf("}");
+    }
+    std::printf("]}");
+    return;
+  }
+  std::printf("%-18s %10llu events  %8llu runs  compression %6.2fx\n",
+              r.name.c_str(), static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.runs), r.run_compression);
+  for (const KernelReport& k : r.kernels) {
+    std::printf("    %-12s %12.0f events/s", k.name, k.events_per_sec);
+    if (k.baseline_events_per_sec > 0.0) {
+      std::printf("   (per-event %12.0f, speedup %5.2fx)",
+                  k.baseline_events_per_sec,
+                  k.events_per_sec / k.baseline_events_per_sec);
+    }
+    std::printf("\n");
+  }
+}
+
+int run_suite_mode(const std::string& workload, std::uint64_t max_events,
+                   bool json) {
+  std::vector<WorkloadSpec> specs;
+  if (!workload.empty()) {
+    const auto plus = workload.rfind("+spin");
+    if (plus != std::string::npos && plus == workload.size() - 5) {
+      specs.push_back(spin_variant(workload.substr(0, plus)));
+    } else {
+      specs.push_back(find_spec(workload));
+    }
+  } else {
+    specs = spec_suite();
+    specs.push_back(spin_variant("470.lbm"));
+    specs.push_back(spin_variant("403.gcc"));
+  }
+  if (json) std::printf("[\n");
+  bool first = true;
+  for (const WorkloadSpec& spec : specs) {
+    print_report(measure_workload(spec, max_events), json, first);
+    first = false;
+  }
+  if (json) std::printf("\n]\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool suite = false;
+  bool json = false;
+  std::string workload;
+  std::uint64_t max_events = ~std::uint64_t{0};
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--suite") == 0) {
+      suite = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      suite = true;
+      json = true;
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      suite = true;
+      workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      max_events = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (suite) return run_suite_mode(workload, max_events, json);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

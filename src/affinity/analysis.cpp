@@ -52,7 +52,9 @@ std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
                                            std::uint32_t w) {
   CL_CHECK(trimmed.is_trimmed());
   CL_CHECK(w >= 2);
-  const auto symbols = trimmed.symbols();
+  // A trimmed trace has all-length-1 runs, so runs()[i].symbol is O(1)
+  // random access to event i without materializing the flat view.
+  const std::span<const Run> events = trimmed.runs();
   const Symbol space = trimmed.symbol_space();
 
   // Two-pointer window [left, t]: the maximal range ending at t whose
@@ -65,11 +67,11 @@ std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
   std::vector<std::vector<std::uint32_t>> positions(space);
   std::unordered_map<std::uint64_t, PairRec> pairs;
 
-  for (std::size_t t = 0; t < symbols.size(); ++t) {
-    const Symbol s = symbols[t];
+  for (std::size_t t = 0; t < events.size(); ++t) {
+    const Symbol s = events[t].symbol;
     window.add(s);
     while (window.distinct() > w) {
-      window.remove(symbols[left]);
+      window.remove(events[left].symbol);
       ++left;
     }
 

@@ -37,12 +37,15 @@ AffinityHierarchy build_hierarchy(
 
   // Leaf nodes: one singleton group per distinct symbol, at w = 1 every
   // block is its own group (Definition 5).
-  const auto symbols = trimmed.symbols();
+  // Trimmed traces have all-length-1 runs; iterate them with a position
+  // counter instead of materializing the flat view.
   std::unordered_map<Symbol, std::uint64_t> first_seen;
   std::unordered_map<Symbol, std::uint64_t> occurrences;
-  for (std::size_t t = 0; t < symbols.size(); ++t) {
-    first_seen.try_emplace(symbols[t], t);
-    ++occurrences[symbols[t]];
+  std::uint64_t pos = 0;
+  for (const Run& r : trimmed.runs()) {
+    first_seen.try_emplace(r.symbol, pos);
+    ++occurrences[r.symbol];
+    pos += r.length;
   }
 
   std::vector<AffinityGroup> nodes;

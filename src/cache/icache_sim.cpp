@@ -6,6 +6,8 @@ namespace codelayout {
 namespace {
 
 /// One fetch stream: a program replaying its block trace under a layout.
+/// The replay cursor walks the trace's run storage directly: (run index,
+/// offset within the run), so no flat event vector is ever materialized.
 class FetchStream {
  public:
   FetchStream(const Module& module, const CodeLayout& layout,
@@ -13,7 +15,7 @@ class FetchStream {
               const SimOptions& options, std::uint64_t rng_stream)
       : module_(module),
         layout_(layout),
-        trace_(trace),
+        runs_(trace.runs()),
         namespace_(line_namespace),
         options_(options),
         rng_(Rng(options.seed).fork(rng_stream)) {
@@ -30,7 +32,7 @@ class FetchStream {
       stall_debt_ -= 1.0;
       return false;
     }
-    const BlockId b = trace_.block_at(cursor_);
+    const BlockId b = BlockId(runs_[run_idx_].symbol);
     const BasicBlock& bb = module_.block(b);
     const auto span = layout_.lines_of(b, options_.geometry.line_bytes);
     const auto& place = layout_.placement(b);
@@ -57,24 +59,107 @@ class FetchStream {
       if (!cache.access(line)) ++stats_.wrong_path_misses;
     }
 
-    ++cursor_;
-    if (cursor_ == trace_.size()) {
-      cursor_ = 0;
-      return true;
+    return advance(1);
+  }
+
+  /// Solo fast path: consumes the rest of the current run in one shot — one
+  /// set of tag probes plus counted hits. Returns true when this call
+  /// consumed the last event of the trace.
+  ///
+  /// Collapse argument: the run touches line ids [first_line, first_line +
+  /// line_count] (demand lines plus the wrong-path line plus any next-line
+  /// prefill target), i.e. line_count + 1 consecutive ids. When that fits in
+  /// the set count, every id maps to a distinct set, so nothing the run
+  /// accesses can evict the run's own lines — after the first iteration all
+  /// demand probes of iterations 2..r are guaranteed hits, and the per-set
+  /// LRU recency order after the run matches flat replay (at most one of the
+  /// run's lines per set, and nothing else enters those sets meanwhile).
+  /// Wrong-path coin flips still happen once per event, keeping the RNG
+  /// stream — and therefore every later draw — identical to flat replay.
+  /// Only usable for solo simulation: co-run interleaves streams per event.
+  bool step_run(SetAssocCache& cache) {
+    const Run run = runs_[run_idx_];
+    const std::uint64_t count = run.length - run_pos_;
+    const BlockId b = BlockId(run.symbol);
+    const BasicBlock& bb = module_.block(b);
+    const auto span = layout_.lines_of(b, options_.geometry.line_bytes);
+
+    if (count > 1 &&
+        span.line_count + std::uint64_t{1} > options_.geometry.sets()) {
+      // Degenerate geometry (block wider than the set array): the run's own
+      // lines can conflict with each other, so replay it per event.
+      bool wrapped = false;
+      for (std::uint64_t i = 0; i < count; ++i) wrapped = step(cache);
+      return wrapped;
     }
-    return false;
+
+    const auto& place = layout_.placement(b);
+    // First iteration: the only one that can take demand misses.
+    ++stats_.blocks;
+    stats_.instructions += place.bytes / kInstrBytes;
+    stats_.overhead_instructions +=
+        (place.bytes - bb.size_bytes) / kInstrBytes;
+    for (std::uint32_t i = 0; i < span.line_count; ++i) {
+      const std::uint64_t line = namespace_ + span.first_line + i;
+      ++stats_.line_probes;
+      if (!cache.access(line)) {
+        ++stats_.demand_misses;
+        if (options_.next_line_prefetch) cache.prefill(line + 1);
+      }
+    }
+    const bool branchy =
+        options_.wrong_path_rate > 0.0 && bb.successors.size() > 1;
+    const std::uint64_t wrong_line =
+        namespace_ + span.first_line + span.line_count;
+    if (branchy && rng_.chance(options_.wrong_path_rate)) {
+      if (!cache.access(wrong_line)) ++stats_.wrong_path_misses;
+    }
+
+    // Iterations 2..count: bulk-counted hits; only the wrong-path draws
+    // remain per event.
+    const std::uint64_t rest = count - 1;
+    stats_.blocks += rest;
+    stats_.instructions += rest * (place.bytes / kInstrBytes);
+    stats_.overhead_instructions +=
+        rest * ((place.bytes - bb.size_bytes) / kInstrBytes);
+    stats_.line_probes += rest * span.line_count;
+    if (branchy) {
+      for (std::uint64_t i = 0; i < rest; ++i) {
+        if (rng_.chance(options_.wrong_path_rate)) {
+          if (!cache.access(wrong_line)) ++stats_.wrong_path_misses;
+        }
+      }
+    }
+
+    return advance(count);
   }
 
   [[nodiscard]] const SimResult& stats() const { return stats_; }
 
  private:
+  /// Moves the run cursor forward `n` events; `n` must not overrun the
+  /// current run. Returns true when the trace wrapped.
+  bool advance(std::uint64_t n) {
+    run_pos_ += n;
+    CL_DCHECK(run_pos_ <= runs_[run_idx_].length);
+    if (run_pos_ == runs_[run_idx_].length) {
+      run_pos_ = 0;
+      if (++run_idx_ == runs_.size()) {
+        run_idx_ = 0;
+        return true;
+      }
+    }
+    return false;
+  }
+
   const Module& module_;
   const CodeLayout& layout_;
-  const Trace& trace_;
+  std::span<const Run> runs_;
   std::uint64_t namespace_;
   SimOptions options_;
   Rng rng_;
-  std::size_t cursor_ = 0;
+  std::size_t run_idx_ = 0;
+  std::uint64_t run_pos_ = 0;
   double stall_debt_ = 0.0;
   SimResult stats_;
 };
@@ -93,7 +178,7 @@ SimResult simulate_solo(const Module& module, const CodeLayout& layout,
   SetAssocCache cache(options.geometry);
   FetchStream stream(module, layout, trace, /*line_namespace=*/0, options,
                      /*rng_stream=*/1);
-  while (!stream.step(cache)) {
+  while (!stream.step_run(cache)) {
   }
   return stream.stats();
 }
@@ -165,11 +250,21 @@ Trace line_trace(const Module& module, const CodeLayout& layout,
   (void)module;
   CL_CHECK(block_trace.is_block());
   Trace out(Trace::Granularity::kBlock);
-  out.reserve(block_trace.size() * 2);
-  for (std::size_t i = 0; i < block_trace.size(); ++i) {
-    const auto span = layout.lines_of(block_trace.block_at(i), line_bytes);
-    for (std::uint32_t l = 0; l < span.line_count; ++l) {
-      out.push_symbol(static_cast<Symbol>(span.first_line + l));
+  out.reserve(block_trace.run_count() * 2);
+  // Run transducer: one lines_of lookup per run. A single-line block's
+  // repeats coalesce into one run in O(1); multi-line blocks genuinely emit
+  // their line sequence per repeat (the boundary lines differ, so trimming
+  // keeps them), matching the flat expansion exactly.
+  for (const Run& r : block_trace.runs()) {
+    const auto span = layout.lines_of(BlockId(r.symbol), line_bytes);
+    if (span.line_count == 1) {
+      out.push_run(static_cast<Symbol>(span.first_line), r.length);
+      continue;
+    }
+    for (std::uint32_t rep = 0; rep < r.length; ++rep) {
+      for (std::uint32_t l = 0; l < span.line_count; ++l) {
+        out.push_symbol(static_cast<Symbol>(span.first_line + l));
+      }
     }
   }
   return out.trimmed();

@@ -9,8 +9,7 @@ namespace codelayout {
 
 FootprintCurve FootprintCurve::compute(const Trace& trace,
                                        std::span<const std::uint32_t> weights) {
-  const auto symbols = trace.symbols();
-  const std::size_t n = symbols.size();
+  const std::size_t n = trace.size();
   const Symbol space = trace.symbol_space();
   if (!weights.empty()) {
     CL_CHECK_MSG(weights.size() >= space,
@@ -36,8 +35,14 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
   std::vector<std::uint64_t> first(space, ~std::uint64_t{0});
   double total_weight = 0.0;
 
-  for (std::size_t t = 0; t < n; ++t) {
-    const Symbol s = symbols[t];
+  // Run-aware pass: within a run every gap is 0 (the symbol occupies each
+  // consecutive position), so only the run's first event can contribute a
+  // gap, and the run collapses to one O(1) update. The gap_mass additions
+  // happen in the same order as the flat scan, so the double accumulation is
+  // bit-identical.
+  std::size_t t = 0;  // event index of the current run's first event
+  for (const Run& r : trace.runs()) {
+    const Symbol s = r.symbol;
     if (last[s] == ~std::uint64_t{0}) {
       first[s] = t;
       total_weight += weight_of(s);
@@ -45,7 +50,8 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
       const std::uint64_t gap = t - last[s] - 1;  // positions without s
       if (gap > 0) gap_mass[gap] += weight_of(s);
     }
-    last[s] = t;
+    last[s] = t + r.length - 1;
+    t += r.length;
   }
   for (Symbol s = 0; s < space; ++s) {
     if (first[s] == ~std::uint64_t{0}) continue;  // never accessed

@@ -30,6 +30,16 @@ class LruStack {
   /// Moves `s` to the top. Returns true when `s` was already resident.
   bool touch(Symbol s);
 
+  /// Equivalent to `count` consecutive touch(s) calls in O(1): after the
+  /// first touch `s` sits on top, so the remaining count-1 touches are
+  /// early-return hits. Returns the number of touches that found `s`
+  /// resident. No-op (returning 0) when count == 0.
+  std::uint64_t touch_run(Symbol s, std::uint64_t count) {
+    if (count == 0) return 0;
+    const bool was_resident = touch(s);
+    return (was_resident ? 1 : 0) + (count - 1);
+  }
+
   /// Calls `fn(symbol)` for the top `k` resident symbols, topmost first
   /// (including the current top).
   template <typename Fn>

@@ -33,16 +33,25 @@ class Fenwick {
   std::vector<std::int64_t> tree_;
 };
 
+/// Calls on_access(distance, time, count) once per run segment: the run's
+/// first event (count 1), then its remaining events as one bulk segment.
+///
+/// Run-aware collapse: within a run of length r, events 2..r each reuse the
+/// symbol at the immediately preceding position, so their reuse distance is 0
+/// and reuse time is 1 — no Fenwick query needed. The symbol's mark moves
+/// straight to the run's last position, preserving the flat-scan invariant
+/// (one mark per seen symbol, at its latest access) at every run boundary, so
+/// the first-event query of the next run sees the exact flat-scan state.
+/// O((R + D) log N) for R runs and D distinct symbols instead of O(N log N).
 template <typename PerAccess>
 void scan_reuse(const Trace& trace, PerAccess&& on_access) {
-  const auto symbols = trace.symbols();
   const Symbol space = trace.symbol_space();
-  Fenwick marks(symbols.size());
+  Fenwick marks(trace.size());
   std::vector<std::uint64_t> last(space, kColdReuse);
 
-  for (std::size_t t = 0; t < symbols.size(); ++t) {
-    const Symbol s = symbols[t];
-    const std::uint64_t prev = last[s];
+  std::size_t t = 0;  // event index of the current run's first event
+  for (const Run& r : trace.runs()) {
+    const std::uint64_t prev = last[r.symbol];
     std::uint64_t distance = kColdReuse;
     std::uint64_t time = kColdReuse;
     if (prev != kColdReuse) {
@@ -52,9 +61,12 @@ void scan_reuse(const Trace& trace, PerAccess&& on_access) {
       time = t - prev;
       marks.add(prev, -1);
     }
-    marks.add(t, +1);
-    last[s] = t;
-    on_access(distance, time);
+    const std::size_t t_last = t + r.length - 1;
+    marks.add(t_last, +1);
+    last[r.symbol] = t_last;
+    on_access(distance, time, std::uint64_t{1});
+    if (r.length > 1) on_access(0, 1, r.length - 1);
+    t += r.length;
   }
 }
 
@@ -82,19 +94,20 @@ double ReuseProfile::mean_distance() const {
 ReuseProfile compute_reuse(const Trace& trace) {
   ReuseProfile profile;
   profile.total_accesses = trace.size();
-  scan_reuse(trace, [&](std::uint64_t distance, std::uint64_t time) {
+  scan_reuse(trace, [&](std::uint64_t distance, std::uint64_t time,
+                        std::uint64_t count) {
     if (distance == kColdReuse) {
-      ++profile.cold_accesses;
+      profile.cold_accesses += count;
       return;
     }
     if (profile.distance_histogram.size() <= distance) {
       profile.distance_histogram.resize(distance + 1, 0);
     }
-    ++profile.distance_histogram[distance];
+    profile.distance_histogram[distance] += count;
     if (profile.time_histogram.size() <= time) {
       profile.time_histogram.resize(time + 1, 0);
     }
-    ++profile.time_histogram[time];
+    profile.time_histogram[time] += count;
   });
   return profile;
 }
@@ -102,9 +115,10 @@ ReuseProfile compute_reuse(const Trace& trace) {
 std::vector<std::uint64_t> per_access_reuse_distances(const Trace& trace) {
   std::vector<std::uint64_t> out;
   out.reserve(trace.size());
-  scan_reuse(trace, [&](std::uint64_t distance, std::uint64_t) {
-    out.push_back(distance);
-  });
+  scan_reuse(trace,
+             [&](std::uint64_t distance, std::uint64_t, std::uint64_t count) {
+               out.insert(out.end(), count, distance);
+             });
   return out;
 }
 

@@ -3,13 +3,15 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 namespace codelayout {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x434c5452;  // "CLTR"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionFixedPairs = 1;
 
 void put_u32(std::ostream& os, std::uint32_t v) {
   char buf[4];
@@ -21,6 +23,18 @@ void put_u64(std::ostream& os, std::uint64_t v) {
   char buf[8];
   std::memcpy(buf, &v, 8);
   os.write(buf, 8);
+}
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  char buf[10];
+  int n = 0;
+  do {
+    char byte = static_cast<char>(v & 0x7f);
+    v >>= 7;
+    if (v != 0) byte = static_cast<char>(byte | 0x80);
+    buf[n++] = byte;
+  } while (v != 0);
+  os.write(buf, n);
 }
 
 std::uint32_t get_u32(std::istream& is) {
@@ -41,62 +55,93 @@ std::uint64_t get_u64(std::istream& is) {
   return v;
 }
 
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = is.get();
+    CL_CHECK_MSG(c != std::istream::traits_type::eof(),
+                 "truncated varint in trace stream");
+    const auto byte = static_cast<std::uint64_t>(c & 0xff);
+    const std::uint64_t payload = byte & 0x7f;
+    CL_CHECK_MSG(shift < 63 || payload <= 1, "varint overflow in trace stream");
+    v |= payload << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  CL_CHECK_MSG(false, "varint overflow in trace stream");
+  return 0;  // unreachable
+}
+
+/// Reads a varint that must fit a 32-bit field (symbol or run length).
+std::uint32_t get_varint32(std::istream& is, const char* what) {
+  const std::uint64_t v = get_varint(is);
+  CL_CHECK_MSG(v <= std::numeric_limits<std::uint32_t>::max(),
+               what << " overflows 32 bits in trace stream");
+  return static_cast<std::uint32_t>(v);
+}
+
 }  // namespace
 
 std::vector<RlePair> rle_encode(const Trace& trace) {
-  std::vector<RlePair> out;
-  for (Symbol s : trace.symbols()) {
-    if (!out.empty() && out.back().symbol == s &&
-        out.back().run < ~std::uint32_t{0}) {
-      ++out.back().run;
-    } else {
-      out.push_back(RlePair{s, 1});
-    }
-  }
-  return out;
+  const std::span<const Run> runs = trace.runs();
+  return std::vector<RlePair>(runs.begin(), runs.end());
 }
 
 Trace rle_decode(const std::vector<RlePair>& pairs, Trace::Granularity g) {
   Trace out(g);
-  std::size_t total = 0;
-  for (const RlePair& p : pairs) total += p.run;
-  out.reserve(total);
+  out.reserve(pairs.size());
   for (const RlePair& p : pairs) {
-    for (std::uint32_t i = 0; i < p.run; ++i) out.push_symbol(p.symbol);
+    CL_CHECK_MSG(p.length > 0, "zero-length run in RLE stream");
+    out.push_run(p.symbol, p.length);
   }
   return out;
 }
 
 void write_trace(std::ostream& os, const Trace& trace) {
-  const auto rle = rle_encode(trace);
   put_u32(os, kMagic);
   put_u32(os, kVersion);
   put_u32(os, trace.is_block() ? 0u : 1u);
   put_u64(os, trace.size());
-  put_u64(os, rle.size());
-  for (const RlePair& p : rle) {
-    put_u32(os, p.symbol);
-    put_u32(os, p.run);
+  put_u64(os, trace.run_count());
+  for (const Run& r : trace.runs()) {
+    put_varint(os, r.symbol);
+    put_varint(os, r.length);
   }
   CL_CHECK_MSG(os.good(), "trace write failed");
 }
 
 Trace read_trace(std::istream& is) {
   CL_CHECK_MSG(get_u32(is) == kMagic, "bad trace magic");
-  CL_CHECK_MSG(get_u32(is) == kVersion, "unsupported trace version");
+  const std::uint32_t version = get_u32(is);
+  CL_CHECK_MSG(version == kVersion || version == kVersionFixedPairs,
+               "unsupported trace version");
   const auto gran = get_u32(is) == 0 ? Trace::Granularity::kBlock
                                      : Trace::Granularity::kFunction;
   const std::uint64_t events = get_u64(is);
   const std::uint64_t pairs = get_u64(is);
-  std::vector<RlePair> rle;
-  rle.reserve(pairs);
+  // A hostile header can declare any run count; never trust it for an
+  // allocation. Each pair costs >= 2 stream bytes, so a short stream runs out
+  // of bytes (-> truncation error) long before the decoder allocates much.
+  Trace out(gran);
+  std::uint64_t decoded = 0;
   for (std::uint64_t i = 0; i < pairs; ++i) {
-    const Symbol s = get_u32(is);
-    const std::uint32_t run = get_u32(is);
-    rle.push_back(RlePair{s, run});
+    Symbol symbol;
+    std::uint32_t length;
+    if (version == kVersionFixedPairs) {
+      symbol = get_u32(is);
+      length = get_u32(is);
+    } else {
+      symbol = get_varint32(is, "symbol");
+      length = get_varint32(is, "run length");
+    }
+    CL_CHECK_MSG(length > 0, "zero-length run in trace stream");
+    // Guard the running sum before it can wrap: the remaining capacity check
+    // also rejects streams whose true total overflows 64 bits.
+    CL_CHECK_MSG(length <= events - decoded,
+                 "run lengths exceed declared event count");
+    out.push_run(symbol, length);
+    decoded += length;
   }
-  Trace out = rle_decode(rle, gran);
-  CL_CHECK_MSG(out.size() == events, "trace event count mismatch");
+  CL_CHECK_MSG(decoded == events, "trace event count mismatch");
   return out;
 }
 

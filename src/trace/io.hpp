@@ -1,8 +1,11 @@
 // Trace serialization (paper Sec. II-F "Instrumentation" records traces and a
 // symbol mapping to files between the profiling run and the analysis).
 //
-// Format: magic, version, granularity, event count, then varint-delta
-// run-length encoded symbols. RLE exploits loop-heavy traces' repetitiveness.
+// Format v2: magic, version, granularity, event count, run count, then
+// LEB128-varint (symbol, length) pairs taken straight from the Trace's run
+// storage — no decode/re-encode round trip on either side. RLE + varints
+// exploit loop-heavy traces' repetitiveness. v1 streams (fixed-width u32
+// pairs) remain readable.
 #pragma once
 
 #include <cstdint>
@@ -14,17 +17,20 @@
 
 namespace codelayout {
 
-/// Run-length encoding of a symbol sequence: (symbol, repeat) pairs.
-struct RlePair {
-  Symbol symbol;
-  std::uint32_t run;
-};
+/// Run-length encoding of a symbol sequence. A Trace already stores its runs;
+/// the serialized pair format is the same struct.
+using RlePair = Run;
 
 std::vector<RlePair> rle_encode(const Trace& trace);
+
+/// Rebuilds a trace from RLE pairs. Throws ContractError on a zero-length
+/// run (no valid encoder emits one).
 Trace rle_decode(const std::vector<RlePair>& pairs, Trace::Granularity g);
 
-/// Writes/reads the binary trace format. Throws ContractError on a corrupt
-/// stream (bad magic, truncated payload, wrong version).
+/// Writes/reads the binary trace format. read_trace throws ContractError on a
+/// corrupt or hostile stream: bad magic, unsupported version, truncated
+/// payload or varint, varint overflow, zero-length run, or a run-length sum
+/// that mismatches (or overflows past) the declared event count.
 void write_trace(std::ostream& os, const Trace& trace);
 Trace read_trace(std::istream& is);
 

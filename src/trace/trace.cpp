@@ -1,55 +1,104 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
+#include <mutex>
 #include <unordered_set>
 
 #include "ir/module.hpp"
 
 namespace codelayout {
 
+namespace {
+/// Guards flat-view materialization. A static mutex (rather than a per-trace
+/// one) keeps Trace trivially copyable/movable; contention only happens on
+/// the first symbols() call per trace, after which readers take the lock just
+/// long enough to copy the shared_ptr.
+std::mutex g_flat_mutex;
+}  // namespace
+
+std::span<const Symbol> Trace::symbols() const {
+  std::lock_guard<std::mutex> lock(g_flat_mutex);
+  if (!flat_) {
+    auto flat = std::make_shared<std::vector<Symbol>>();
+    flat->reserve(size_);
+    for (const Run& r : runs_) flat->insert(flat->end(), r.length, r.symbol);
+    flat_ = std::move(flat);
+  }
+  return *flat_;
+}
+
+void Trace::push_run(Symbol s, std::uint64_t count) {
+  if (count == 0) return;
+  if (flat_) flat_.reset();
+  size_ += count;
+  if (!runs_.empty()) {
+    Run& back = runs_.back();
+    if (back.symbol == s && back.length != kMaxRunLength) {
+      const std::uint64_t room = kMaxRunLength - back.length;
+      const std::uint32_t take =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(room, count));
+      back.length += take;
+      count -= take;
+    }
+  }
+  while (count > 0) {
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kMaxRunLength, count));
+    runs_.push_back(Run{s, take});
+    count -= take;
+  }
+}
+
 Trace Trace::trimmed() const {
   Trace out(granularity_);
-  out.reserve(events_.size());
-  Symbol last = ~Symbol{0};
-  bool first = true;
-  for (Symbol s : events_) {
-    if (first || s != last) out.events_.push_back(s);
-    last = s;
-    first = false;
+  out.runs_.reserve(runs_.size());
+  for (const Run& r : runs_) {
+    // kMaxRunLength splits can leave adjacent runs with equal symbols; they
+    // still collapse to one trimmed event.
+    if (!out.runs_.empty() && out.runs_.back().symbol == r.symbol) continue;
+    out.runs_.push_back(Run{r.symbol, 1});
   }
+  out.size_ = out.runs_.size();
   return out;
 }
 
 bool Trace::is_trimmed() const {
-  for (std::size_t i = 1; i < events_.size(); ++i) {
-    if (events_[i] == events_[i - 1]) return false;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].length != 1) return false;
+    if (i > 0 && runs_[i].symbol == runs_[i - 1].symbol) return false;
   }
   return true;
 }
 
 std::size_t Trace::distinct_count() const {
-  std::unordered_set<Symbol> seen(events_.begin(), events_.end());
+  std::unordered_set<Symbol> seen;
+  seen.reserve(runs_.size());
+  for (const Run& r : runs_) seen.insert(r.symbol);
   return seen.size();
 }
 
 Symbol Trace::symbol_space() const {
   Symbol max = 0;
-  for (Symbol s : events_) max = std::max(max, s + 1);
+  for (const Run& r : runs_) max = std::max(max, r.symbol + 1);
   return max;
 }
 
 std::vector<std::uint64_t> Trace::occurrence_counts() const {
   std::vector<std::uint64_t> counts(symbol_space(), 0);
-  for (Symbol s : events_) ++counts[s];
+  for (const Run& r : runs_) counts[r.symbol] += r.length;
   return counts;
 }
 
 Trace project_to_functions(const Trace& block_trace, const Module& module) {
   CL_CHECK(block_trace.is_block());
   Trace out(Trace::Granularity::kFunction);
-  out.reserve(block_trace.size() / 4);
+  out.reserve(block_trace.run_count() / 4);
   FuncId last;
-  for (std::size_t i = 0; i < block_trace.size(); ++i) {
-    const FuncId f = module.block(block_trace.block_at(i)).parent;
+  // Single-pass run transducer: a run of one block maps to (at most) one
+  // function event regardless of its length, so the projection is
+  // O(run_count) with no flat replay.
+  for (const Run& r : block_trace.runs()) {
+    const FuncId f = module.block(BlockId(r.symbol)).parent;
     if (!(f == last)) {
       out.push(f);
       last = f;

@@ -30,14 +30,19 @@ std::uint32_t trg_slot_count(std::uint64_t cache_bytes, std::uint32_t assoc,
 
 Trg Trg::build(const Trace& trace, const TrgConfig& config) {
   CL_CHECK(config.window_entries > 0);
-  const Trace trimmed = trace.is_trimmed() ? trace : trace.trimmed();
 
   Trg graph;
-  const Symbol space = trimmed.symbol_space();
+  const Symbol space = trace.symbol_space();
   if (space == 0) return graph;
   LruStack stack(space);
 
-  for (Symbol a : trimmed.symbols()) {
+  // The TRG is defined over the trimmed trace, but a run's repeat events are
+  // stack no-ops (the symbol is already on top: for_above yields nothing,
+  // touch early-returns, no eviction pressure changes), so iterating one
+  // event per run of the untrimmed trace — O(run_count) — builds the
+  // identical graph without materializing a trimmed copy.
+  for (const Run& r : trace.runs()) {
+    const Symbol a = r.symbol;
     graph.note_node(a);
     if (stack.resident(a)) {
       // Everything above `a` occurred between its two successive

@@ -150,7 +150,7 @@ TEST(Rle, EncodeDecodeRoundtrip) {
   const auto rle = rle_encode(t);
   ASSERT_EQ(rle.size(), 4u);
   EXPECT_EQ(rle[0].symbol, 1u);
-  EXPECT_EQ(rle[0].run, 3u);
+  EXPECT_EQ(rle[0].length, 3u);
   EXPECT_EQ(rle_decode(rle, Trace::Granularity::kBlock), t);
 }
 
@@ -198,6 +198,143 @@ TEST(TraceIo, FileRoundtrip) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/dir/trace.bin"), ContractError);
+}
+
+// ---------- hostile streams ---------------------------------------------------
+//
+// Hand-crafted byte streams probing every validation path of read_trace: the
+// decoder must reject them with ContractError instead of over-allocating,
+// looping, or silently mis-decoding.
+
+void append_u32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void append_u64(std::string& s, std::uint64_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 8);
+}
+
+void append_varint(std::string& s, std::uint64_t v) {
+  do {
+    char byte = static_cast<char>(v & 0x7f);
+    v >>= 7;
+    if (v != 0) byte = static_cast<char>(byte | 0x80);
+    s.push_back(byte);
+  } while (v != 0);
+}
+
+/// Trace-stream header: magic "CLTR", version, granularity, event and run
+/// counts (matching write_trace's layout).
+std::string header(std::uint32_t version, std::uint64_t events,
+                   std::uint64_t pairs) {
+  std::string s;
+  append_u32(s, 0x434c5452);
+  append_u32(s, version);
+  append_u32(s, 0);  // block granularity
+  append_u64(s, events);
+  append_u64(s, pairs);
+  return s;
+}
+
+std::string thrown_message(const std::string& bytes) {
+  std::stringstream ss(bytes);
+  try {
+    read_trace(ss);
+  } catch (const ContractError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TraceIoHostile, TruncatedVarintThrows) {
+  std::string s = header(2, 5, 1);
+  s.push_back('\x85');  // continuation bit set, then EOF
+  EXPECT_NE(thrown_message(s).find("truncated varint"), std::string::npos);
+}
+
+TEST(TraceIoHostile, VarintOverflowThrows) {
+  std::string s = header(2, 5, 1);
+  // 10th byte carries payload > 1: the value needs more than 64 bits.
+  for (int i = 0; i < 9; ++i) s.push_back('\xff');
+  s.push_back('\x7f');
+  EXPECT_NE(thrown_message(s).find("varint overflow"), std::string::npos);
+}
+
+TEST(TraceIoHostile, NeverEndingVarintThrows) {
+  std::string s = header(2, 5, 1);
+  for (int i = 0; i < 16; ++i) s.push_back('\x80');
+  EXPECT_NE(thrown_message(s).find("varint overflow"), std::string::npos);
+}
+
+TEST(TraceIoHostile, SymbolWiderThan32BitsThrows) {
+  std::string s = header(2, 5, 1);
+  append_varint(s, std::uint64_t{1} << 32);
+  append_varint(s, 5);
+  EXPECT_NE(thrown_message(s).find("overflows 32 bits"), std::string::npos);
+}
+
+TEST(TraceIoHostile, ZeroLengthRunThrows) {
+  std::string s = header(2, 5, 1);
+  append_varint(s, 1);  // symbol
+  append_varint(s, 0);  // length
+  EXPECT_NE(thrown_message(s).find("zero-length run"), std::string::npos);
+}
+
+TEST(TraceIoHostile, RunLengthsExceedingEventCountThrow) {
+  std::string s = header(2, /*events=*/3, /*pairs=*/1);
+  append_varint(s, 1);
+  append_varint(s, 5);  // 5 events in a 3-event trace
+  EXPECT_NE(thrown_message(s).find("exceed declared event count"),
+            std::string::npos);
+}
+
+TEST(TraceIoHostile, RunLengthSumOverflowIsRejected) {
+  // Two near-max runs whose true sum wraps 64 bits; the remaining-capacity
+  // check must fire instead of the sum silently wrapping past `events`.
+  std::string s = header(2, ~std::uint64_t{0} - 2, 2);
+  append_varint(s, 1);
+  append_varint(s, ~std::uint32_t{0});
+  append_varint(s, 2);
+  append_varint(s, ~std::uint32_t{0});
+  std::stringstream ss(s);
+  EXPECT_THROW(read_trace(ss), ContractError);
+}
+
+TEST(TraceIoHostile, EventCountMismatchThrows) {
+  std::string s = header(2, /*events=*/10, /*pairs=*/1);
+  append_varint(s, 1);
+  append_varint(s, 5);  // only 5 of the declared 10 events
+  EXPECT_NE(thrown_message(s).find("event count mismatch"), std::string::npos);
+}
+
+TEST(TraceIoHostile, HugeDeclaredRunCountDoesNotPreallocate) {
+  // A header declaring ~10^18 runs followed by almost no data: the decoder
+  // must hit the truncation check, not allocate by the declared count.
+  std::string s = header(2, 1'000'000'000'000'000'000ull,
+                         1'000'000'000'000'000'000ull);
+  append_varint(s, 1);
+  append_varint(s, 1);
+  std::stringstream ss(s);
+  EXPECT_THROW(read_trace(ss), ContractError);
+}
+
+TEST(TraceIoHostile, UnsupportedVersionThrows) {
+  const std::string s = header(3, 0, 0);
+  EXPECT_NE(thrown_message(s).find("unsupported trace version"),
+            std::string::npos);
+}
+
+TEST(TraceIo, VersionOneFixedPairStreamsStillReadable) {
+  // The pre-varint v1 format: fixed little-endian u32 (symbol, length) pairs.
+  std::string s = header(1, /*events=*/7, /*pairs=*/3);
+  append_u32(s, 4);
+  append_u32(s, 3);
+  append_u32(s, 9);
+  append_u32(s, 1);
+  append_u32(s, 4);
+  append_u32(s, 3);
+  std::stringstream ss(s);
+  EXPECT_EQ(read_trace(ss), make_trace({4, 4, 4, 9, 4, 4, 4}));
 }
 
 }  // namespace
