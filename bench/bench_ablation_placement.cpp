@@ -60,6 +60,6 @@ int main(int argc, char** argv) {
               "column —\nthe cost that motivated the paper's switch to pure "
               "reordering.\n",
               table.render().c_str());
-  emit_metrics_json(args, "ablation_placement", lab);
+  finish_bench(args, "ablation_placement", lab);
   return 0;
 }

@@ -66,6 +66,6 @@ int main(int argc, char** argv) {
                     fmt_pct(base > 0 ? 1.0 - sim.miss_ratio() / base : 0, 1)});
   }
   std::printf("%s", stable.render().c_str());
-  emit_metrics_json(args, "ablation_pruning", base_lab);
+  finish_bench(args, "ablation_pruning", base_lab);
   return 0;
 }

@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
          fmt_pct(avg_corun_reduction(lab, target, kBBAffinity), 1)});
   }
   std::printf("%s", aff_table.render().c_str());
+  finish_observability(args, "bench_ablation_windows");
   return 0;
 }
-// (Per-sweep-point Labs are short-lived, so no single metrics dump covers
-// the whole run; pass --json to the other benches for engine metrics.)
+// (Per-sweep-point Labs are short-lived, so there is no single --json engine
+// metrics dump; --trace-out / --metrics-out still cover the whole sweep.)

@@ -1,46 +1,127 @@
 // Shared command-line handling for the bench binaries.
 //
-//   --threads N | --threads=N   engine width (0 = one per hardware thread)
+//   --threads N | --threads=N   engine width (N >= 1; omit for one worker
+//                               per hardware thread)
 //   --json                      append a one-line JSON metrics dump (per-
 //                               stage cache hits/computes/waits, wall & CPU
 //                               time, dedup counts) after the table output
+//   --trace-out FILE            record scoped spans (Lab stages, pipeline
+//                               phases, ThreadPool queue-wait/run) and write
+//                               a Chrome trace-event / Perfetto JSON file
+//   --metrics-out FILE          enable the metrics registry and write its
+//                               counters + latency histograms (p50/p90/p99)
+//                               as JSON
 //
 // (bench_analysis_perf is the exception: it is a google-benchmark binary
 // with its own --benchmark_* flags and JSON format.)
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "harness/lab.hpp"
+#include "support/registry.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
 
 struct BenchArgs {
   unsigned threads = 0;  ///< 0 = one worker per hardware thread
   bool json = false;
+  std::string trace_out;    ///< empty = tracing off
+  std::string metrics_out;  ///< empty = metrics registry off
 };
+
+namespace bench_detail {
+
+[[noreturn]] inline void usage_error(const char* argv0, const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--json] [--trace-out FILE] "
+               "[--metrics-out FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Strict positive-integer parse: rejects empty, non-digit, zero, and
+/// out-of-range values instead of strtoul's silent 0.
+inline unsigned parse_threads(const char* argv0, const std::string& text) {
+  bool all_digits = !text.empty();
+  for (const char c : text) {
+    all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
+  }
+  if (!all_digits) {
+    usage_error(argv0, "invalid --threads value '" + text +
+                           "': expected a positive integer");
+  }
+  errno = 0;
+  const unsigned long value = std::strtoul(text.c_str(), nullptr, 10);
+  if (errno != 0 || value == 0 || value > 4096) {
+    usage_error(argv0, "invalid --threads value '" + text +
+                           "': expected an integer in [1, 4096]");
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// Consumes "--flag VALUE" / "--flag=VALUE"; returns true when `arg` matched
+/// `flag` and `out` was filled.
+inline bool parse_value_flag(const char* argv0, const char* flag,
+                             const std::string& arg, int argc, char** argv,
+                             int& i, std::string& out) {
+  const std::size_t flag_len = std::strlen(flag);
+  if (arg == flag) {
+    if (i + 1 >= argc) {
+      usage_error(argv0, std::string(flag) + " requires a value");
+    }
+    out = argv[++i];
+  } else if (arg.rfind(std::string(flag) + "=", 0) == 0) {
+    out = arg.substr(flag_len + 1);
+  } else {
+    return false;
+  }
+  if (out.empty()) usage_error(argv0, std::string(flag) + " requires a value");
+  return true;
+}
+
+}  // namespace bench_detail
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
     if (arg == "--json") {
       args.json = true;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      args.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.threads = static_cast<unsigned>(
-          std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (bench_detail::parse_value_flag(argv[0], "--threads", arg, argc,
+                                              argv, i, value)) {
+      args.threads = bench_detail::parse_threads(argv[0], value);
+    } else if (bench_detail::parse_value_flag(argv[0], "--trace-out", arg,
+                                              argc, argv, i, args.trace_out)) {
+    } else if (bench_detail::parse_value_flag(argv[0], "--metrics-out", arg,
+                                              argc, argv, i,
+                                              args.metrics_out)) {
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--threads N] [--json]\n", argv[0]);
+      std::printf(
+          "usage: %s [--threads N] [--json] [--trace-out FILE] "
+          "[--metrics-out FILE]\n",
+          argv[0]);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      std::exit(2);
+      bench_detail::usage_error(argv[0], "unknown argument: " + arg);
     }
+  }
+  // Flip the observability switches before any Lab work happens so the first
+  // pipeline phase is already covered.
+  if (!args.trace_out.empty()) {
+    TraceRecorder::instance().enable();
+    TraceRecorder::instance().set_thread_name("main");
+  }
+  if (!args.metrics_out.empty()) {
+    MetricsRegistry::global().set_enabled(true);
   }
   return args;
 }
@@ -54,6 +135,32 @@ inline void emit_metrics_json(const BenchArgs& args, const char* bench,
                               const Lab& lab) {
   if (!args.json) return;
   std::printf("%s\n", lab.metrics().to_json(bench).c_str());
+}
+
+/// Writes the --trace-out / --metrics-out files (no engine JSON line). For
+/// benches without one long-lived Lab; most call finish_bench instead.
+inline void finish_observability(const BenchArgs& args, const char* bench) {
+  if (!args.trace_out.empty()) {
+    TraceRecorder::instance().write_chrome_trace(args.trace_out);
+    std::fprintf(stderr, "trace written to %s (%llu spans, %llu dropped)\n",
+                 args.trace_out.c_str(),
+                 static_cast<unsigned long long>(
+                     TraceRecorder::instance().recorded_spans()),
+                 static_cast<unsigned long long>(
+                     TraceRecorder::instance().dropped_spans()));
+  }
+  if (!args.metrics_out.empty()) {
+    MetricsRegistry::global().write_json(args.metrics_out, bench);
+    std::fprintf(stderr, "metrics written to %s\n", args.metrics_out.c_str());
+  }
+}
+
+/// End-of-main hook: the --json line plus the --trace-out / --metrics-out
+/// files. Every table bench calls this exactly once, after its output.
+inline void finish_bench(const BenchArgs& args, const char* bench,
+                         const Lab& lab) {
+  emit_metrics_json(args, bench, lab);
+  finish_observability(args, bench);
 }
 
 }  // namespace codelayout

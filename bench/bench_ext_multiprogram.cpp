@@ -82,6 +82,6 @@ int main(int argc, char** argv) {
       "supporting the paper's synergy conjecture for higher thread counts.\n"
       "(Runtime synergy at 2 threads remains negligible, as in Sec. III-F;\n"
       "see bench_sec3f_defensive_polite.)\n");
-  emit_metrics_json(args, "ext_multiprogram", lab);
+  finish_bench(args, "ext_multiprogram", lab);
   return 0;
 }

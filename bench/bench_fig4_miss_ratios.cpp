@@ -40,6 +40,6 @@ int main(int argc, char** argv) {
   std::printf("solo miss ratio (%%):\n%s\n", ascii_bars(bars, 40).c_str());
   std::printf("%zu of %zu programs have non-trivial (>=0.5%%) solo ratios\n",
               nontrivial, rows.size());
-  emit_metrics_json(args, "fig4_miss_ratios", lab);
+  finish_bench(args, "fig4_miss_ratios", lab);
   return 0;
 }

@@ -33,6 +33,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("(a) function-affinity solo speedup (%%):\n%s",
               ascii_bars(speedup_bars, 40).c_str());
-  emit_metrics_json(args, "fig5_solo", lab);
+  finish_bench(args, "fig5_solo", lab);
   return 0;
 }

@@ -46,6 +46,6 @@ int main(int argc, char** argv) {
          "(a) Function layout opt based on affinity model");
   render(lab, kBBAffinity, "(b) BB layout opt based on affinity model");
   render(lab, kFuncTrg, "(c) Function layout opt based on TRG model");
-  emit_metrics_json(args, "fig6_corun_speedup", lab);
+  finish_bench(args, "fig6_corun_speedup", lab);
   return 0;
 }

@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
       over56, pairs.size(), over10, pairs.size(), degradations,
       fmt_pct(mag_stats.mean(), 1).c_str(),
       fmt_pct(mag_stats.max(), 1).c_str());
-  emit_metrics_json(args, "fig7_throughput", lab);
+  finish_bench(args, "fig7_throughput", lab);
   return 0;
 }

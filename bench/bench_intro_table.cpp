@@ -32,6 +32,6 @@ int main(int argc, char** argv) {
   std::printf("%s\nNon-trivial programs:", out.render().c_str());
   for (const auto& p : table.programs) std::printf(" %s", p.c_str());
   std::printf("\n");
-  emit_metrics_json(args, "intro_table", lab);
+  finish_bench(args, "intro_table", lab);
   return 0;
 }

@@ -42,6 +42,6 @@ int main(int argc, char** argv) {
               fmt_signed_pct(additional.mean()).c_str(),
               fmt_signed_pct(additional.min()).c_str(),
               fmt_signed_pct(additional.max()).c_str());
-  emit_metrics_json(args, "sec3f_defensive_polite", lab);
+  finish_bench(args, "sec3f_defensive_polite", lab);
   return 0;
 }

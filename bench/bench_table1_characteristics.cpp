@@ -30,6 +30,6 @@ int main(int argc, char** argv) {
                    fmt_pct(row.corun_gcc), fmt_pct(row.corun_gamess)});
   }
   std::printf("%s", table.render().c_str());
-  emit_metrics_json(args, "table1_characteristics", lab);
+  finish_bench(args, "table1_characteristics", lab);
   return 0;
 }

@@ -62,6 +62,6 @@ int main(int argc, char** argv) {
               fmt_signed_pct(fa.mean() - 1.0).c_str(),
               fmt_signed_pct(ba.mean() - 1.0).c_str(),
               fmt_signed_pct(ft.mean() - 1.0).c_str());
-  emit_metrics_json(args, "table2_corun_avg", lab);
+  finish_bench(args, "table2_corun_avg", lab);
   return 0;
 }

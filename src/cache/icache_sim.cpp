@@ -1,6 +1,8 @@
 #include "cache/icache_sim.hpp"
 
+#include "support/registry.hpp"
 #include "support/rng.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
 namespace {
@@ -88,10 +90,12 @@ class FetchStream {
         span.line_count + std::uint64_t{1} > options_.geometry.sets()) {
       // Degenerate geometry (block wider than the set array): the run's own
       // lines can conflict with each other, so replay it per event.
+      ++fallback_runs_;
       bool wrapped = false;
       for (std::uint64_t i = 0; i < count; ++i) wrapped = step(cache);
       return wrapped;
     }
+    ++fast_runs_;
 
     const auto& place = layout_.placement(b);
     // First iteration: the only one that can take demand misses.
@@ -135,6 +139,10 @@ class FetchStream {
   }
 
   [[nodiscard]] const SimResult& stats() const { return stats_; }
+  /// Runs consumed by the O(1) collapse vs replayed per event (degenerate
+  /// geometry). Solo fast path only; co-run steps per event by design.
+  [[nodiscard]] std::uint64_t fast_runs() const { return fast_runs_; }
+  [[nodiscard]] std::uint64_t fallback_runs() const { return fallback_runs_; }
 
  private:
   /// Moves the run cursor forward `n` events; `n` must not overrun the
@@ -161,6 +169,8 @@ class FetchStream {
   std::size_t run_idx_ = 0;
   std::uint64_t run_pos_ = 0;
   double stall_debt_ = 0.0;
+  std::uint64_t fast_runs_ = 0;
+  std::uint64_t fallback_runs_ = 0;
   SimResult stats_;
 };
 
@@ -175,10 +185,18 @@ SimOptions hardware_proxy_options(std::uint64_t seed) {
 
 SimResult simulate_solo(const Module& module, const CodeLayout& layout,
                         const Trace& trace, const SimOptions& options) {
+  CODELAYOUT_PHASE("icache_solo", "cache", "cache.icache_solo.wall_ns",
+                   {"events", std::uint64_t{trace.size()}},
+                   {"runs", std::uint64_t{trace.run_count()}});
   SetAssocCache cache(options.geometry);
   FetchStream stream(module, layout, trace, /*line_namespace=*/0, options,
                      /*rng_stream=*/1);
   while (!stream.step_run(cache)) {
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("cache.solo.runs_fast").add(stream.fast_runs());
+    registry.counter("cache.solo.runs_fallback").add(stream.fallback_runs());
   }
   return stream.stats();
 }
@@ -191,6 +209,9 @@ CorunResult simulate_corun(const Module& self_module,
                            const Trace& peer_trace,
                            const SimOptions& options, double peer_speed) {
   CL_CHECK(peer_speed > 0.0);
+  CODELAYOUT_PHASE("icache_corun", "cache", "cache.icache_corun.wall_ns",
+                   {"self_events", std::uint64_t{self_trace.size()}},
+                   {"peer_events", std::uint64_t{peer_trace.size()}});
   SetAssocCache cache(options.geometry);
   // Disjoint line-id namespaces: two address spaces sharing one cache.
   constexpr std::uint64_t kPeerNamespace = std::uint64_t{1} << 40;
@@ -216,6 +237,9 @@ CorunResult simulate_corun(const Module& self_module,
 std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
                                            const SimOptions& options) {
   CL_CHECK_MSG(parties.size() >= 2, "need at least two co-runners");
+  CODELAYOUT_PHASE("icache_corun_many", "cache",
+                   "cache.icache_corun_many.wall_ns",
+                   {"parties", std::uint64_t{parties.size()}});
   SetAssocCache cache(options.geometry);
   std::vector<FetchStream> streams;
   std::vector<double> credit(parties.size(), 0.0);

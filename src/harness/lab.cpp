@@ -5,9 +5,19 @@
 #include <future>
 
 #include "support/check.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
 namespace {
+
+/// Span/histogram label for the optimizer slot of an EvalKey.
+std::string opt_label(const std::optional<Optimizer>& optimizer) {
+  return optimizer ? optimizer->name() : "Original";
+}
+
+const char* measure_label(Measure measure) {
+  return measure == Measure::kHardware ? "hw" : "sim";
+}
 
 void stage_json(JsonWriter& json, const char* name,
                 const StageSnapshot& stage) {
@@ -100,6 +110,8 @@ void Lab::execute(const EvalRequest& request) {
 }
 
 void Lab::evaluate_all(std::span<const EvalRequest> requests) {
+  CODELAYOUT_PHASE("evaluate_all", "lab", "lab.evaluate_all.wall_ns",
+                   {"requests", std::uint64_t{requests.size()}});
   const std::uint64_t wall0 = wall_nanos_now();
   batches_.fetch_add(1, std::memory_order_relaxed);
   requests_submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
@@ -141,6 +153,8 @@ void Lab::prepare_all(const std::vector<std::string>& names) {
 const PreparedWorkload& Lab::workload(const std::string& name) {
   const EvalKey key = EvalRequest::prepare(name).key;
   return workloads_.get_or_compute(key, counters(Stage::kPrepare), [&] {
+    CODELAYOUT_PHASE("prepare", "lab", "lab.prepare.wall_ns",
+                     {"workload", name});
     return prepare_workload(find_spec(name), options_.pipeline());
   });
 }
@@ -152,6 +166,8 @@ const CodeLayout& Lab::layout(const std::string& name,
 
   const EvalKey key = EvalRequest::layout(name, optimizer).key;
   return layouts_.get_or_compute(key, counters(Stage::kLayout), [&] {
+    CODELAYOUT_PHASE("layout", "lab", "lab.layout.wall_ns",
+                     {"workload", name}, {"optimizer", opt_label(optimizer)});
     return optimize_layout(prepared, *optimizer, options_.pipeline());
   });
 }
@@ -161,6 +177,9 @@ const SimResult& Lab::solo(const std::string& name,
                            Measure measure) {
   const EvalKey key = EvalRequest::solo(name, optimizer, measure).key;
   return solos_.get_or_compute(key, counters(Stage::kSolo), [&] {
+    CODELAYOUT_PHASE("solo", "lab", "lab.solo.wall_ns", {"workload", name},
+                     {"optimizer", opt_label(optimizer)},
+                     {"measure", measure_label(measure)});
     const PreparedWorkload& prepared = workload(name);
     const CodeLayout& lay = layout(name, optimizer);
     return simulate_solo(prepared.module, lay, prepared.eval_blocks,
@@ -176,6 +195,11 @@ const CorunResult& Lab::corun(const std::string& self_name,
   const EvalKey key =
       EvalRequest::corun(self_name, self_opt, peer_name, peer_opt, measure).key;
   return coruns_.get_or_compute(key, counters(Stage::kCorun), [&] {
+    CODELAYOUT_PHASE("corun", "lab", "lab.corun.wall_ns",
+                     {"workload", self_name},
+                     {"optimizer", opt_label(self_opt)}, {"peer", peer_name},
+                     {"peer_optimizer", opt_label(peer_opt)},
+                     {"measure", measure_label(measure)});
     const PreparedWorkload& self = workload(self_name);
     const PreparedWorkload& peer = workload(peer_name);
     const CodeLayout& self_lay = layout(self_name, self_opt);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/registry.hpp"
 
 namespace codelayout {
 
@@ -52,6 +53,12 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
     }
     last[s] = t + r.length - 1;
     t += r.length;
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("locality.footprint.runs").add(trace.run_count());
+    registry.counter("locality.footprint.collapsed_events")
+        .add(n - trace.run_count());
   }
   for (Symbol s = 0; s < space; ++s) {
     if (first[s] == ~std::uint64_t{0}) continue;  // never accessed

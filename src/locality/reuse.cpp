@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/registry.hpp"
 
 namespace codelayout {
 namespace {
@@ -50,6 +51,7 @@ void scan_reuse(const Trace& trace, PerAccess&& on_access) {
   std::vector<std::uint64_t> last(space, kColdReuse);
 
   std::size_t t = 0;  // event index of the current run's first event
+  std::uint64_t collapsed = 0;  // events served by the run collapse
   for (const Run& r : trace.runs()) {
     const std::uint64_t prev = last[r.symbol];
     std::uint64_t distance = kColdReuse;
@@ -65,8 +67,16 @@ void scan_reuse(const Trace& trace, PerAccess&& on_access) {
     marks.add(t_last, +1);
     last[r.symbol] = t_last;
     on_access(distance, time, std::uint64_t{1});
-    if (r.length > 1) on_access(0, 1, r.length - 1);
+    if (r.length > 1) {
+      on_access(0, 1, r.length - 1);
+      collapsed += r.length - 1;
+    }
     t += r.length;
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("locality.reuse.runs").add(trace.run_count());
+    registry.counter("locality.reuse.collapsed_events").add(collapsed);
   }
 }
 

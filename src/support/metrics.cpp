@@ -36,31 +36,76 @@ StageSnapshot StageSnapshot::from(const StageCounters& counters) {
 
 JsonWriter::JsonWriter() {
   out_ += '{';
-  needs_comma_.push_back(false);
+  frames_.push_back(Frame{'}', false});
 }
 
 void JsonWriter::comma() {
-  if (needs_comma_.back()) out_ += ',';
-  needs_comma_.back() = true;
+  if (frames_.back().needs_comma) out_ += ',';
+  frames_.back().needs_comma = true;
 }
 
 void JsonWriter::write_key(std::string_view key) {
+  write_string(key);
+  out_ += ':';
+}
+
+void JsonWriter::write_string(std::string_view s) {
   out_ += '"';
-  out_.append(key);
-  out_ += "\":";
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out_ += "\\\""; continue;
+      case '\\': out_ += "\\\\"; continue;
+      case '\b': out_ += "\\b"; continue;
+      case '\f': out_ += "\\f"; continue;
+      case '\n': out_ += "\\n"; continue;
+      case '\r': out_ += "\\r"; continue;
+      case '\t': out_ += "\\t"; continue;
+      default: break;
+    }
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+      out_ += buf;
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
 }
 
 JsonWriter& JsonWriter::begin_object(std::string_view key) {
   comma();
   write_key(key);
   out_ += '{';
-  needs_comma_.push_back(false);
+  frames_.push_back(Frame{'}', false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  frames_.push_back(Frame{'}', false});
   return *this;
 }
 
 JsonWriter& JsonWriter::end_object() {
   out_ += '}';
-  needs_comma_.pop_back();
+  frames_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  comma();
+  write_key(key);
+  out_ += '[';
+  frames_.push_back(Frame{']', false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  frames_.pop_back();
   return *this;
 }
 
@@ -87,13 +132,12 @@ JsonWriter& JsonWriter::field(std::string_view key, double value) {
 JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
   comma();
   write_key(key);
-  out_ += '"';
-  for (const char c : value) {
-    if (c == '"' || c == '\\') out_ += '\\';
-    out_ += c;
-  }
-  out_ += '"';
+  write_string(value);
   return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
 }
 
 JsonWriter& JsonWriter::field(std::string_view key, bool value) {
@@ -103,10 +147,30 @@ JsonWriter& JsonWriter::field(std::string_view key, bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  write_string(v);
+  return *this;
+}
+
 std::string JsonWriter::finish() {
-  while (!needs_comma_.empty()) {
-    out_ += '}';
-    needs_comma_.pop_back();
+  while (!frames_.empty()) {
+    out_ += frames_.back().close;
+    frames_.pop_back();
   }
   return out_;
 }

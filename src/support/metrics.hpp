@@ -52,29 +52,50 @@ struct StageSnapshot {
   static StageSnapshot from(const StageCounters& counters);
 };
 
-/// Minimal streaming JSON writer: one root object, nested objects, scalar
-/// fields. Strings are escaped; doubles print with 6 significant digits.
+/// Minimal streaming JSON writer: one root object, nested objects and
+/// arrays, scalar fields. Strings are escaped (quotes, backslashes, and
+/// every control byte < 0x20 as \u00XX); doubles print with 6 significant
+/// digits. Inside an array, use the key-less begin_object()/value()
+/// overloads for the elements.
 class JsonWriter {
  public:
   JsonWriter();
 
   JsonWriter& begin_object(std::string_view key);
+  /// Key-less object — an array element.
+  JsonWriter& begin_object();
   JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
   JsonWriter& field(std::string_view key, std::uint64_t value);
   JsonWriter& field(std::string_view key, unsigned value);
   JsonWriter& field(std::string_view key, double value);
   JsonWriter& field(std::string_view key, std::string_view value);
+  /// Without this overload, string literals would convert pointer-to-bool
+  /// and silently pick field(key, bool).
+  JsonWriter& field(std::string_view key, const char* value);
   JsonWriter& field(std::string_view key, bool value);
+  /// Key-less scalars — array elements.
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::string_view v);
 
-  /// Closes all open objects and returns the document.
+  /// Closes all open objects/arrays and returns the document.
   [[nodiscard]] std::string finish();
 
  private:
   void comma();
   void write_key(std::string_view key);
+  void write_string(std::string_view s);
 
   std::string out_;
-  std::vector<bool> needs_comma_;
+  /// One frame per open container: '}' or ']' to emit on close, plus the
+  /// needs-comma state of that container.
+  struct Frame {
+    char close;
+    bool needs_comma;
+  };
+  std::vector<Frame> frames_;
 };
 
 }  // namespace codelayout

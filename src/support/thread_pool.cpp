@@ -1,6 +1,11 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "support/metrics.hpp"
+#include "support/registry.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
 
@@ -8,7 +13,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   const unsigned count = std::max(1u, threads);
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,28 +27,59 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  Item item{std::packaged_task<void()>(std::move(task)), 0};
+  if (TraceRecorder::instance().enabled() ||
+      MetricsRegistry::global().enabled()) {
+    item.enqueue_nanos = wall_nanos_now();
+  }
+  std::future<void> future = item.task.get_future();
   {
     std::scoped_lock lock(mutex_);
-    queue_.push(std::move(packaged));
+    queue_.push(std::move(item));
   }
   cv_.notify_one();
   return future;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  bool track_named = false;
   for (;;) {
-    std::packaged_task<void()> task;
+    Item item;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       // Drain the queue even when stopping: submitted futures must resolve.
       if (queue_.empty()) return;
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // exceptions land in the task's future
+
+    if (item.enqueue_nanos == 0) {
+      item.task();  // exceptions land in the task's future
+      continue;
+    }
+
+    // Instrumented path: the enqueue stamp rode in with the task.
+    TraceRecorder& recorder = TraceRecorder::instance();
+    MetricsRegistry& registry = MetricsRegistry::global();
+    if (recorder.enabled() && !track_named) {
+      recorder.set_thread_name("worker-" + std::to_string(index + 1));
+      track_named = true;
+    }
+    const std::uint64_t start = wall_nanos_now();
+    const std::uint64_t wait = start - item.enqueue_nanos;
+    item.task();
+    const std::uint64_t run = wall_nanos_now() - start;
+    if (registry.enabled()) {
+      registry.counter("threadpool.tasks").add(1);
+      registry.histogram("threadpool.queue_wait_ns").record(wait);
+      registry.histogram("threadpool.run_ns").record(run);
+    }
+    if (recorder.enabled()) {
+      recorder.record_span("queue-wait", "threadpool", item.enqueue_nanos,
+                           wait, {});
+      recorder.record_span("task", "threadpool", start, run, {});
+    }
   }
 }
 

@@ -6,9 +6,17 @@
 // claim-and-compute-inline discipline there guarantees that every in-progress
 // cell is actively being computed by some thread, so blocked workers always
 // wait on a thread that is making progress and the pool cannot deadlock.
+//
+// Observability: when tracing/metrics are enabled, each task is stamped at
+// enqueue and the dequeuing worker records queue-wait and run time — as
+// "queue-wait"/"task" spans on the worker's trace track and as the
+// "threadpool.queue_wait_ns" / "threadpool.run_ns" latency histograms (plus
+// the "threadpool.tasks" counter). Disabled, the stamp collapses to one
+// branch per submit/dequeue.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -38,11 +46,17 @@ class ThreadPool {
   static unsigned default_threads();
 
  private:
-  void worker_loop();
+  struct Item {
+    std::packaged_task<void()> task;
+    /// Wall clock at submit; 0 when observability was off at enqueue.
+    std::uint64_t enqueue_nanos = 0;
+  };
+
+  void worker_loop(unsigned index);
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<Item> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,170 @@
+#include "support/trace_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    const char* env = std::getenv("CODELAYOUT_TRACE");
+    if (env != nullptr && std::string_view(env) != "0") r->enable();
+    return r;
+  }();
+  return *recorder;
+}
+
+namespace {
+std::atomic<std::uint64_t> next_recorder_id{1};
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : recorder_id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      base_nanos_(wall_nanos_now()) {}
+
+void TraceRecorder::enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void TraceRecorder::set_ring_capacity(std::size_t spans) {
+  CL_CHECK(spans > 0);
+  std::scoped_lock lock(registry_mutex_);
+  ring_capacity_ = spans;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // The thread-local shared_ptr keeps the buffer alive across thread exit
+  // order; the recorder's vector keeps it exportable afterwards. `owner_id`
+  // guards against another recorder instance on the same thread (tests) —
+  // compared by id, not address, so a new recorder reusing a destroyed one's
+  // address is still detected.
+  thread_local std::uint64_t owner_id = 0;
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer || owner_id != recorder_id_) {
+    buffer = std::make_shared<ThreadBuffer>();
+    owner_id = recorder_id_;
+    std::scoped_lock lock(registry_mutex_);
+    buffer->tid = next_tid_++;
+    buffer->capacity = ring_capacity_;
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::record_span(const char* name, const char* category,
+                                std::uint64_t start_nanos,
+                                std::uint64_t duration_nanos,
+                                std::vector<SpanArg> args) {
+  ThreadBuffer& buf = local_buffer();
+  std::scoped_lock lock(buf.mutex);
+  Span span{name, category, start_nanos, duration_nanos, std::move(args)};
+  if (buf.ring.size() < buf.capacity) {
+    buf.ring.push_back(std::move(span));
+  } else {
+    // Flight-recorder wrap: overwrite the oldest span.
+    buf.ring[buf.pushed % buf.capacity] = std::move(span);
+  }
+  ++buf.pushed;
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  ThreadBuffer& buf = local_buffer();
+  std::scoped_lock lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::uint64_t TraceRecorder::dropped_spans() const {
+  std::scoped_lock registry_lock(registry_mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    std::scoped_lock lock(buf->mutex);
+    dropped += buf->pushed - buf->ring.size();
+  }
+  return dropped;
+}
+
+std::uint64_t TraceRecorder::recorded_spans() const {
+  std::scoped_lock registry_lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::scoped_lock lock(buf->mutex);
+    total += buf->ring.size();
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::scoped_lock registry_lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::scoped_lock lock(buf->mutex);
+    buf->ring.clear();
+    buf->pushed = 0;
+  }
+}
+
+std::string TraceRecorder::export_chrome_trace() const {
+  std::scoped_lock registry_lock(registry_mutex_);
+  JsonWriter json;
+  json.field("displayTimeUnit", "ns");
+
+  std::uint64_t dropped = 0;
+  json.begin_array("traceEvents");
+  for (const auto& buf : buffers_) {
+    std::scoped_lock lock(buf->mutex);
+    dropped += buf->pushed - buf->ring.size();
+
+    const std::string track_name =
+        buf->name.empty() ? "thread-" + std::to_string(buf->tid) : buf->name;
+    json.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", std::uint64_t{1})
+        .field("tid", std::uint64_t{buf->tid})
+        .begin_object("args")
+        .field("name", track_name)
+        .end_object()
+        .end_object();
+
+    // Oldest-first: after a wrap the ring's logical start is pushed % cap.
+    const std::size_t count = buf->ring.size();
+    const std::size_t start =
+        buf->pushed > count ? buf->pushed % buf->capacity : 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Span& span = buf->ring[(start + i) % count];
+      json.begin_object()
+          .field("name", span.name)
+          .field("cat", span.category)
+          .field("ph", "X")
+          .field("ts",
+                 static_cast<double>(span.start_nanos - base_nanos_) / 1e3)
+          .field("dur", static_cast<double>(span.duration_nanos) / 1e3)
+          .field("pid", std::uint64_t{1})
+          .field("tid", std::uint64_t{buf->tid});
+      if (!span.args.empty()) {
+        json.begin_object("args");
+        for (const SpanArg& arg : span.args) json.field(arg.key, arg.value);
+        json.end_object();
+      }
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.begin_object("otherData")
+      .field("dropped_spans", dropped)
+      .end_object();
+  return json.finish();
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  const std::string doc = export_chrome_trace();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  CL_CHECK_MSG(file != nullptr, "cannot open trace output " << path);
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), file);
+  std::fputc('\n', file);
+  const int close_rc = std::fclose(file);
+  CL_CHECK_MSG(written == doc.size() && close_rc == 0,
+               "short write to trace output " << path);
+}
+
+}  // namespace codelayout

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "support/registry.hpp"
+
 namespace codelayout {
 
 PruneResult prune_to_hot(const Trace& trace, std::size_t top_k) {
@@ -29,13 +31,21 @@ PruneResult prune_to_hot(const Trace& trace, std::size_t top_k) {
   result.trace.reserve(trace.run_count());
   // Single-pass run transducer: each run is kept or dropped whole (one hot-set
   // probe per run), and push_run re-coalesces across dropped gaps.
+  std::uint64_t runs_kept = 0;
   for (const Run& r : trace.runs()) {
     if (hot.contains(r.symbol)) {
       result.trace.push_run(r.symbol, r.length);
       result.kept_events += r.length;
+      ++runs_kept;
     }
   }
   result.trace = result.trace.trimmed();
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("trace.prune.runs_kept").add(runs_kept);
+    registry.counter("trace.prune.runs_dropped")
+        .add(trace.run_count() - runs_kept);
+  }
   return result;
 }
 

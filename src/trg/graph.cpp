@@ -4,6 +4,7 @@
 
 #include "locality/lru_stack.hpp"
 #include "support/check.hpp"
+#include "support/registry.hpp"
 
 namespace codelayout {
 
@@ -54,6 +55,12 @@ Trg Trg::build(const Trace& trace, const TrgConfig& config) {
     }
     stack.touch(a);
     stack.evict_to_weight(config.window_entries);
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("trg.build.runs").add(trace.run_count());
+    registry.counter("trg.build.collapsed_events")
+        .add(trace.size() - trace.run_count());
   }
   return graph;
 }

@@ -1,0 +1,155 @@
+// MetricsRegistry tests: counter/gauge semantics, concurrent updates,
+// log-bucketed histogram summaries, and the JSON dump.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_lint.hpp"
+#include "support/registry.hpp"
+
+namespace codelayout {
+namespace {
+
+using testing::json_is_valid;
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddAreSigned) {
+  Gauge g;
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(LatencyHistogramTest, SingleValueSummaryIsExact) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1000);
+  const LatencyHistogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1000u);
+  EXPECT_EQ(s.min, 1000u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1000.0);
+  // All samples land in the [512, 1024) bucket; interpolated quantiles must
+  // stay inside it and be ordered.
+  EXPECT_GE(s.p50, 512.0);
+  EXPECT_LT(s.p50, 1024.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LT(s.p99, 1024.0);
+}
+
+TEST(LatencyHistogramTest, ZeroLandsInBucketZero) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  const LatencyHistogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1u);
+  EXPECT_LT(s.p50, 2.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesSeparateTwoModes) {
+  LatencyHistogram h;
+  // 90 fast samples (~1us) and 10 slow ones (~1ms): p50 must sit near the
+  // fast mode and p99 near the slow mode, a decade-plus apart.
+  for (int i = 0; i < 90; ++i) h.record(1000);
+  for (int i = 0; i < 10; ++i) h.record(1'000'000);
+  const LatencyHistogram::Summary s = h.summary();
+  EXPECT_LT(s.p50, 2048.0);
+  EXPECT_GE(s.p99, 524288.0);
+  EXPECT_EQ(s.min, 1000u);
+  EXPECT_EQ(s.max, 1'000'000u);
+}
+
+TEST(LatencyHistogramTest, EmptySummaryIsAllZero) {
+  LatencyHistogram h;
+  const LatencyHistogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentsHaveStableIdentity) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &registry.counter("y"));
+  LatencyHistogram& h = registry.histogram("x");  // separate namespace
+  EXPECT_EQ(&h, &registry.histogram("x"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Mix of cached-reference and by-name updates, plus histogram records,
+      // to exercise registration races.
+      Counter& cached = registry.counter("events");
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        cached.add();
+        registry.counter("lookups").add(2);
+        registry.histogram("lat").record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("events").value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(registry.counter("lookups").value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread * 2);
+  EXPECT_EQ(registry.histogram("lat").summary().count,
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsRegistryTest, JsonDumpIsValidAndSorted) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(3);
+  registry.counter("alpha").add(1);
+  registry.gauge("width").set(8);
+  registry.histogram("stage.wall_ns").record(1500);
+  const std::string doc = registry.to_json("unit");
+  std::string error;
+  EXPECT_TRUE(json_is_valid(doc, &error)) << error << "\n" << doc;
+  EXPECT_NE(doc.find(R"("alpha":1)"), std::string::npos);
+  EXPECT_NE(doc.find(R"("zeta":3)"), std::string::npos);
+  EXPECT_NE(doc.find(R"("width":8)"), std::string::npos);
+  EXPECT_NE(doc.find(R"("stage.wall_ns")"), std::string::npos);
+  EXPECT_NE(doc.find(R"("p99_ns")"), std::string::npos);
+  // std::map ordering: "alpha" dumps before "zeta".
+  EXPECT_LT(doc.find("\"alpha\""), doc.find("\"zeta\""));
+}
+
+TEST(MetricsRegistryTest, ResetForgetsInstruments) {
+  MetricsRegistry registry;
+  registry.counter("gone").add(7);
+  registry.reset();
+  EXPECT_EQ(registry.counter("gone").value(), 0u);
+}
+
+TEST(MetricsRegistryTest, DisabledByDefault) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.enabled());
+  registry.set_enabled(true);
+  EXPECT_TRUE(registry.enabled());
+}
+
+}  // namespace
+}  // namespace codelayout

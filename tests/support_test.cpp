@@ -6,6 +6,7 @@
 
 #include "support/check.hpp"
 #include "support/format.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -315,6 +316,68 @@ TEST(Format, AsciiBarsHandleNegativeAndZero) {
   EXPECT_NE(out.find("up"), std::string::npos);
   EXPECT_NE(out.find('-'), std::string::npos);
   EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// ---------- JsonWriter -----------------------------------------------------
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.field("a", std::uint64_t{1}).field("b", "two").field("c", true);
+  EXPECT_EQ(w.finish(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.field("name", "root");
+  w.begin_array("items");
+  w.begin_object().field("id", std::uint64_t{1}).end_object();
+  w.begin_object().field("id", std::uint64_t{2}).end_object();
+  w.end_array();
+  w.begin_object("meta").field("ok", true).end_object();
+  EXPECT_EQ(w.finish(),
+            R"({"name":"root","items":[{"id":1},{"id":2}],)"
+            R"("meta":{"ok":true}})");
+}
+
+TEST(JsonWriter, ScalarArrayElements) {
+  JsonWriter w;
+  w.begin_array("xs");
+  w.value(std::uint64_t{7}).value("mid").value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.finish(), R"({"xs":[7,"mid",1.5]})");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndNamedControls) {
+  JsonWriter w;
+  w.field("k", "a\"b\\c\nd\te\rf\bg\fh");
+  EXPECT_EQ(w.finish(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\"}");
+}
+
+TEST(JsonWriter, EscapesRawControlBytesAsUnicode) {
+  JsonWriter w;
+  w.field("k", std::string_view("\x01\x1f", 2));
+  EXPECT_EQ(w.finish(), "{\"k\":\"\\u0001\\u001f\"}");
+}
+
+TEST(JsonWriter, EscapedKeysToo) {
+  JsonWriter w;
+  w.field("we\"ird\n", std::uint64_t{1});
+  EXPECT_EQ(w.finish(), "{\"we\\\"ird\\n\":1}");
+}
+
+TEST(JsonWriter, FinishClosesAllOpenContainers) {
+  JsonWriter w;
+  w.begin_object("a");
+  w.begin_array("b");
+  w.begin_object().field("deep", true);
+  EXPECT_EQ(w.finish(), R"({"a":{"b":[{"deep":true}]}})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_array("empty_array").end_array();
+  w.begin_object("empty_object").end_object();
+  EXPECT_EQ(w.finish(), R"({"empty_array":[],"empty_object":{}})");
 }
 
 }  // namespace
