@@ -11,8 +11,18 @@
 // trace. Spin variants (a polling loop grafted onto a suite workload) show
 // the collapse paths on traces with real same-block runs.
 //
-//   bench_analysis_perf --suite [--events N] [--json]
+// The suite also measures the parallel analysis front end: the `affinity`
+// and `trg_build` kernels run the production fan-out (affinity w-grid over a
+// shared pool; sharded TRG build) at every thread count in --sweep-threads,
+// reporting per-count throughput plus an FNV checksum of the result — equal
+// checksums across counts are the bit-identity proof, and CI asserts it.
+// Each measurement uses a pool of (threads - 1) workers because the calling
+// thread participates (help-first), keeping the OS thread count equal to the
+// nominal sweep value.
+//
+//   bench_analysis_perf --suite [--events N] [--json] [--sweep-threads 1,2,8]
 //   bench_analysis_perf --workload 470.lbm+spin [--events N] [--json]
+//   bench_analysis_perf --workload 429.mcf,458.sjeng --sweep-threads 1,2,8
 //
 // Without these flags the google-benchmark harness runs as before.
 #include <benchmark/benchmark.h>
@@ -20,6 +30,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +44,7 @@
 #include "locality/lru_stack.hpp"
 #include "locality/reuse.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "trg/graph.hpp"
 #include "trg/reduction.hpp"
 #include "workloads/spec.hpp"
@@ -120,13 +132,63 @@ BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
 
 // ---- Run-aware kernel suite mode --------------------------------------------
 
+/// One point of a thread-scaling sweep: throughput at `threads` OS threads
+/// plus the FNV checksum of the kernel's result at that width (equal
+/// checksums across the sweep are the bit-identity evidence).
+struct SweepPoint {
+  unsigned threads = 1;
+  double events_per_sec = 0.0;
+  std::uint64_t checksum = 0;
+};
+
 /// One measured kernel: production throughput, and optionally a per-event
-/// reference replay's throughput for the run-aware speedup.
+/// reference replay's throughput for the run-aware speedup. Parallel kernels
+/// additionally carry the thread sweep; for those, events_per_sec is the
+/// widest point and baseline_events_per_sec the single-thread point, so the
+/// reported speedup is the thread-scaling factor.
 struct KernelReport {
   const char* name;
   double events_per_sec = 0.0;
   double baseline_events_per_sec = 0.0;  ///< 0 when no reference exists
+  std::vector<SweepPoint> sweep{};
 };
+
+// FNV checksums of the parallel kernels' outputs (same scheme as the test
+// suite's golden hashes: FNV-1a over little-endian 64-bit words).
+
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_hierarchy(const AffinityHierarchy& hierarchy) {
+  std::uint64_t h = fnv1a(kFnvSeed, hierarchy.nodes().size());
+  for (const AffinityGroup& g : hierarchy.nodes()) {
+    h = fnv1a(h, g.id);
+    h = fnv1a(h, g.formed_at_w);
+    h = fnv1a(h, g.first_occurrence);
+    h = fnv1a(h, g.occurrences);
+    for (const Symbol s : g.members) h = fnv1a(h, s);
+    for (const std::uint32_t c : g.children) h = fnv1a(h, c);
+  }
+  for (const std::uint32_t r : hierarchy.roots()) h = fnv1a(h, r);
+  return h;
+}
+
+std::uint64_t hash_trg(const Trg& graph) {
+  std::uint64_t h = fnv1a(kFnvSeed, graph.node_count());
+  for (const Trg::Edge& e : graph.edges_by_weight()) {
+    h = fnv1a(h, e.a);
+    h = fnv1a(h, e.b);
+    h = fnv1a(h, e.weight);
+  }
+  return h;
+}
 
 struct WorkloadReport {
   std::string name;
@@ -216,8 +278,40 @@ SimResult per_event_solo(const Module& module, const CodeLayout& layout,
   return stats;
 }
 
+/// Sweeps `run(pool, checksum_out)` over the requested thread counts. Each
+/// count gets a pool of (threads - 1) workers — the calling thread
+/// participates via the help-first task sets, so `threads` is the true OS
+/// thread count — and threads == 1 runs the serial path (null pool).
+template <typename RunFn>
+std::vector<SweepPoint> sweep_kernel(std::uint64_t events,
+                                     const std::vector<unsigned>& thread_counts,
+                                     RunFn&& run) {
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(thread_counts.size());
+  for (const unsigned threads : thread_counts) {
+    const std::unique_ptr<ThreadPool> pool =
+        threads > 1 ? std::make_unique<ThreadPool>(threads - 1) : nullptr;
+    SweepPoint point{.threads = threads};
+    point.events_per_sec = measure_events_per_sec(
+        events, [&] { point.checksum = run(pool.get()); });
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+/// Collapses a sweep into the KernelReport convention: events_per_sec at the
+/// widest point, baseline at the narrowest (the counts arrive ascending).
+KernelReport from_sweep(const char* name, std::vector<SweepPoint> sweep) {
+  KernelReport report{.name = name};
+  report.baseline_events_per_sec = sweep.front().events_per_sec;
+  report.events_per_sec = sweep.back().events_per_sec;
+  report.sweep = std::move(sweep);
+  return report;
+}
+
 WorkloadReport measure_workload(const WorkloadSpec& spec,
-                                std::uint64_t max_events) {
+                                std::uint64_t max_events,
+                                const std::vector<unsigned>& sweep_threads) {
   const Module module = build_workload(spec);
   const std::uint64_t events = std::min(max_events, spec.profile_events);
   const Trace trace =
@@ -268,6 +362,22 @@ WorkloadReport measure_workload(const WorkloadSpec& spec,
       n, [&] { benchmark::DoNotOptimize(Trg::build(trace, trg_config)); });
   report.kernels.push_back(trg);
 
+  // Parallel analysis front end: the same production entry points the Lab
+  // drives, swept over thread counts. The checksums pin bit-identity.
+  const Trace trimmed = trace.trimmed();
+  report.kernels.push_back(from_sweep(
+      "affinity", sweep_kernel(n, sweep_threads, [&](ThreadPool* pool) {
+        AffinityConfig config;
+        config.pool = pool;
+        return hash_hierarchy(analyze_affinity(trimmed, config));
+      })));
+  report.kernels.push_back(from_sweep(
+      "trg_build", sweep_kernel(n, sweep_threads, [&](ThreadPool* pool) {
+        return hash_trg(Trg::build(
+            trace, TrgConfig{.window_entries = trg_config.window_entries,
+                             .pool = pool}));
+      })));
+
   // Bare-LRU simulation (the paper's Pin-simulator flavour): no per-event
   // wrong-path draws, so a run collapses to O(1) in the fast path.
   const SimOptions sim_options{};
@@ -310,6 +420,19 @@ void print_report(const WorkloadReport& r, bool json, bool first) {
                     k.baseline_events_per_sec,
                     k.events_per_sec / k.baseline_events_per_sec);
       }
+      if (!k.sweep.empty()) {
+        std::printf(", \"sweep\": [");
+        for (std::size_t j = 0; j < k.sweep.size(); ++j) {
+          const SweepPoint& p = k.sweep[j];
+          // Checksums as hex strings: 64-bit values do not survive the
+          // double-precision number path of most JSON consumers.
+          std::printf("%s{\"threads\": %u, \"events_per_sec\": %.0f,"
+                      " \"checksum\": \"0x%016llx\"}",
+                      j ? ", " : "", p.threads, p.events_per_sec,
+                      static_cast<unsigned long long>(p.checksum));
+        }
+        std::printf("]");
+      }
       std::printf("}");
     }
     std::printf("]}");
@@ -321,24 +444,72 @@ void print_report(const WorkloadReport& r, bool json, bool first) {
   for (const KernelReport& k : r.kernels) {
     std::printf("    %-12s %12.0f events/s", k.name, k.events_per_sec);
     if (k.baseline_events_per_sec > 0.0) {
-      std::printf("   (per-event %12.0f, speedup %5.2fx)",
+      std::printf(k.sweep.empty()
+                      ? "   (per-event %12.0f, speedup %5.2fx)"
+                      : "   (1-thread  %12.0f, scaling %5.2fx)",
                   k.baseline_events_per_sec,
                   k.events_per_sec / k.baseline_events_per_sec);
     }
     std::printf("\n");
+    for (const SweepPoint& p : k.sweep) {
+      std::printf("        %2u thread%s %12.0f events/s  checksum "
+                  "0x%016llx\n",
+                  p.threads, p.threads == 1 ? " " : "s", p.events_per_sec,
+                  static_cast<unsigned long long>(p.checksum));
+    }
   }
 }
 
+/// "429.mcf,458.sjeng+spin" -> specs; "+spin" selects the bench-local spin
+/// variant of the base workload.
+std::vector<WorkloadSpec> parse_workloads(const std::string& list) {
+  std::vector<WorkloadSpec> specs;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    if (!name.empty()) {
+      const auto plus = name.rfind("+spin");
+      if (plus != std::string::npos && plus == name.size() - 5) {
+        specs.push_back(spin_variant(name.substr(0, plus)));
+      } else {
+        specs.push_back(find_spec(name));
+      }
+    }
+    start = comma + 1;
+  }
+  return specs;
+}
+
+/// "1,2,8" -> {1, 2, 8}; enforced nonempty, positive, strictly ascending so
+/// the sweep's first point is the serial baseline and the last the widest.
+std::vector<unsigned> parse_thread_counts(const std::string& list) {
+  std::vector<unsigned> counts;
+  const char* cursor = list.c_str();
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(cursor, &end, 10);
+    if (end == cursor || value == 0 ||
+        (!counts.empty() && value <= counts.back())) {
+      std::fprintf(stderr,
+                   "--sweep-threads wants a strictly ascending list of "
+                   "positive counts, got \"%s\"\n",
+                   list.c_str());
+      std::exit(2);
+    }
+    counts.push_back(static_cast<unsigned>(value));
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  if (counts.empty()) counts.push_back(1);
+  return counts;
+}
+
 int run_suite_mode(const std::string& workload, std::uint64_t max_events,
-                   bool json) {
+                   bool json, const std::vector<unsigned>& sweep_threads) {
   std::vector<WorkloadSpec> specs;
   if (!workload.empty()) {
-    const auto plus = workload.rfind("+spin");
-    if (plus != std::string::npos && plus == workload.size() - 5) {
-      specs.push_back(spin_variant(workload.substr(0, plus)));
-    } else {
-      specs.push_back(find_spec(workload));
-    }
+    specs = parse_workloads(workload);
   } else {
     specs = spec_suite();
     specs.push_back(spin_variant("470.lbm"));
@@ -347,7 +518,8 @@ int run_suite_mode(const std::string& workload, std::uint64_t max_events,
   if (json) std::printf("[\n");
   bool first = true;
   for (const WorkloadSpec& spec : specs) {
-    print_report(measure_workload(spec, max_events), json, first);
+    print_report(measure_workload(spec, max_events, sweep_threads), json,
+                 first);
     first = false;
   }
   if (json) std::printf("\n]\n");
@@ -360,6 +532,7 @@ int main(int argc, char** argv) {
   bool suite = false;
   bool json = false;
   std::string workload;
+  std::string sweep = "1";
   std::uint64_t max_events = ~std::uint64_t{0};
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -373,11 +546,17 @@ int main(int argc, char** argv) {
       workload = argv[++i];
     } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       max_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--sweep-threads") == 0 && i + 1 < argc) {
+      suite = true;
+      sweep = argv[++i];
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (suite) return run_suite_mode(workload, max_events, json);
+  if (suite) {
+    return run_suite_mode(workload, max_events, json,
+                          parse_thread_counts(sweep));
+  }
 
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

@@ -23,10 +23,18 @@
 
 namespace codelayout {
 
+class ThreadPool;
+
 struct AffinityConfig {
   /// Window sizes to analyze, ascending. The paper chooses w between 2 and
   /// 20; the default grid covers that range with 8 passes.
   std::vector<std::uint32_t> w_values = {2, 3, 4, 6, 8, 12, 16, 20};
+
+  /// Optional shared worker pool: the per-w passes are independent, so
+  /// analyze_affinity fans them out and folds the hierarchy in ascending-w
+  /// order as results complete. Non-owning; nullptr = serial. The result is
+  /// bit-identical at any pool size (the passes are exact, not approximate).
+  ThreadPool* pool = nullptr;
 
   [[nodiscard]] bool valid() const {
     if (w_values.empty()) return false;

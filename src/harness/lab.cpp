@@ -168,7 +168,15 @@ const CodeLayout& Lab::layout(const std::string& name,
   return layouts_.get_or_compute(key, counters(Stage::kLayout), [&] {
     CODELAYOUT_PHASE("layout", "lab", "lab.layout.wall_ns",
                      {"workload", name}, {"optimizer", opt_label(optimizer)});
-    return optimize_layout(prepared, *optimizer, options_.pipeline());
+    // Fan the analysis kernels out over the engine pool. This is safe even
+    // though this memo compute may itself be running *on* that pool: the
+    // analysis layer uses help-first task sets (see support/parallel.hpp),
+    // so its progress never depends on a queued helper being scheduled.
+    PipelineConfig pipeline = options_.pipeline();
+    if (threads_ > 1 && pipeline.analysis_pool == nullptr) {
+      pipeline.analysis_pool = &pool();
+    }
+    return optimize_layout(prepared, *optimizer, pipeline);
   });
 }
 

@@ -75,7 +75,9 @@ std::vector<Symbol> model_sequence(const PreparedWorkload& prepared,
                                              Granularity::kFunction
                                          ? "function"
                                          : "block"});
-    return analyze_affinity(trace, config.affinity).layout_order();
+    AffinityConfig affinity = config.affinity;
+    if (affinity.pool == nullptr) affinity.pool = config.analysis_pool;
+    return analyze_affinity(trace, affinity).layout_order();
   }
   const std::uint32_t assumed_bytes =
       optimizer.granularity == Granularity::kFunction
@@ -83,7 +85,8 @@ std::vector<Symbol> model_sequence(const PreparedWorkload& prepared,
           : config.trg_block_bytes;
   TrgConfig trg_config{
       .window_entries = trg_window_entries(config.trg_cache_bytes,
-                                           assumed_bytes)};
+                                           assumed_bytes),
+      .pool = config.analysis_pool};
   const Trg graph = [&] {
     CODELAYOUT_PHASE("trg_build", "pipeline", "pipeline.trg_build.wall_ns",
                      {"window", trg_config.window_entries});

@@ -1,0 +1,112 @@
+// Flat open-addressing hash map for nonzero 64-bit keys.
+//
+// The analysis kernels key their accumulators by packed symbol pairs
+// ((lo << 32) | hi with lo < hi, so a key is never 0) and hammer them once
+// per event-pair. std::unordered_map spends that budget on allocation and
+// pointer chasing; this table keeps (key, value) slots in one contiguous
+// array with linear probing, so the hot upsert path is one multiply-shift
+// hash plus a short scan of adjacent memory. Growth doubles the slot array
+// at ~0.62 load. Value references are invalidated by any insert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+
+/// SplitMix64 finalizer: a cheap full-avalanche mix for packed pair keys,
+/// whose low bits are one raw symbol and would otherwise cluster probes.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+template <typename Value>
+class FlatKeyMap {
+ public:
+  FlatKeyMap() = default;
+  explicit FlatKeyMap(std::size_t expected) { reserve(expected); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Ensures capacity for `expected` entries without rehashing en route.
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    while (expected * 8 > cap * 5) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Inserts a value-initialized entry when absent. `key` must be nonzero.
+  /// The reference is invalidated by the next insert.
+  Value& operator[](std::uint64_t key) {
+    CL_DCHECK(key != 0);
+    if ((size_ + 1) * 8 > slots_.size() * 5) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    Slot& slot = slots_[probe(key)];
+    if (slot.key == 0) {
+      slot.key = key;
+      ++size_;
+    }
+    return slot.value;
+  }
+
+  [[nodiscard]] const Value* find(std::uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    const Slot& slot = slots_[probe(key)];
+    return slot.key == 0 ? nullptr : &slot.value;
+  }
+
+  /// Calls fn(key, const Value&) for every entry, in internal slot order
+  /// (callers needing determinism must sort what they extract).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != 0) fn(slot.key, slot.value);
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+  };
+
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix64(key) & mask;
+    while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    for (Slot& slot : old) {
+      if (slot.key == 0) continue;
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = mix64(slot.key) & mask;
+      while (slots_[i].key != 0) i = (i + 1) & mask;
+      slots_[i] = std::move(slot);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace codelayout

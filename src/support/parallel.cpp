@@ -1,0 +1,111 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace codelayout {
+
+struct ParallelTaskSet::State {
+  TaskFn fn;
+  std::size_t count = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // All guarded by mu. Claims go through the mutex rather than an atomic so
+  // cancellation has a clean boundary: once `cancelled` is set no new claim
+  // can start, and `finished == next` means every claimed task has settled.
+  std::size_t next = 0;
+  std::size_t finished = 0;
+  bool cancelled = false;
+  std::vector<std::uint8_t> done;
+  std::vector<std::exception_ptr> errors;
+
+  /// Claims and runs one task. Returns false when nothing was left to claim.
+  bool run_one() {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (cancelled || next >= count) return false;
+      index = next++;
+    }
+    std::exception_ptr error;
+    try {
+      fn(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done[index] = 1;
+      errors[index] = std::move(error);
+      ++finished;
+    }
+    cv.notify_all();
+    return true;
+  }
+};
+
+ParallelTaskSet::ParallelTaskSet(ThreadPool* pool, std::size_t count,
+                                 TaskFn fn)
+    : state_(std::make_shared<State>()) {
+  state_->fn = std::move(fn);
+  state_->count = count;
+  state_->done.assign(count, 0);
+  state_->errors.assign(count, nullptr);
+  if (pool == nullptr || count < 2) return;
+  const std::size_t helpers =
+      std::min<std::size_t>(pool->size(), count);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // The helper holds its own reference to the state, so a helper that is
+    // dequeued only after this set was destroyed still finds live memory,
+    // observes the cancel flag, and returns. The future is intentionally
+    // dropped: run_one never lets an exception escape.
+    std::shared_ptr<State> state = state_;
+    pool->submit([state] {
+      while (state->run_one()) {
+      }
+    });
+  }
+}
+
+ParallelTaskSet::~ParallelTaskSet() {
+  State& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cancelled = true;
+  // Claimed tasks are actively running on some thread, so this wait is
+  // bounded by their own progress — it never depends on pool scheduling.
+  s.cv.wait(lock, [&] { return s.finished == s.next; });
+}
+
+void ParallelTaskSet::wait(std::size_t index) {
+  State& s = *state_;
+  CL_CHECK(index < s.count);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      if (s.done[index]) {
+        if (s.errors[index]) std::rethrow_exception(s.errors[index]);
+        return;
+      }
+    }
+    if (!s.run_one()) {
+      // Everything is claimed; the owner of `index` is actively computing.
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait(lock, [&] { return s.done[index] != 0; });
+      if (s.errors[index]) std::rethrow_exception(s.errors[index]);
+      return;
+    }
+  }
+}
+
+void ParallelTaskSet::wait_all() {
+  for (std::size_t i = 0; i < state_->count; ++i) wait(i);
+}
+
+}  // namespace codelayout

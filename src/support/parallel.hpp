@@ -1,0 +1,59 @@
+// Help-first parallel task sets for the analysis front end.
+//
+// A ParallelTaskSet runs `count` independent indexed tasks using an optional
+// shared ThreadPool for helpers while the *calling thread participates*:
+// wait(i) runs unclaimed tasks inline until task i has finished. That
+// discipline makes the primitive safe to use from inside a task already
+// running on the same pool — the configuration the Lab creates when a layout
+// cell fans its analysis out — because progress never depends on a queued
+// helper being scheduled: if every pool worker is busy, the caller simply
+// computes the whole set itself, degrading to the serial order instead of
+// deadlocking. (Blocking on queued subtasks from inside a pool task is the
+// classic nested-fork-join deadlock; see the ThreadPool header for why the
+// memo tables get away with blocking and this primitive must not.)
+//
+// Completion of task i happens-before wait(i) returning, so tasks may write
+// results into caller-owned slots without further synchronization. The
+// destructor cancels unclaimed tasks and joins claimed ones, so tasks may
+// also capture stack locals by reference. Queued helpers that only get
+// scheduled after cancellation see the cancel flag through the shared state
+// (kept alive by the helper's own reference) and return without touching the
+// task function.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace codelayout {
+
+class ThreadPool;
+
+class ParallelTaskSet {
+ public:
+  using TaskFn = std::function<void(std::size_t)>;
+
+  /// Starts `count` tasks, indices 0..count-1, claimed in ascending index
+  /// order. `pool` may be null (everything then runs on the calling thread
+  /// inside wait); helpers are submitted up to min(pool->size(), count).
+  ParallelTaskSet(ThreadPool* pool, std::size_t count, TaskFn fn);
+
+  /// Cancels unclaimed tasks and joins claimed ones.
+  ~ParallelTaskSet();
+
+  ParallelTaskSet(const ParallelTaskSet&) = delete;
+  ParallelTaskSet& operator=(const ParallelTaskSet&) = delete;
+
+  /// Blocks until task `index` has finished, running unclaimed tasks on the
+  /// calling thread while it waits. Rethrows the task's exception.
+  void wait(std::size_t index);
+
+  /// wait() over every task, ascending. Rethrows the first failure by index.
+  void wait_all();
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace codelayout

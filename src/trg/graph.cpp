@@ -4,9 +4,82 @@
 
 #include "locality/lru_stack.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/registry.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
+namespace {
+
+inline std::uint64_t edge_key(Symbol a, Symbol b) {
+  const Symbol lo = a < b ? a : b;
+  const Symbol hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Partial result of one build shard: chunk-local first-appearance node
+/// order plus the chunk's edge contributions.
+struct BuildShard {
+  std::vector<Symbol> nodes;
+  FlatKeyMap<Trg::Weight> edges;
+  std::uint64_t warmup_scanned_runs = 0;
+};
+
+/// Processes runs [lo, hi) against `stack` (already in the exact serial
+/// state at lo), recording nodes in first-appearance order and edge credits
+/// for events inside the chunk.
+void run_shard(std::span<const Run> runs, std::size_t lo, std::size_t hi,
+               LruStack& stack, std::uint32_t window_entries, Symbol space,
+               BuildShard& shard) {
+  std::vector<std::uint8_t> noted(space, 0);
+  for (std::size_t j = lo; j < hi; ++j) {
+    const Symbol a = runs[j].symbol;
+    if (!noted[a]) {
+      noted[a] = 1;
+      shard.nodes.push_back(a);
+    }
+    if (stack.resident(a)) {
+      // Everything above `a` occurred between its two successive
+      // occurrences — one potential conflict per such pair (Definition 6).
+      stack.for_above(a, [&](Symbol b) {
+        if (!noted[b]) {
+          noted[b] = 1;
+          shard.nodes.push_back(b);
+        }
+        shard.edges[edge_key(a, b)] += 1;
+        return true;
+      });
+    }
+    stack.touch(a);
+    stack.evict_to_weight(window_entries);
+  }
+}
+
+/// Reconstructs the serial stack state at run index `lo`: the state of a
+/// weight-capped LRU stack is the maximal <=cap prefix of the recency
+/// (last-occurrence) order of the preceding events, so a backward scan that
+/// collects each symbol at its first (most recent) sighting, stopping at the
+/// cap, recovers it exactly — no forward replay of the prefix needed. TRG
+/// stacks use unit weights, so the cap is a plain entry count.
+std::uint64_t warm_start(std::span<const Run> runs, std::size_t lo,
+                         std::uint32_t window_entries, Symbol space,
+                         LruStack& stack) {
+  std::vector<Symbol> recent;  // topmost first
+  std::vector<std::uint8_t> seen(space, 0);
+  std::size_t scanned = 0;
+  for (std::size_t j = lo; j-- > 0 && recent.size() < window_entries;) {
+    ++scanned;
+    const Symbol s = runs[j].symbol;
+    if (seen[s]) continue;
+    seen[s] = 1;
+    recent.push_back(s);
+  }
+  stack.restore(recent);
+  return scanned;
+}
+
+}  // namespace
 
 std::uint32_t trg_window_entries(std::uint64_t cache_bytes,
                                  std::uint32_t block_bytes) {
@@ -35,39 +108,76 @@ Trg Trg::build(const Trace& trace, const TrgConfig& config) {
   Trg graph;
   const Symbol space = trace.symbol_space();
   if (space == 0) return graph;
-  LruStack stack(space);
 
   // The TRG is defined over the trimmed trace, but a run's repeat events are
   // stack no-ops (the symbol is already on top: for_above yields nothing,
   // touch early-returns, no eviction pressure changes), so iterating one
   // event per run of the untrimmed trace — O(run_count) — builds the
-  // identical graph without materializing a trimmed copy.
-  for (const Run& r : trace.runs()) {
-    const Symbol a = r.symbol;
-    graph.note_node(a);
-    if (stack.resident(a)) {
-      // Everything above `a` occurred between its two successive
-      // occurrences — one potential conflict per such pair (Definition 6).
-      stack.for_above(a, [&](Symbol b) {
-        graph.add_edge(a, b, 1);
-        return true;
-      });
-    }
-    stack.touch(a);
-    stack.evict_to_weight(config.window_entries);
+  // identical graph without materializing a trimmed copy. Chunking the run
+  // array also means a shard boundary can never split a run.
+  const std::span<const Run> runs = trace.runs();
+  std::size_t shard_count = config.shards;
+  if (shard_count == 0) {
+    shard_count = config.pool == nullptr ? 1 : config.pool->size() + 1;
   }
+  shard_count = std::min<std::size_t>(shard_count, runs.size());
+  std::uint64_t warmup_scanned = 0;
+
+  if (shard_count <= 1) {
+    LruStack stack(space);
+    BuildShard whole;
+    run_shard(runs, 0, runs.size(), stack, config.window_entries, space,
+              whole);
+    for (const Symbol s : whole.nodes) graph.note_node(s);
+    whole.edges.for_each([&](std::uint64_t key, const Weight& w) {
+      graph.edges_[key] = w;
+    });
+  } else {
+    std::vector<BuildShard> shards(shard_count);
+    const auto chunk_begin = [&](std::size_t k) {
+      return runs.size() * k / shard_count;
+    };
+    ParallelTaskSet tasks(config.pool, shard_count, [&](std::size_t k) {
+      CODELAYOUT_PHASE("trg_shard", "analysis", "analysis.trg_shard.wall_ns",
+                       {"shard", std::uint64_t{k}});
+      const std::size_t lo = chunk_begin(k);
+      const std::size_t hi = chunk_begin(k + 1);
+      LruStack stack(space);
+      shards[k].warmup_scanned_runs =
+          warm_start(runs, lo, config.window_entries, space, stack);
+      run_shard(runs, lo, hi, stack, config.window_entries, space, shards[k]);
+    });
+    // Fold in chunk order as shards complete: concatenating the chunk-local
+    // first-appearance lists and keeping each symbol's first sighting
+    // reproduces the serial first-appearance order (a symbol credited from
+    // warm-up residency necessarily occurred in an earlier chunk), and edge
+    // weights add because every event belongs to exactly one chunk.
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      tasks.wait(k);
+      for (const Symbol s : shards[k].nodes) graph.note_node(s);
+      shards[k].edges.for_each([&](std::uint64_t key, const Weight& w) {
+        graph.edges_[key] += w;
+      });
+      warmup_scanned += shards[k].warmup_scanned_runs;
+    }
+  }
+
+  graph.ensure_adjacency();
   MetricsRegistry& registry = MetricsRegistry::global();
   if (registry.enabled()) {
     registry.counter("trg.build.runs").add(trace.run_count());
     registry.counter("trg.build.collapsed_events")
         .add(trace.size() - trace.run_count());
+    registry.counter("trg.build.shards").add(shard_count);
+    registry.counter("trg.build.warmup_runs").add(warmup_scanned);
   }
   return graph;
 }
 
 void Trg::note_node(Symbol s) {
-  if (!adj_.contains(s)) {
-    adj_.emplace(s, std::unordered_map<Symbol, Weight>{});
+  if (s >= node_index_.size()) node_index_.resize(s + 1, kNoNode);
+  if (node_index_[s] == kNoNode) {
+    node_index_[s] = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back(s);
   }
 }
@@ -76,31 +186,23 @@ void Trg::add_edge(Symbol a, Symbol b, Weight w) {
   CL_CHECK(a != b);
   note_node(a);
   note_node(b);
-  adj_[a][b] += w;
-  adj_[b][a] += w;
+  edges_[edge_key(a, b)] += w;
+  adjacency_valid_ = false;
 }
 
 Trg::Weight Trg::edge_weight(Symbol a, Symbol b) const {
-  const auto it = adj_.find(a);
-  if (it == adj_.end()) return 0;
-  const auto jt = it->second.find(b);
-  return jt == it->second.end() ? 0 : jt->second;
-}
-
-std::size_t Trg::edge_count() const {
-  std::size_t n = 0;
-  for (const auto& [s, nbrs] : adj_) n += nbrs.size();
-  return n / 2;
+  if (a == b) return 0;
+  const Weight* w = edges_.find(edge_key(a, b));
+  return w == nullptr ? 0 : *w;
 }
 
 std::vector<Trg::Edge> Trg::edges_by_weight() const {
   std::vector<Edge> out;
   out.reserve(edge_count());
-  for (const auto& [a, nbrs] : adj_) {
-    for (const auto& [b, w] : nbrs) {
-      if (a < b) out.push_back(Edge{a, b, w});
-    }
-  }
+  edges_.for_each([&](std::uint64_t key, const Weight& w) {
+    out.push_back(Edge{static_cast<Symbol>(key >> 32),
+                       static_cast<Symbol>(key & 0xffffffffu), w});
+  });
   std::sort(out.begin(), out.end(), [](const Edge& x, const Edge& y) {
     if (x.weight != y.weight) return x.weight > y.weight;
     if (x.a != y.a) return x.a < y.a;
@@ -109,10 +211,41 @@ std::vector<Trg::Edge> Trg::edges_by_weight() const {
   return out;
 }
 
-const std::unordered_map<Symbol, Trg::Weight>& Trg::neighbors(Symbol a) const {
-  const auto it = adj_.find(a);
-  CL_CHECK_MSG(it != adj_.end(), "symbol " << a << " not in TRG");
-  return it->second;
+std::span<const Trg::Neighbor> Trg::neighbors(Symbol a) const {
+  const std::uint32_t position = node_position(a);
+  CL_CHECK_MSG(position != kNoNode, "symbol " << a << " not in TRG");
+  ensure_adjacency();
+  return {adj_.data() + adj_offsets_[position],
+          adj_offsets_[position + 1] - adj_offsets_[position]};
+}
+
+void Trg::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  adj_offsets_.assign(nodes_.size() + 1, 0);
+  edges_.for_each([&](std::uint64_t key, const Weight&) {
+    ++adj_offsets_[node_position(static_cast<Symbol>(key >> 32)) + 1];
+    ++adj_offsets_[node_position(static_cast<Symbol>(key & 0xffffffffu)) + 1];
+  });
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    adj_offsets_[i + 1] += adj_offsets_[i];
+  }
+  adj_.resize(adj_offsets_.back());
+  std::vector<std::uint32_t> cursor(adj_offsets_.begin(),
+                                    adj_offsets_.end() - 1);
+  edges_.for_each([&](std::uint64_t key, const Weight& w) {
+    const auto lo = static_cast<Symbol>(key >> 32);
+    const auto hi = static_cast<Symbol>(key & 0xffffffffu);
+    adj_[cursor[node_position(lo)]++] = Neighbor{hi, w};
+    adj_[cursor[node_position(hi)]++] = Neighbor{lo, w};
+  });
+  // Sort each slice by neighbor symbol so iteration order is deterministic
+  // regardless of the accumulator's internal layout (and of shard count).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::sort(adj_.begin() + adj_offsets_[i],
+              adj_.begin() + adj_offsets_[i + 1],
+              [](const Neighbor& x, const Neighbor& y) { return x.to < y.to; });
+  }
+  adjacency_valid_ = true;
 }
 
 }  // namespace codelayout

@@ -10,22 +10,46 @@
 // between A's two successive occurrences, so each such pair's edge weight is
 // incremented. The stack uses the hash-table-plus-list layout of Sec. II-F
 // for O(1) touch.
+//
+// Storage is flat: edges accumulate in one open-addressing table keyed by
+// the packed (lo, hi) pair, and neighbors() reads a CSR adjacency built from
+// that table, so both edges_by_weight() and the reduction's neighbor scans
+// walk contiguous memory instead of a hash map of hash maps.
+//
+// Construction shards across the pool when TrgConfig.pool is set: the capped
+// stack's state at any position is the maximal weight-<=cap prefix of the
+// last-occurrence order of the preceding events (bounded history), so each
+// worker reconstructs the exact serial stack at its chunk boundary with a
+// backward scan, emits edges only for its own chunk, and the partial edge
+// maps merge by weight addition — an exact decomposition, bit-identical to
+// the serial build.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "support/flat_map.hpp"
 #include "trace/trace.hpp"
 
 namespace codelayout {
+
+class ThreadPool;
 
 struct TrgConfig {
   /// Footprint cap of the co-occurrence window, in code blocks. The paper's
   /// 2C bytes with uniform block size S gives 2C/S entries; see
   /// trg_window_entries().
   std::uint32_t window_entries = 1024;
+
+  /// Optional shared worker pool for the sharded build. Non-owning;
+  /// nullptr = serial unless `shards` forces a decomposition.
+  ThreadPool* pool = nullptr;
+
+  /// Shard count override: 0 = auto (pool width + the calling thread, or 1
+  /// without a pool). Any value yields the identical graph; tests use small
+  /// forced counts to pin chunk-boundary behaviour.
+  std::uint32_t shards = 0;
 };
 
 /// Entries of the 2C-byte window under the uniform-block-size assumption.
@@ -48,7 +72,8 @@ class Trg {
   [[nodiscard]] std::span<const Symbol> nodes() const { return nodes_; }
 
   [[nodiscard]] Weight edge_weight(Symbol a, Symbol b) const;
-  [[nodiscard]] std::size_t edge_count() const;
+  /// Number of distinct edges; O(1) (the accumulator's size).
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
 
   /// All edges as (a, b, weight) with a < b, sorted by descending weight then
   /// ascending (a, b) for determinism.
@@ -59,17 +84,34 @@ class Trg {
   };
   [[nodiscard]] std::vector<Edge> edges_by_weight() const;
 
-  /// Adjacency of one node.
-  [[nodiscard]] const std::unordered_map<Symbol, Weight>& neighbors(
-      Symbol a) const;
+  /// Adjacency of one node, sorted by neighbor symbol, as a contiguous CSR
+  /// slice. Rebuilt lazily after add_edge; not safe to first-access
+  /// concurrently with a mutation (a fully built graph is fine to share).
+  struct Neighbor {
+    Symbol to;
+    Weight weight;
+  };
+  [[nodiscard]] std::span<const Neighbor> neighbors(Symbol a) const;
 
   void add_edge(Symbol a, Symbol b, Weight w);  ///< also used by tests
 
  private:
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
   void note_node(Symbol s);
+  [[nodiscard]] std::uint32_t node_position(Symbol s) const {
+    return s < node_index_.size() ? node_index_[s] : kNoNode;
+  }
+  void ensure_adjacency() const;
 
   std::vector<Symbol> nodes_;  ///< first-appearance order
-  std::unordered_map<Symbol, std::unordered_map<Symbol, Weight>> adj_;
+  std::vector<std::uint32_t> node_index_;  ///< symbol -> position in nodes_
+  FlatKeyMap<Weight> edges_;   ///< packed (lo, hi) pair -> weight
+
+  /// CSR adjacency derived from edges_, indexed by node position.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::uint32_t> adj_offsets_;
+  mutable std::vector<Neighbor> adj_;
 };
 
 }  // namespace codelayout

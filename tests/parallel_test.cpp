@@ -1,0 +1,122 @@
+// ParallelTaskSet: the help-first fan-out primitive under the parallel
+// analysis kernels. The properties pinned here are the ones the kernels'
+// exactness depends on: every task runs exactly once, completion of task i
+// happens-before wait(i) returning, exceptions surface at the waiter, the
+// destructor never leaves a claimed task running against dead stack frames,
+// and the whole thing is safe to use from inside a task already running on
+// the same pool (the Lab's configuration).
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/parallel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace codelayout {
+namespace {
+
+TEST(ParallelTaskSet, NullPoolRunsEveryTaskInline) {
+  std::vector<int> results(16, 0);
+  ParallelTaskSet tasks(nullptr, results.size(),
+                        [&](std::size_t i) { results[i] = static_cast<int>(i) + 1; });
+  tasks.wait_all();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ParallelTaskSet, PoolRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(64);
+  ParallelTaskSet tasks(&pool, runs.size(), [&](std::size_t i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  tasks.wait_all();
+  for (auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ParallelTaskSet, WaitMakesTaskResultVisible) {
+  ThreadPool pool(2);
+  std::vector<std::uint64_t> slots(32, 0);
+  ParallelTaskSet tasks(&pool, slots.size(),
+                        [&](std::size_t i) { slots[i] = i * i + 7; });
+  // Out-of-order waits: each wait(i) must establish happens-before with
+  // task i's write regardless of which thread ran it.
+  for (std::size_t i = slots.size(); i-- > 0;) {
+    tasks.wait(i);
+    EXPECT_EQ(slots[i], i * i + 7);
+  }
+}
+
+TEST(ParallelTaskSet, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  ParallelTaskSet tasks(&pool, 8, [&](std::size_t i) {
+    if (i == 3) throw std::runtime_error("task 3 failed");
+  });
+  EXPECT_THROW(tasks.wait(3), std::runtime_error);
+  // Other tasks are unaffected, and re-waiting rethrows again.
+  tasks.wait(0);
+  EXPECT_THROW(tasks.wait(3), std::runtime_error);
+}
+
+TEST(ParallelTaskSet, DestructorCancelsUnclaimedTasks) {
+  // A single-worker pool that is kept busy guarantees the set's tasks stay
+  // queued; destroying the set without waiting must not run them later
+  // against the destroyed frame.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  auto blocker = pool.submit([&] {
+    while (!release.load(std::memory_order_acquire)) {
+    }
+  });
+  {
+    ParallelTaskSet tasks(&pool, 4, [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    // No wait: destructor cancels while every task is still unclaimed.
+  }
+  release.store(true, std::memory_order_release);
+  blocker.get();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelTaskSet, NestedInsidePoolTaskCannotDeadlock) {
+  // The Lab's shape: a task running *on* the pool fans a child set onto the
+  // same pool and waits. With one worker there is no second thread to help,
+  // so this only terminates because wait() computes unclaimed tasks inline.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  auto outer = pool.submit([&] {
+    ParallelTaskSet inner(&pool, 8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    inner.wait_all();
+  });
+  outer.get();
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelTaskSet, ManyConcurrentSetsOnOneSharedPool) {
+  ThreadPool pool(4);
+  constexpr int kSets = 16;
+  constexpr std::size_t kTasks = 32;
+  std::vector<std::future<void>> outers;
+  std::atomic<int> total{0};
+  outers.reserve(kSets);
+  for (int s = 0; s < kSets; ++s) {
+    outers.push_back(pool.submit([&] {
+      ParallelTaskSet inner(&pool, kTasks, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+      inner.wait_all();
+    }));
+  }
+  for (auto& f : outers) f.get();
+  EXPECT_EQ(total.load(), kSets * static_cast<int>(kTasks));
+}
+
+}  // namespace
+}  // namespace codelayout
