@@ -1,0 +1,25 @@
+#include "cache/fetch_plan.hpp"
+
+namespace codelayout {
+
+FetchPlan::FetchPlan(const Module& module, const CodeLayout& layout,
+                     std::uint32_t line_bytes)
+    : line_bytes_(line_bytes) {
+  CL_CHECK(line_bytes > 0);
+  blocks_.reserve(module.block_count());
+  for (std::size_t i = 0; i < module.block_count(); ++i) {
+    const BlockId b(static_cast<std::uint32_t>(i));
+    const BasicBlock& bb = module.block(b);
+    const auto span = layout.lines_of(b, line_bytes);
+    const auto& place = layout.placement(b);
+    blocks_.push_back(BlockPlan{
+        .first_line = span.first_line,
+        .line_count = span.line_count,
+        .instr_count = place.bytes / kInstrBytes,
+        .overhead_instrs = (place.bytes - bb.size_bytes) / kInstrBytes,
+        .branchy = bb.successors.size() > 1 ? 1u : 0u,
+    });
+  }
+}
+
+}  // namespace codelayout

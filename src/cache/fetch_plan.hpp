@@ -1,0 +1,57 @@
+// Fetch plans: the per-(layout, geometry) tables the I-cache simulators
+// replay from.
+//
+// FetchStream::step used to pay three indexed lookups per event —
+// Module::block for the branchiness test, CodeLayout::lines_of (two integer
+// divisions) for the span, CodeLayout::placement for the byte counts — all of
+// which are pure functions of (block, layout, line size). A FetchPlan
+// precomputes them once into one flat BlockId-indexed array, so the hot loop
+// does a single cache-friendly load per event. Plans carry no per-simulation
+// state: one plan is shared by every solo and co-run simulation of that
+// layout (the Lab memoizes them across a whole co-run matrix), and the
+// simulation results are bit-identical to the lookup-per-event path because
+// the precomputed fields are exactly the expressions the old loop evaluated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "layout/layout.hpp"
+
+namespace codelayout {
+
+/// Everything one block execution needs: the line span it fetches, the
+/// instruction counts it retires, and whether it can speculate down a wrong
+/// path (more than one successor).
+struct BlockPlan {
+  std::uint64_t first_line = 0;
+  std::uint32_t line_count = 0;
+  std::uint32_t instr_count = 0;      ///< placed bytes / kInstrBytes
+  std::uint32_t overhead_instrs = 0;  ///< layout-added bytes / kInstrBytes
+  std::uint32_t branchy = 0;          ///< successors.size() > 1
+};
+
+class FetchPlan {
+ public:
+  /// Precomputes the per-block fetch table for `layout` at `line_bytes`.
+  FetchPlan(const Module& module, const CodeLayout& layout,
+            std::uint32_t line_bytes);
+
+  [[nodiscard]] const BlockPlan& block(BlockId b) const {
+    CL_DCHECK(b.index() < blocks_.size());
+    return blocks_[b.index()];
+  }
+  [[nodiscard]] std::span<const BlockPlan> blocks() const { return blocks_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// The line size the spans were computed at; simulations must run the same
+  /// geometry (checked at stream construction).
+  [[nodiscard]] std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  std::vector<BlockPlan> blocks_;
+  std::uint32_t line_bytes_;
+};
+
+}  // namespace codelayout

@@ -1,5 +1,8 @@
 #include "cache/icache_sim.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "support/registry.hpp"
 #include "support/rng.hpp"
 #include "support/trace_recorder.hpp"
@@ -10,19 +13,23 @@ namespace {
 /// One fetch stream: a program replaying its block trace under a layout.
 /// The replay cursor walks the trace's run storage directly: (run index,
 /// offset within the run), so no flat event vector is ever materialized.
+/// All per-block facts come from the FetchPlan — one flat load per event.
 class FetchStream {
  public:
-  FetchStream(const Module& module, const CodeLayout& layout,
-              const Trace& trace, std::uint64_t line_namespace,
-              const SimOptions& options, std::uint64_t rng_stream)
-      : module_(module),
-        layout_(layout),
+  FetchStream(const FetchPlan& plan, const Trace& trace,
+              std::uint64_t line_namespace, const SimOptions& options,
+              std::uint64_t rng_stream)
+      : plan_(plan.blocks().data()),
         runs_(trace.runs()),
         namespace_(line_namespace),
         options_(options),
         rng_(Rng(options.seed).fork(rng_stream)) {
     CL_CHECK(trace.is_block());
     CL_CHECK(!trace.empty());
+    CL_CHECK_MSG(plan.line_bytes() == options.geometry.line_bytes,
+                 "fetch plan was built for a different line size");
+    CL_CHECK_MSG(plan.block_count() >= trace.symbol_space(),
+                 "fetch plan does not cover the trace's block space");
   }
 
   /// Executes the next block against `cache`; wraps at the trace end.
@@ -34,17 +41,13 @@ class FetchStream {
       stall_debt_ -= 1.0;
       return false;
     }
-    const BlockId b = BlockId(runs_[run_idx_].symbol);
-    const BasicBlock& bb = module_.block(b);
-    const auto span = layout_.lines_of(b, options_.geometry.line_bytes);
-    const auto& place = layout_.placement(b);
+    const BlockPlan& bp = plan_[runs_[run_idx_].symbol];
 
     ++stats_.blocks;
-    stats_.instructions += place.bytes / kInstrBytes;
-    stats_.overhead_instructions +=
-        (place.bytes - bb.size_bytes) / kInstrBytes;
-    for (std::uint32_t i = 0; i < span.line_count; ++i) {
-      const std::uint64_t line = namespace_ + span.first_line + i;
+    stats_.instructions += bp.instr_count;
+    stats_.overhead_instructions += bp.overhead_instrs;
+    for (std::uint32_t i = 0; i < bp.line_count; ++i) {
+      const std::uint64_t line = namespace_ + bp.first_line + i;
       ++stats_.line_probes;
       if (!cache.access(line)) {
         ++stats_.demand_misses;
@@ -54,10 +57,9 @@ class FetchStream {
     }
     // Speculative wrong-path fetch past a conditional branch: the fetch unit
     // runs ahead on the not-taken path before the branch resolves.
-    if (options_.wrong_path_rate > 0.0 && bb.successors.size() > 1 &&
+    if (options_.wrong_path_rate > 0.0 && bp.branchy != 0 &&
         rng_.chance(options_.wrong_path_rate)) {
-      const std::uint64_t line =
-          namespace_ + span.first_line + span.line_count;
+      const std::uint64_t line = namespace_ + bp.first_line + bp.line_count;
       if (!cache.access(line)) ++stats_.wrong_path_misses;
     }
 
@@ -82,12 +84,10 @@ class FetchStream {
   bool step_run(SetAssocCache& cache) {
     const Run run = runs_[run_idx_];
     const std::uint64_t count = run.length - run_pos_;
-    const BlockId b = BlockId(run.symbol);
-    const BasicBlock& bb = module_.block(b);
-    const auto span = layout_.lines_of(b, options_.geometry.line_bytes);
+    const BlockPlan& bp = plan_[run.symbol];
 
     if (count > 1 &&
-        span.line_count + std::uint64_t{1} > options_.geometry.sets()) {
+        bp.line_count + std::uint64_t{1} > options_.geometry.sets()) {
       // Degenerate geometry (block wider than the set array): the run's own
       // lines can conflict with each other, so replay it per event.
       ++fallback_runs_;
@@ -97,24 +97,20 @@ class FetchStream {
     }
     ++fast_runs_;
 
-    const auto& place = layout_.placement(b);
     // First iteration: the only one that can take demand misses.
     ++stats_.blocks;
-    stats_.instructions += place.bytes / kInstrBytes;
-    stats_.overhead_instructions +=
-        (place.bytes - bb.size_bytes) / kInstrBytes;
-    for (std::uint32_t i = 0; i < span.line_count; ++i) {
-      const std::uint64_t line = namespace_ + span.first_line + i;
+    stats_.instructions += bp.instr_count;
+    stats_.overhead_instructions += bp.overhead_instrs;
+    for (std::uint32_t i = 0; i < bp.line_count; ++i) {
+      const std::uint64_t line = namespace_ + bp.first_line + i;
       ++stats_.line_probes;
       if (!cache.access(line)) {
         ++stats_.demand_misses;
         if (options_.next_line_prefetch) cache.prefill(line + 1);
       }
     }
-    const bool branchy =
-        options_.wrong_path_rate > 0.0 && bb.successors.size() > 1;
-    const std::uint64_t wrong_line =
-        namespace_ + span.first_line + span.line_count;
+    const bool branchy = options_.wrong_path_rate > 0.0 && bp.branchy != 0;
+    const std::uint64_t wrong_line = namespace_ + bp.first_line + bp.line_count;
     if (branchy && rng_.chance(options_.wrong_path_rate)) {
       if (!cache.access(wrong_line)) ++stats_.wrong_path_misses;
     }
@@ -123,10 +119,9 @@ class FetchStream {
     // remain per event.
     const std::uint64_t rest = count - 1;
     stats_.blocks += rest;
-    stats_.instructions += rest * (place.bytes / kInstrBytes);
-    stats_.overhead_instructions +=
-        rest * ((place.bytes - bb.size_bytes) / kInstrBytes);
-    stats_.line_probes += rest * span.line_count;
+    stats_.instructions += rest * bp.instr_count;
+    stats_.overhead_instructions += rest * bp.overhead_instrs;
+    stats_.line_probes += rest * bp.line_count;
     if (branchy) {
       for (std::uint64_t i = 0; i < rest; ++i) {
         if (rng_.chance(options_.wrong_path_rate)) {
@@ -138,9 +133,37 @@ class FetchStream {
     return advance(count);
   }
 
+  // --- co-run collapse hooks (DESIGN.md §11) ---
+
+  /// The plan entry for the block the cursor currently points at.
+  [[nodiscard]] const BlockPlan& current_plan() const {
+    return plan_[runs_[run_idx_].symbol];
+  }
+  /// Events left in the current run (>= 1 while the trace is live).
+  [[nodiscard]] std::uint64_t remaining_in_run() const {
+    return runs_[run_idx_].length - run_pos_;
+  }
+  [[nodiscard]] bool stalled() const { return stall_debt_ >= 1.0; }
+  [[nodiscard]] std::uint64_t line_base() const { return namespace_; }
+  /// One wrong-path coin flip, exactly as a per-event step would draw it.
+  bool draw_wrong_path() { return rng_.chance(options_.wrong_path_rate); }
+
+  /// Applies a collapse window's outcome for this stream: `n` block
+  /// executions of the current block, every probe a hit, no stall change.
+  /// The caller replays recency separately. Returns true on trace wrap.
+  bool apply_bulk(std::uint64_t n) {
+    const BlockPlan& bp = current_plan();
+    stats_.blocks += n;
+    stats_.instructions += n * bp.instr_count;
+    stats_.overhead_instructions += n * bp.overhead_instrs;
+    stats_.line_probes += n * bp.line_count;
+    return advance(n);
+  }
+
   [[nodiscard]] const SimResult& stats() const { return stats_; }
   /// Runs consumed by the O(1) collapse vs replayed per event (degenerate
-  /// geometry). Solo fast path only; co-run steps per event by design.
+  /// geometry). Solo fast path only; the co-run collapse counts rounds at
+  /// the engine level instead (CorunStats).
   [[nodiscard]] std::uint64_t fast_runs() const { return fast_runs_; }
   [[nodiscard]] std::uint64_t fallback_runs() const { return fallback_runs_; }
 
@@ -160,8 +183,7 @@ class FetchStream {
     return false;
   }
 
-  const Module& module_;
-  const CodeLayout& layout_;
+  const BlockPlan* plan_;
   std::span<const Run> runs_;
   std::uint64_t namespace_;
   SimOptions options_;
@@ -174,6 +196,228 @@ class FetchStream {
   SimResult stats_;
 };
 
+/// Shared N-way co-run engine: round-robin interleaving with the run-aware
+/// collapse. Party 0 is the measured stream (one block per round, ends the
+/// simulation when its trace wraps); parties 1..P-1 run at fractional
+/// `speeds` through per-party credit accumulators. Statistics, stall debt,
+/// credit values, and every RNG stream are bit-identical to pure per-event
+/// replay — the exactness argument lives in DESIGN.md §11.
+std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
+                                        const SimOptions& options,
+                                        CorunStats* stats_out) {
+  CL_CHECK_MSG(parties.size() >= 2, "need at least two co-runners");
+  for (const PlannedParty& p : parties) {
+    CL_CHECK(p.plan && p.trace);
+    CL_CHECK(p.speed > 0.0);
+  }
+  CL_CHECK_MSG(parties[0].speed == 1.0,
+               "party 0 is the measured reference stream: it fetches one "
+               "block per round and defines the unit peer speeds are "
+               "relative to");
+
+  SetAssocCache cache(options.geometry);
+  const std::size_t P = parties.size();
+  std::vector<FetchStream> streams;
+  streams.reserve(P);
+  std::vector<double> speeds(P, 1.0);
+  std::vector<double> credit(P, 0.0);
+  for (std::size_t i = 0; i < P; ++i) {
+    // Disjoint line-id namespaces: P address spaces sharing one cache.
+    streams.emplace_back(*parties[i].plan, *parties[i].trace,
+                         static_cast<std::uint64_t>(i) << 40, options,
+                         /*rng_stream=*/i + 1);
+    speeds[i] = parties[i].speed;
+  }
+
+  const bool wrong_path = options.wrong_path_rate > 0.0;
+  CorunStats stats;
+
+  // Collapse-window scratch (sized once; reused every window attempt).
+  std::vector<double> next_credit(P, 0.0);
+  std::vector<std::uint32_t> round_steps(P, 0);
+  std::vector<std::uint64_t> remaining(P, 0);
+  std::vector<std::uint64_t> window_steps(P, 0);
+  std::vector<std::uint64_t> last_span(P, 0);
+  std::vector<std::int64_t> last_wrong(P, 0);
+  std::vector<std::uint8_t> branchy(P, 0);
+  // A recency-replay unit: one stream's final demand span (even keys) or
+  // final successful wrong-path fetch (odd keys), ordered by the global step
+  // ordinal it happened at.
+  struct Unit {
+    std::uint64_t key;
+    std::uint32_t party;
+    bool wrong;
+  };
+  std::vector<Unit> units;
+  units.reserve(2 * P);
+
+  for (;;) {
+    // ---- Try to open a collapse window over the streams' current runs ----
+    // Cheap gate first: nobody stalled, and at least two full rounds fit
+    // inside every stream's current run (peer i takes at most
+    // floor(credit + 2*speed) steps over two rounds).
+    bool collapsible = true;
+    for (std::size_t i = 0; i < P; ++i) {
+      if (streams[i].stalled()) {
+        collapsible = false;
+        break;
+      }
+      remaining[i] = streams[i].remaining_in_run();
+      const double need = i == 0 ? 2.0 : credit[i] + 2.0 * speeds[i];
+      if (static_cast<double>(remaining[i]) < need) {
+        collapsible = false;
+        break;
+      }
+    }
+    if (collapsible) {
+      // Residency precondition: every demand line of every stream's current
+      // block resident, plus the wrong-path line for blocks that can draw
+      // one. Then every probe in the window hits, nothing is installed or
+      // evicted, and debt stays constant (contains() never perturbs state).
+      for (std::size_t i = 0; i < P && collapsible; ++i) {
+        const BlockPlan& bp = streams[i].current_plan();
+        const std::uint64_t base = streams[i].line_base() + bp.first_line;
+        for (std::uint32_t l = 0; l < bp.line_count; ++l) {
+          if (!cache.contains(base + l)) {
+            collapsible = false;
+            break;
+          }
+        }
+        branchy[i] = wrong_path && bp.branchy != 0 ? 1 : 0;
+        if (collapsible && branchy[i] != 0 &&
+            !cache.contains(base + bp.line_count)) {
+          collapsible = false;
+        }
+      }
+    }
+    if (collapsible) {
+      // ---- Replay rounds in bulk: credit arithmetic and RNG draws happen
+      // exactly as per-event replay would issue them; only the cache probes
+      // (all provably hits) are skipped. A round is rejected — and the
+      // window closed — when it would overrun any stream's current run.
+      std::uint64_t seq = 0;
+      std::uint64_t rounds = 0;
+      std::fill(window_steps.begin(), window_steps.end(), 0);
+      std::fill(last_wrong.begin(), last_wrong.end(), -1);
+      while (window_steps[0] < remaining[0]) {
+        bool fits = true;
+        for (std::size_t i = 1; i < P; ++i) {
+          double c = credit[i] + speeds[i];
+          std::uint32_t n = 0;
+          while (c >= 1.0) {
+            c -= 1.0;
+            ++n;
+          }
+          next_credit[i] = c;
+          round_steps[i] = n;
+          if (window_steps[i] + n > remaining[i]) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) break;
+        // Commit the round: per-stream draws in step order (cross-stream
+        // draw order is irrelevant — the RNG streams are independent).
+        ++seq;
+        ++window_steps[0];
+        last_span[0] = seq;
+        if (branchy[0] != 0 && streams[0].draw_wrong_path()) {
+          last_wrong[0] = static_cast<std::int64_t>(seq);
+        }
+        for (std::size_t i = 1; i < P; ++i) {
+          credit[i] = next_credit[i];
+          const std::uint32_t n = round_steps[i];
+          if (n == 0) continue;
+          if (branchy[i] == 0) {
+            // No draws to issue: the stream's last step this round lands at
+            // ordinal seq + n either way.
+            seq += n;
+            window_steps[i] += n;
+            last_span[i] = seq;
+          } else {
+            for (std::uint32_t s = 0; s < n; ++s) {
+              ++seq;
+              ++window_steps[i];
+              last_span[i] = seq;
+              if (streams[i].draw_wrong_path()) {
+                last_wrong[i] = static_cast<std::int64_t>(seq);
+              }
+            }
+          }
+        }
+        ++rounds;
+      }
+      if (rounds > 0) {
+        stats.rounds_fast += rounds;
+        ++stats.windows;
+        // Reconstruct per-set recency exactly: only each line's *last* touch
+        // in the window determines its final rank, so re-touch each stream's
+        // span (and last successful wrong-path line) via prefill() in global
+        // last-touch order. Keys interleave span touches (2*seq) with wrong
+        // touches (2*seq+1): within one step the span precedes the draw.
+        units.clear();
+        for (std::size_t i = 0; i < P; ++i) {
+          if (window_steps[i] == 0) continue;
+          units.push_back(
+              Unit{2 * last_span[i], static_cast<std::uint32_t>(i), false});
+          if (last_wrong[i] >= 0) {
+            units.push_back(
+                Unit{2 * static_cast<std::uint64_t>(last_wrong[i]) + 1,
+                     static_cast<std::uint32_t>(i), true});
+          }
+        }
+        std::sort(units.begin(), units.end(),
+                  [](const Unit& a, const Unit& b) { return a.key < b.key; });
+        for (const Unit& u : units) {
+          const BlockPlan& bp = streams[u.party].current_plan();
+          const std::uint64_t base = streams[u.party].line_base() + bp.first_line;
+          if (u.wrong) {
+            cache.prefill(base + bp.line_count);
+          } else {
+            for (std::uint32_t l = 0; l < bp.line_count; ++l) {
+              cache.prefill(base + l);
+            }
+          }
+        }
+        bool done = false;
+        for (std::size_t i = 0; i < P; ++i) {
+          if (window_steps[i] == 0) continue;
+          const bool wrapped = streams[i].apply_bulk(window_steps[i]);
+          if (i == 0) done = wrapped;
+        }
+        if (done) break;
+        continue;
+      }
+      // rounds == 0: a run boundary blocks even one full round — fall back.
+    }
+
+    // ---- Per-event round: the reference interleaving ----
+    ++stats.rounds_fallback;
+    const bool done = streams[0].step(cache, /*stall_on_miss=*/true);
+    for (std::size_t i = 1; i < P; ++i) {
+      credit[i] += speeds[i];
+      while (credit[i] >= 1.0) {
+        streams[i].step(cache, /*stall_on_miss=*/true);
+        credit[i] -= 1.0;
+      }
+    }
+    if (done) break;
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("cache.corun.rounds_fast").add(stats.rounds_fast);
+    registry.counter("cache.corun.rounds_fallback").add(stats.rounds_fallback);
+    registry.counter("cache.corun.windows").add(stats.windows);
+  }
+  if (stats_out) *stats_out = stats;
+
+  std::vector<SimResult> results;
+  results.reserve(streams.size());
+  for (const FetchStream& s : streams) results.push_back(s.stats());
+  return results;
+}
+
 }  // namespace
 
 SimOptions hardware_proxy_options(std::uint64_t seed) {
@@ -183,13 +427,13 @@ SimOptions hardware_proxy_options(std::uint64_t seed) {
                     .seed = seed};
 }
 
-SimResult simulate_solo(const Module& module, const CodeLayout& layout,
-                        const Trace& trace, const SimOptions& options) {
+SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
+                        const SimOptions& options) {
   CODELAYOUT_PHASE("icache_solo", "cache", "cache.icache_solo.wall_ns",
                    {"events", std::uint64_t{trace.size()}},
                    {"runs", std::uint64_t{trace.run_count()}});
   SetAssocCache cache(options.geometry);
-  FetchStream stream(module, layout, trace, /*line_namespace=*/0, options,
+  FetchStream stream(plan, trace, /*line_namespace=*/0, options,
                      /*rng_stream=*/1);
   while (!stream.step_run(cache)) {
   }
@@ -201,6 +445,29 @@ SimResult simulate_solo(const Module& module, const CodeLayout& layout,
   return stream.stats();
 }
 
+SimResult simulate_solo(const Module& module, const CodeLayout& layout,
+                        const Trace& trace, const SimOptions& options) {
+  const FetchPlan plan(module, layout, options.geometry.line_bytes);
+  return simulate_solo(plan, trace, options);
+}
+
+CorunResult simulate_corun(const FetchPlan& self_plan, const Trace& self_trace,
+                           const FetchPlan& peer_plan, const Trace& peer_trace,
+                           const SimOptions& options, double peer_speed) {
+  CL_CHECK(peer_speed > 0.0);
+  CODELAYOUT_PHASE("icache_corun", "cache", "cache.icache_corun.wall_ns",
+                   {"self_events", std::uint64_t{self_trace.size()}},
+                   {"peer_events", std::uint64_t{peer_trace.size()}});
+  const PlannedParty parties[2] = {{&self_plan, &self_trace, 1.0},
+                                   {&peer_plan, &peer_trace, peer_speed}};
+  CorunResult result;
+  std::vector<SimResult> results = run_corun_engine(
+      std::span<const PlannedParty>(parties), options, &result.stats);
+  result.self = results[0];
+  result.peer = results[1];
+  return result;
+}
+
 CorunResult simulate_corun(const Module& self_module,
                            const CodeLayout& self_layout,
                            const Trace& self_trace,
@@ -208,65 +475,41 @@ CorunResult simulate_corun(const Module& self_module,
                            const CodeLayout& peer_layout,
                            const Trace& peer_trace,
                            const SimOptions& options, double peer_speed) {
-  CL_CHECK(peer_speed > 0.0);
-  CODELAYOUT_PHASE("icache_corun", "cache", "cache.icache_corun.wall_ns",
-                   {"self_events", std::uint64_t{self_trace.size()}},
-                   {"peer_events", std::uint64_t{peer_trace.size()}});
-  SetAssocCache cache(options.geometry);
-  // Disjoint line-id namespaces: two address spaces sharing one cache.
-  constexpr std::uint64_t kPeerNamespace = std::uint64_t{1} << 40;
-  FetchStream self(self_module, self_layout, self_trace, 0, options, 1);
-  FetchStream peer(peer_module, peer_layout, peer_trace, kPeerNamespace,
-                   options, 2);
-  // Round-robin fetch slots: one self block per round, `peer_speed` peer
-  // blocks on average (fractional rates via an accumulator); stop when the
-  // measured stream completes.
-  double peer_credit = 0.0;
-  for (;;) {
-    const bool done = self.step(cache, /*stall_on_miss=*/true);
-    peer_credit += peer_speed;
-    while (peer_credit >= 1.0) {
-      peer.step(cache, /*stall_on_miss=*/true);
-      peer_credit -= 1.0;
-    }
-    if (done) break;
-  }
-  return CorunResult{self.stats(), peer.stats()};
+  const FetchPlan self_plan(self_module, self_layout,
+                            options.geometry.line_bytes);
+  const FetchPlan peer_plan(peer_module, peer_layout,
+                            options.geometry.line_bytes);
+  return simulate_corun(self_plan, self_trace, peer_plan, peer_trace, options,
+                        peer_speed);
+}
+
+std::vector<SimResult> simulate_corun_many(
+    std::span<const PlannedParty> parties, const SimOptions& options,
+    CorunStats* stats) {
+  CODELAYOUT_PHASE("icache_corun_many", "cache",
+                   "cache.icache_corun_many.wall_ns",
+                   {"parties", std::uint64_t{parties.size()}});
+  return run_corun_engine(parties, options, stats);
 }
 
 std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
-                                           const SimOptions& options) {
+                                           const SimOptions& options,
+                                           CorunStats* stats) {
   CL_CHECK_MSG(parties.size() >= 2, "need at least two co-runners");
   CODELAYOUT_PHASE("icache_corun_many", "cache",
                    "cache.icache_corun_many.wall_ns",
                    {"parties", std::uint64_t{parties.size()}});
-  SetAssocCache cache(options.geometry);
-  std::vector<FetchStream> streams;
-  std::vector<double> credit(parties.size(), 0.0);
-  streams.reserve(parties.size());
-  for (std::size_t i = 0; i < parties.size(); ++i) {
-    const CorunParty& p = parties[i];
+  std::vector<FetchPlan> plans;
+  std::vector<PlannedParty> planned;
+  plans.reserve(parties.size());
+  planned.reserve(parties.size());
+  for (const CorunParty& p : parties) {
     CL_CHECK(p.module && p.layout && p.trace);
     CL_CHECK(p.speed > 0.0);
-    streams.emplace_back(*p.module, *p.layout, *p.trace,
-                         static_cast<std::uint64_t>(i) << 40, options,
-                         /*rng_stream=*/i + 1);
+    plans.emplace_back(*p.module, *p.layout, options.geometry.line_bytes);
+    planned.push_back(PlannedParty{&plans.back(), p.trace, p.speed});
   }
-  for (;;) {
-    const bool done = streams[0].step(cache, /*stall_on_miss=*/true);
-    for (std::size_t i = 1; i < parties.size(); ++i) {
-      credit[i] += parties[i].speed;
-      while (credit[i] >= 1.0) {
-        streams[i].step(cache, /*stall_on_miss=*/true);
-        credit[i] -= 1.0;
-      }
-    }
-    if (done) break;
-  }
-  std::vector<SimResult> results;
-  results.reserve(streams.size());
-  for (const FetchStream& s : streams) results.push_back(s.stats());
-  return results;
+  return run_corun_engine(planned, options, stats);
 }
 
 Trace line_trace(const Module& module, const CodeLayout& layout,

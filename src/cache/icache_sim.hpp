@@ -10,12 +10,20 @@
 // Co-run simulation interleaves two fetch streams round-robin through one
 // shared cache, the way two hyper-threads share the L1I; the peer stream
 // wraps around until the measured stream finishes.
+//
+// Every simulator exists in two forms: the module/layout entry points below
+// (which build a FetchPlan internally) and plan-based overloads for callers
+// that amortize one plan across many simulations (the Lab memoizes plans per
+// workload x optimizer, so every cell of a co-run matrix shares them).
+// Results are bit-identical between the two forms, and between the run-aware
+// fast paths and per-event replay — see DESIGN.md §8 (solo) and §11 (co-run).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "cache/fetch_plan.hpp"
 #include "cache/geometry.hpp"
 #include "cache/set_assoc.hpp"
 #include "ir/module.hpp"
@@ -66,10 +74,27 @@ struct SimResult {
 /// Replays `trace` (block granularity) alone in a cold cache.
 SimResult simulate_solo(const Module& module, const CodeLayout& layout,
                         const Trace& trace, const SimOptions& options = {});
+SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
+                        const SimOptions& options = {});
+
+/// Fast-path accounting for one co-run simulation: interleaved rounds
+/// advanced in bulk by the run-aware collapse vs replayed per event (see
+/// DESIGN.md §11). Purely observational — the per-round statistics and RNG
+/// streams are bit-identical either way.
+struct CorunStats {
+  std::uint64_t rounds_fast = 0;      ///< rounds advanced by collapse windows
+  std::uint64_t rounds_fallback = 0;  ///< rounds replayed per event
+  std::uint64_t windows = 0;          ///< collapse windows entered
+
+  [[nodiscard]] std::uint64_t rounds() const {
+    return rounds_fast + rounds_fallback;
+  }
+};
 
 struct CorunResult {
-  SimResult self;  ///< the measured program: its full trace, replayed once
-  SimResult peer;  ///< the probe program: wraps around as needed
+  SimResult self;     ///< the measured program: its full trace, replayed once
+  SimResult peer;     ///< the probe program: wraps around as needed
+  CorunStats stats{};  ///< collapse coverage of this simulation
 };
 
 /// Interleaves the two streams block-by-block through one shared cache.
@@ -84,12 +109,21 @@ CorunResult simulate_corun(const Module& self_module,
                            const Trace& peer_trace,
                            const SimOptions& options = {},
                            double peer_speed = 1.0);
+CorunResult simulate_corun(const FetchPlan& self_plan, const Trace& self_trace,
+                           const FetchPlan& peer_plan, const Trace& peer_trace,
+                           const SimOptions& options = {},
+                           double peer_speed = 1.0);
 
 /// N-way shared-cache co-run (extension of the paper's Sec. III-F
-/// conjecture: Power-class SMT runs 4-8 hardware threads per core). The
-/// first program is the measured one (full trace, replayed once); all
-/// others wrap. Streams take turns round-robin, one block per turn, with
-/// miss-induced fetch stalls as in the two-way simulation.
+/// conjecture: Power-class SMT runs 4-8 hardware threads per core).
+///
+/// Party 0 is the measured reference stream: it replays its full trace
+/// exactly once, fetches one block per round, and its fetch rate defines the
+/// unit every other party's `speed` is relative to — so `parties[0].speed`
+/// must be 1.0 (checked). All other parties wrap around until party 0
+/// finishes. Streams take turns round-robin with miss-induced fetch stalls
+/// as in the two-way simulation; the two-way simulate_corun is exactly this
+/// engine at two parties.
 struct CorunParty {
   const Module* module;
   const CodeLayout* layout;
@@ -97,8 +131,19 @@ struct CorunParty {
   double speed = 1.0;  ///< blocks per round relative to the measured stream
 };
 
+/// Plan-based party for callers that share FetchPlans across simulations.
+struct PlannedParty {
+  const FetchPlan* plan;
+  const Trace* trace;
+  double speed = 1.0;  ///< blocks per round relative to the measured stream
+};
+
 std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
-                                           const SimOptions& options = {});
+                                           const SimOptions& options = {},
+                                           CorunStats* stats = nullptr);
+std::vector<SimResult> simulate_corun_many(
+    std::span<const PlannedParty> parties, const SimOptions& options = {},
+    CorunStats* stats = nullptr);
 
 /// Expands a block trace to the cache-line trace induced by `layout` —
 /// the instruction footprint stream for the Eq. 2 metrics. Line symbols are

@@ -1,23 +1,102 @@
 #include "cache/set_assoc.hpp"
 
+#include <array>
+#include <bit>
+
 namespace codelayout {
+namespace {
+
+// kPromote[order * 4 + way]: the recency permutation after promoting `way`
+// to MRU — the way moves to position 0, everything previously above it
+// shifts one position deeper, relative order otherwise preserved. Entries
+// for non-permutation order bytes are never indexed (the cache maintains
+// valid permutations from construction on).
+constexpr std::array<std::uint8_t, 256 * 4> make_promote_table() {
+  std::array<std::uint8_t, 256 * 4> table{};
+  for (unsigned order = 0; order < 256; ++order) {
+    for (unsigned way = 0; way < 4; ++way) {
+      unsigned out = way;
+      unsigned shift = 2;
+      for (unsigned p = 0; p < 4 && shift < 8; ++p) {
+        const unsigned w = (order >> (2 * p)) & 3;
+        if (w == way) continue;
+        out |= w << shift;
+        shift += 2;
+      }
+      table[order * 4 + way] = static_cast<std::uint8_t>(out);
+    }
+  }
+  return table;
+}
+
+constexpr auto kPromote = make_promote_table();
+
+// Positions 0..3 hold ways 0..3: a valid permutation for any assoc <= 4
+// (positions >= assoc never matter — their ways are never promoted, so they
+// stay at the tail).
+constexpr std::uint8_t kIdentityOrder = 0b11'10'01'00;
+
+}  // namespace
 
 SetAssocCache::SetAssocCache(const CacheGeometry& geom) : geom_(geom) {
   geom_.validate();
   set_mask_ = geom_.sets() - 1;
   CL_CHECK_MSG((geom_.sets() & set_mask_) == 0,
                "set count must be a power of two");
-  ways_.assign(geom_.sets() * geom_.associativity, kEmpty);
+  assoc_ = geom_.associativity;
+  packed_ = assoc_ <= kPackedMaxAssoc;
+  ways_.assign(geom_.sets() * assoc_, kEmpty);
+  if (packed_) {
+    partial_.assign(geom_.sets(), 0);
+    order_.assign(geom_.sets(), kIdentityOrder);
+  }
 }
 
 bool SetAssocCache::touch(std::uint64_t line, bool count) {
+  return packed_ ? touch_packed(line, count) : touch_generic(line, count);
+}
+
+bool SetAssocCache::touch_packed(std::uint64_t line, bool count) {
   const std::uint64_t set = line & set_mask_;
-  std::uint64_t* base = &ways_[set * geom_.associativity];
-  const std::uint32_t assoc = geom_.associativity;
+  std::uint64_t* tags = &ways_[set * assoc_];
+  const std::uint64_t lanes = partial_[set];
+  // SWAR zero-lane test: a lane of `diff` is zero iff that way's partial tag
+  // matches. Borrow propagation can flag spurious lanes above a true match;
+  // never the reverse (a zero lane is always flagged), and every candidate
+  // is confirmed against the full tag, so false positives only cost a load.
+  const std::uint64_t diff = lanes ^ (kLaneLsb * partial_tag(line));
+  std::uint64_t cand = (diff - kLaneLsb) & ~diff & kLaneMsb;
+  if (count) ++accesses_;
+  while (cand != 0) {
+    const auto lane = static_cast<std::uint32_t>(std::countr_zero(cand)) >> 4;
+    if (lane < assoc_ && tags[lane] == line) {
+      order_[set] = kPromote[order_[set] * 4u + lane];
+      return true;
+    }
+    cand &= cand - 1;
+  }
+  // Miss: the victim is the way at the LRU position. Empty ways start at the
+  // permutation tail and are never promoted until filled, so they are
+  // consumed before any real eviction — the same fill order as the generic
+  // recency array.
+  if (count) ++misses_;
+  const std::uint8_t order = order_[set];
+  const std::uint32_t victim = (order >> (2 * (assoc_ - 1))) & 3u;
+  tags[victim] = line;
+  const std::uint32_t shift = 16 * victim;
+  partial_[set] = (lanes & ~(std::uint64_t{0xffff} << shift)) |
+                  (std::uint64_t{partial_tag(line)} << shift);
+  order_[set] = kPromote[order * 4u + victim];
+  return false;
+}
+
+bool SetAssocCache::touch_generic(std::uint64_t line, bool count) {
+  const std::uint64_t set = line & set_mask_;
+  std::uint64_t* base = &ways_[set * assoc_];
 
   if (count) ++accesses_;
   // Probe MRU-first; on hit rotate the prefix so the hit way becomes MRU.
-  for (std::uint32_t i = 0; i < assoc; ++i) {
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
     if (base[i] == line) {
       for (std::uint32_t j = i; j > 0; --j) base[j] = base[j - 1];
       base[0] = line;
@@ -26,17 +105,37 @@ bool SetAssocCache::touch(std::uint64_t line, bool count) {
   }
   // Miss: evict the LRU way (the last slot).
   if (count) ++misses_;
-  for (std::uint32_t j = assoc - 1; j > 0; --j) base[j] = base[j - 1];
+  for (std::uint32_t j = assoc_ - 1; j > 0; --j) base[j] = base[j - 1];
   base[0] = line;
   return false;
 }
 
-bool SetAssocCache::access(std::uint64_t line) { return touch(line, true); }
-
-bool SetAssocCache::prefill(std::uint64_t line) { return touch(line, false); }
+bool SetAssocCache::contains(std::uint64_t line) const {
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t* tags = &ways_[set * assoc_];
+  if (packed_) {
+    const std::uint64_t diff = partial_[set] ^ (kLaneLsb * partial_tag(line));
+    std::uint64_t cand = (diff - kLaneLsb) & ~diff & kLaneMsb;
+    while (cand != 0) {
+      const auto lane =
+          static_cast<std::uint32_t>(std::countr_zero(cand)) >> 4;
+      if (lane < assoc_ && tags[lane] == line) return true;
+      cand &= cand - 1;
+    }
+    return false;
+  }
+  for (std::uint32_t i = 0; i < assoc_; ++i) {
+    if (tags[i] == line) return true;
+  }
+  return false;
+}
 
 void SetAssocCache::flush() {
   ways_.assign(ways_.size(), kEmpty);
+  if (packed_) {
+    partial_.assign(partial_.size(), 0);
+    order_.assign(order_.size(), kIdentityOrder);
+  }
 }
 
 }  // namespace codelayout

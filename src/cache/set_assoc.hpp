@@ -2,9 +2,19 @@
 //
 // Line ids are global: co-running programs use disjoint id ranges so the
 // shared cache sees two address spaces, exactly like two hyper-threads with
-// distinct code segments. Ways of a set are kept in recency order in a small
-// contiguous array (at most the associativity), so a probe is a short linear
-// scan and a hit is a rotate — no allocation on the access path.
+// distinct code segments.
+//
+// Two internal representations, selected by associativity at construction,
+// with provably identical hit/miss/eviction sequences (both are exact true
+// LRU with empty ways treated as least-recent):
+//   * packed (assoc <= 4) — per set, the ways' 16-bit partial tags live in
+//     one uint64_t probed with a SWAR zero-lane test, full tags (way-index
+//     order) confirm the candidate lanes, and recency is a 2-bit-per-way
+//     permutation byte updated through a precomputed promote table. A probe
+//     is one lane load + one multiply-mask test + (on hit) one table lookup;
+//     no per-way scan, no prefix rotation.
+//   * generic (assoc > 4) — ways kept in recency order in a small contiguous
+//     array; probe is a linear scan and a hit rotates the prefix.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +30,15 @@ class SetAssocCache {
 
   /// Touches `line`; returns true on hit. The set index is the line id
   /// modulo the set count (physical index bits above the line offset).
-  bool access(std::uint64_t line);
+  bool access(std::uint64_t line) { return touch(line, true); }
 
   /// Installs without counting (prefetch fill). Returns true if already
-  /// resident.
-  bool prefill(std::uint64_t line);
+  /// resident. On a hit this is a pure recency touch — the co-run collapse
+  /// uses it to replay a window's last-touch order.
+  bool prefill(std::uint64_t line) { return touch(line, false); }
+
+  /// Residency probe: no recency update, no counting, no install.
+  [[nodiscard]] bool contains(std::uint64_t line) const;
 
   [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
@@ -34,20 +48,47 @@ class SetAssocCache {
                      : 0.0;
   }
 
-  void reset_counters() { accesses_ = misses_ = 0; }
+  /// Zeroes the access/miss statistics; residency is untouched.
+  void reset_stats() { accesses_ = misses_ = 0; }
+
+  /// Empties every way. Intentionally preserves `accesses_`/`misses_`: a
+  /// flush models an invalidation event mid-measurement (context switch,
+  /// self-modifying code), and the statistics cover the whole measurement
+  /// window across flushes. Call reset_stats() to also restart the counts.
   void flush();
 
   [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
 
  private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  // Broadcast/borrow masks for the 4x16-bit SWAR zero-lane test.
+  static constexpr std::uint64_t kLaneLsb = 0x0001000100010001ull;
+  static constexpr std::uint64_t kLaneMsb = 0x8000800080008000ull;
+  static constexpr std::uint32_t kPackedMaxAssoc = 4;
+
+  /// 16-bit mix of the line id. Collisions are fine (the full tag confirms);
+  /// the multiply spreads the low bits so same-set lines rarely share a lane
+  /// pattern.
+  static std::uint16_t partial_tag(std::uint64_t line) {
+    return static_cast<std::uint16_t>((line * 0x9e3779b97f4a7c15ull) >> 48);
+  }
+
   bool touch(std::uint64_t line, bool count);
+  bool touch_packed(std::uint64_t line, bool count);
+  bool touch_generic(std::uint64_t line, bool count);
 
   CacheGeometry geom_;
   std::uint64_t set_mask_;
-  // ways_[set * assoc + i]: tag in recency order (i = 0 is MRU);
-  // kEmpty marks an invalid way.
-  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  std::uint32_t assoc_;
+  bool packed_;
+  // Full tags. Packed: way-index order (recency lives in order_).
+  // Generic: recency order (slot 0 is MRU). kEmpty marks an invalid way.
   std::vector<std::uint64_t> ways_;
+  // Packed only: per-set partial-tag lanes, lane i = way i's 16-bit tag.
+  std::vector<std::uint64_t> partial_;
+  // Packed only: per-set recency permutation, 2 bits per position; position
+  // p's bits hold the way at recency rank p (p = 0 is MRU, assoc-1 is LRU).
+  std::vector<std::uint8_t> order_;
   std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <future>
 
 #include "support/check.hpp"
+#include "support/registry.hpp"
 #include "support/trace_recorder.hpp"
 
 namespace codelayout {
@@ -180,6 +181,28 @@ const CodeLayout& Lab::layout(const std::string& name,
   });
 }
 
+const FetchPlan& Lab::fetch_plan(const std::string& name,
+                                 std::optional<Optimizer> optimizer) {
+  // Keyed like the layout stage: the plan is a pure function of the layout
+  // (plus the line size, constant across both measurement flavours).
+  const EvalKey key = EvalRequest::layout(name, optimizer).key;
+  bool computed = false;
+  const FetchPlan& plan =
+      plans_.get_or_compute(key, /*counters=*/nullptr, [&] {
+        computed = true;
+        const PreparedWorkload& prepared = workload(name);
+        const CodeLayout& lay = layout(name, optimizer);
+        return FetchPlan(prepared.module, lay, kL1I.line_bytes);
+      });
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter(computed ? "cache.fetch_plan.misses"
+                              : "cache.fetch_plan.hits")
+        .add(1);
+  }
+  return plan;
+}
+
 const SimResult& Lab::solo(const std::string& name,
                            std::optional<Optimizer> optimizer,
                            Measure measure) {
@@ -189,9 +212,8 @@ const SimResult& Lab::solo(const std::string& name,
                      {"optimizer", opt_label(optimizer)},
                      {"measure", measure_label(measure)});
     const PreparedWorkload& prepared = workload(name);
-    const CodeLayout& lay = layout(name, optimizer);
-    return simulate_solo(prepared.module, lay, prepared.eval_blocks,
-                         sim_options(measure));
+    const FetchPlan& plan = fetch_plan(name, optimizer);
+    return simulate_solo(plan, prepared.eval_blocks, sim_options(measure));
   });
 }
 
@@ -210,8 +232,8 @@ const CorunResult& Lab::corun(const std::string& self_name,
                      {"measure", measure_label(measure)});
     const PreparedWorkload& self = workload(self_name);
     const PreparedWorkload& peer = workload(peer_name);
-    const CodeLayout& self_lay = layout(self_name, self_opt);
-    const CodeLayout& peer_lay = layout(peer_name, peer_opt);
+    const FetchPlan& self_plan = fetch_plan(self_name, self_opt);
+    const FetchPlan& peer_plan = fetch_plan(peer_name, peer_opt);
     // SMT threads progress inversely to their CPIs: a data-stalled self sees
     // a proportionally faster peer fetch stream.
     const double self_cpi =
@@ -219,9 +241,20 @@ const CorunResult& Lab::corun(const std::string& self_name,
     const double peer_cpi =
         options_.perf().base_cpi + peer.spec.data_stall_cpi;
     const double peer_speed = std::clamp(self_cpi / peer_cpi, 0.25, 4.0);
-    return simulate_corun(self.module, self_lay, self.eval_blocks,
-                          peer.module, peer_lay, peer.eval_blocks,
-                          sim_options(measure), peer_speed);
+    CorunResult result =
+        simulate_corun(self_plan, self.eval_blocks, peer_plan,
+                       peer.eval_blocks, sim_options(measure), peer_speed);
+    MetricsRegistry& registry = MetricsRegistry::global();
+    if (registry.enabled()) {
+      // Per-pair collapse coverage, so bench --metrics-out dumps show which
+      // workload pairs the run-aware fast path actually engages on.
+      const std::string pair = self_name + "|" + peer_name;
+      registry.counter("lab.corun.rounds_fast." + pair)
+          .add(result.stats.rounds_fast);
+      registry.counter("lab.corun.rounds_fallback." + pair)
+          .add(result.stats.rounds_fallback);
+    }
+    return result;
   });
 }
 

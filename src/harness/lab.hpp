@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/fetch_plan.hpp"
 #include "harness/eval.hpp"
 #include "harness/memo.hpp"
 #include "harness/options.hpp"
@@ -84,6 +85,13 @@ class Lab {
   const CodeLayout& layout(const std::string& name,
                            std::optional<Optimizer> optimizer);
 
+  /// The memoized fetch plan for (workload, optimizer) — both measurement
+  /// flavours run the same line size, so one plan serves every solo and
+  /// co-run simulation of that layout. Hit/compute counts are exported as
+  /// `cache.fetch_plan.hits` / `cache.fetch_plan.misses`.
+  const FetchPlan& fetch_plan(const std::string& name,
+                              std::optional<Optimizer> optimizer);
+
   const SimResult& solo(const std::string& name,
                         std::optional<Optimizer> optimizer, Measure measure);
 
@@ -122,6 +130,7 @@ class Lab {
 
   MemoTable<PreparedWorkload> workloads_;
   MemoTable<CodeLayout> layouts_;
+  MemoTable<FetchPlan> plans_;
   MemoTable<SimResult> solos_;
   MemoTable<CorunResult> coruns_;
 

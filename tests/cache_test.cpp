@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cache/icache_sim.hpp"
 #include "cache/set_assoc.hpp"
 #include "exec/interpreter.hpp"
@@ -48,7 +51,7 @@ TEST(SetAssoc, DifferentSetsDoNotConflict) {
   SetAssocCache c(tiny_cache());
   for (std::uint64_t line = 0; line < 8; ++line) c.access(line);
   // 8 lines over 4 sets x 2 ways fit exactly.
-  c.reset_counters();
+  c.reset_stats();
   for (std::uint64_t line = 0; line < 8; ++line) EXPECT_TRUE(c.access(line));
   EXPECT_EQ(c.misses(), 0u);
 }
@@ -66,6 +69,89 @@ TEST(SetAssoc, FlushEmptiesCache) {
   c.access(1);
   c.flush();
   EXPECT_FALSE(c.access(1));
+}
+
+TEST(SetAssoc, ResetStatsZeroesCountersKeepsResidency) {
+  SetAssocCache c(tiny_cache());
+  c.access(0);
+  c.access(4);
+  ASSERT_EQ(c.accesses(), 2u);
+  ASSERT_EQ(c.misses(), 2u);
+  c.reset_stats();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  // Residency (and recency) untouched: both lines still hit.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(4));
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(SetAssoc, FlushPreservesStats) {
+  SetAssocCache c(tiny_cache());
+  c.access(0);
+  c.access(0);
+  c.access(4);
+  ASSERT_EQ(c.accesses(), 3u);
+  ASSERT_EQ(c.misses(), 2u);
+  c.flush();
+  // flush() models a mid-measurement invalidation: ways empty, statistics
+  // intentionally keep covering the whole measurement window.
+  EXPECT_EQ(c.accesses(), 3u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_FALSE(c.access(0));  // no longer resident
+  EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(SetAssoc, ContainsProbesWithoutPerturbing) {
+  SetAssocCache c(tiny_cache());
+  c.access(0);
+  c.access(4);  // set 0: MRU=4, LRU=0
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_FALSE(c.contains(8));
+  EXPECT_EQ(c.accesses(), 2u);  // contains() never counts
+  // contains(0) must not have promoted 0: installing 8 evicts the true LRU.
+  c.access(8);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(SetAssoc, GenericPathMatchesPackedSemantics) {
+  // Associativity 8 exceeds the packed representation; exercises the
+  // recency-array path with the same true-LRU behaviour.
+  SetAssocCache c(CacheGeometry{/*size_bytes=*/1024, /*associativity=*/8,
+                                /*line_bytes=*/64});
+  // 2 sets x 8 ways. Fill set 0 with 8 lines, touch the oldest, add one.
+  for (std::uint64_t i = 0; i < 8; ++i) c.access(i * 2);  // even lines: set 0
+  EXPECT_TRUE(c.access(0));    // promote the oldest to MRU
+  EXPECT_FALSE(c.access(16));  // evicts line 2, not line 0
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.access(4));
+}
+
+TEST(SetAssoc, PackedAndGenericAgreeOnRandomStream) {
+  // assoc 4 (packed) vs an 8-way generic cache can't be compared directly;
+  // instead drive packed assoc 2 against the same geometry's semantics via
+  // a pseudo-random line stream and check hit/miss equality with a model
+  // kept in recency order.
+  SetAssocCache c(tiny_cache());  // 4 sets x 2 ways: packed
+  std::vector<std::vector<std::uint64_t>> model(4);
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t line = x % 23;
+    const auto set = static_cast<std::size_t>(line & 3);
+    auto& ways = model[set];
+    const auto it = std::find(ways.begin(), ways.end(), line);
+    const bool model_hit = it != ways.end();
+    if (model_hit) ways.erase(it);
+    ways.insert(ways.begin(), line);
+    if (ways.size() > 2) ways.pop_back();
+    ASSERT_EQ(c.access(line), model_hit) << "event " << i << " line " << line;
+  }
 }
 
 TEST(SetAssoc, CyclicThrashInOneSet) {

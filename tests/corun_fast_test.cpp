@@ -1,0 +1,392 @@
+// Equivalence suite for the run-aware co-run collapse (DESIGN.md §11).
+//
+// The co-run engine may bulk-advance whole windows of interleaved rounds
+// when every stream spins inside a run whose lines are resident. This suite
+// pins the claim that the collapse is a pure evaluation-order change: a
+// per-event reference engine — written out longhand against its own LRU
+// cache implementation, with the same namespaces, credit arithmetic, stall
+// debts, and forked RNG streams — must agree bit for bit on every SimResult
+// field, including the RNG-stream-sensitive wrong-path miss counts, over
+// the whole golden workload suite, many-party mixes with fractional speeds,
+// and degenerate cache geometries.
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/icache_sim.hpp"
+#include "exec/interpreter.hpp"
+#include "layout/layout.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/spec.hpp"
+
+namespace codelayout {
+namespace {
+
+// ---- Independent per-event reference engine ---------------------------------
+
+/// A from-scratch set-associative true-LRU cache: per-set recency-ordered
+/// vectors, linear probes. Shares no code with SetAssocCache.
+class RefCache {
+ public:
+  explicit RefCache(const CacheGeometry& geom)
+      : sets_(geom.sets()), assoc_(geom.associativity), ways_(geom.sets()) {}
+
+  bool access(std::uint64_t line) { return touch(line); }
+  void prefill(std::uint64_t line) { touch(line); }
+
+ private:
+  bool touch(std::uint64_t line) {
+    auto& ways = ways_[line % sets_];
+    const auto it = std::find(ways.begin(), ways.end(), line);
+    const bool hit = it != ways.end();
+    if (hit) ways.erase(it);
+    ways.insert(ways.begin(), line);
+    if (ways.size() > assoc_) ways.pop_back();
+    return hit;
+  }
+
+  std::uint64_t sets_;
+  std::size_t assoc_;
+  std::vector<std::vector<std::uint64_t>> ways_;
+};
+
+/// The pre-collapse per-event co-run stream: flat symbols, module/layout
+/// lookups per event, stall debt, and the stream's own forked RNG.
+class RefStream {
+ public:
+  RefStream(const Module& module, const CodeLayout& layout, const Trace& trace,
+            std::uint64_t line_namespace, const SimOptions& options,
+            std::uint64_t rng_stream)
+      : module_(&module),
+        layout_(&layout),
+        symbols_(trace.symbols()),
+        namespace_(line_namespace),
+        options_(options),
+        rng_(Rng(options.seed).fork(rng_stream)) {}
+
+  bool step(RefCache& cache) {
+    if (debt_ >= 1.0) {
+      debt_ -= 1.0;
+      return false;
+    }
+    const BlockId b(symbols_[pos_]);
+    const BasicBlock& bb = module_->block(b);
+    const auto span = layout_->lines_of(b, options_.geometry.line_bytes);
+    const auto& place = layout_->placement(b);
+    ++stats_.blocks;
+    stats_.instructions += place.bytes / kInstrBytes;
+    stats_.overhead_instructions += (place.bytes - bb.size_bytes) / kInstrBytes;
+    for (std::uint32_t i = 0; i < span.line_count; ++i) {
+      const std::uint64_t line = namespace_ + span.first_line + i;
+      ++stats_.line_probes;
+      if (!cache.access(line)) {
+        ++stats_.demand_misses;
+        debt_ += options_.miss_stall_blocks;
+        if (options_.next_line_prefetch) cache.prefill(line + 1);
+      }
+    }
+    if (options_.wrong_path_rate > 0.0 && bb.successors.size() > 1 &&
+        rng_.chance(options_.wrong_path_rate)) {
+      const std::uint64_t line = namespace_ + span.first_line + span.line_count;
+      if (!cache.access(line)) ++stats_.wrong_path_misses;
+    }
+    if (++pos_ == symbols_.size()) {
+      pos_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const SimResult& stats() const { return stats_; }
+
+ private:
+  const Module* module_;
+  const CodeLayout* layout_;
+  std::span<const Symbol> symbols_;
+  std::uint64_t namespace_;
+  SimOptions options_;
+  Rng rng_;
+  std::size_t pos_ = 0;
+  double debt_ = 0.0;
+  SimResult stats_;
+};
+
+struct RefParty {
+  const Module* module;
+  const CodeLayout* layout;
+  const Trace* trace;
+  double speed = 1.0;
+};
+
+std::vector<SimResult> reference_corun(const std::vector<RefParty>& parties,
+                                       const SimOptions& options) {
+  RefCache cache(options.geometry);
+  std::vector<RefStream> streams;
+  streams.reserve(parties.size());
+  std::vector<double> credit(parties.size(), 0.0);
+  for (std::size_t i = 0; i < parties.size(); ++i) {
+    streams.emplace_back(*parties[i].module, *parties[i].layout,
+                         *parties[i].trace, static_cast<std::uint64_t>(i) << 40,
+                         options, /*rng_stream=*/i + 1);
+  }
+  for (;;) {
+    const bool done = streams[0].step(cache);
+    for (std::size_t i = 1; i < parties.size(); ++i) {
+      credit[i] += parties[i].speed;
+      while (credit[i] >= 1.0) {
+        streams[i].step(cache);
+        credit[i] -= 1.0;
+      }
+    }
+    if (done) break;
+  }
+  std::vector<SimResult> results;
+  results.reserve(streams.size());
+  for (const RefStream& s : streams) results.push_back(s.stats());
+  return results;
+}
+
+// ---- Fixtures ---------------------------------------------------------------
+
+/// First `n` events of `t`, preserving the run structure.
+Trace prefix_events(const Trace& t, std::size_t n) {
+  Trace out(t.granularity());
+  std::size_t taken = 0;
+  for (const Run& r : t.runs()) {
+    if (taken >= n) break;
+    const auto want =
+        static_cast<std::uint64_t>(std::min<std::size_t>(r.length, n - taken));
+    out.push_run(r.symbol, want);
+    taken += want;
+  }
+  return out;
+}
+
+/// A suite workload with the spin knob turned up: long same-block runs, the
+/// shape the collapse is built for.
+WorkloadSpec spin_variant(const std::string& base, double prob,
+                          double repeat) {
+  WorkloadSpec spec = find_spec(base);
+  spec.name = base + "+spin";
+  spec.spin_prob = prob;
+  spec.spin_repeat = repeat;
+  return spec;
+}
+
+struct Prepared {
+  Module module;
+  CodeLayout layout;
+  Trace trace;
+
+  Prepared(const WorkloadSpec& spec, std::uint64_t seed, std::uint64_t events,
+           std::size_t prefix)
+      : module(build_workload(spec)),
+        layout(original_layout(module)),
+        trace(prefix_events(
+            profile(module, seed, {.max_events = events, .max_call_depth = 64})
+                .block_trace,
+            prefix)) {}
+
+  [[nodiscard]] CorunParty party(double speed = 1.0) const {
+    return CorunParty{&module, &layout, &trace, speed};
+  }
+  [[nodiscard]] RefParty ref_party(double speed = 1.0) const {
+    return RefParty{&module, &layout, &trace, speed};
+  }
+};
+
+void append_mismatches(std::vector<std::string>& out, const std::string& label,
+                       const SimResult& got, const SimResult& want) {
+  const auto check = [&](const char* what, std::uint64_t g, std::uint64_t w) {
+    if (g != w) {
+      out.push_back(label + ": " + what + " " + std::to_string(g) +
+                    " != reference " + std::to_string(w));
+    }
+  };
+  check("blocks", got.blocks, want.blocks);
+  check("instructions", got.instructions, want.instructions);
+  check("overhead_instructions", got.overhead_instructions,
+        want.overhead_instructions);
+  check("line_probes", got.line_probes, want.line_probes);
+  check("demand_misses", got.demand_misses, want.demand_misses);
+  check("wrong_path_misses", got.wrong_path_misses, want.wrong_path_misses);
+}
+
+void expect_sim_equal(const SimResult& got, const SimResult& want) {
+  EXPECT_EQ(got.blocks, want.blocks);
+  EXPECT_EQ(got.instructions, want.instructions);
+  EXPECT_EQ(got.overhead_instructions, want.overhead_instructions);
+  EXPECT_EQ(got.line_probes, want.line_probes);
+  EXPECT_EQ(got.demand_misses, want.demand_misses);
+  EXPECT_EQ(got.wrong_path_misses, want.wrong_path_misses);
+}
+
+// ---- Whole-suite equivalence ------------------------------------------------
+
+TEST(CorunFast, GoldenSuiteVsSpinPeerMatchesPerEventReplay) {
+  // Every suite workload co-run against one shared spin-heavy peer at a
+  // fractional speed, under both measurement flavours.
+  const Prepared peer(spin_variant("403.gcc", 0.7, 48.0), 77, 40'000, 12'000);
+  ThreadPool pool(ThreadPool::default_threads());
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::vector<std::future<void>> pending;
+
+  for (const WorkloadSpec& spec : spec_suite()) {
+    pending.push_back(pool.submit([&spec, &peer, &mu, &failures] {
+      const Prepared self(spec, 11, 20'000, 6'000);
+      std::vector<std::string> local;
+      for (const bool hw : {false, true}) {
+        const SimOptions options = hw ? hardware_proxy_options() : SimOptions{};
+        const double peer_speed = 1.3;
+        const CorunResult got =
+            simulate_corun(self.module, self.layout, self.trace, peer.module,
+                           peer.layout, peer.trace, options, peer_speed);
+        const std::vector<SimResult> want = reference_corun(
+            {self.ref_party(), peer.ref_party(peer_speed)}, options);
+        const std::string label =
+            spec.name + (hw ? " [hw]" : " [sim]");
+        append_mismatches(local, label + " self", got.self, want[0]);
+        append_mismatches(local, label + " peer", got.peer, want[1]);
+      }
+      if (!local.empty()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::string& f : local) failures.push_back(std::move(f));
+      }
+    }));
+  }
+  for (auto& p : pending) p.get();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+}
+
+// ---- Many-party mixes with fractional speeds --------------------------------
+
+TEST(CorunFast, ManyPartySpinMixesMatchPerEventReplay) {
+  const Prepared a(spin_variant("470.lbm", 0.7, 48.0), 21, 20'000, 5'000);
+  const Prepared b(spin_variant("403.gcc", 0.6, 32.0), 22, 30'000, 10'000);
+  const Prepared c(spin_variant("416.gamess", 0.5, 24.0), 23, 30'000, 10'000);
+  const Prepared d(spin_variant("429.mcf", 0.7, 40.0), 24, 30'000, 10'000);
+  const Prepared* peers[] = {&b, &c, &d};
+  const double speeds[] = {0.5, 1.7, 0.25};
+
+  for (const std::size_t parties : {2u, 3u, 4u}) {
+    for (const bool hw : {false, true}) {
+      const SimOptions options = hw ? hardware_proxy_options() : SimOptions{};
+      std::vector<CorunParty> got_parties = {a.party()};
+      std::vector<RefParty> ref_parties = {a.ref_party()};
+      for (std::size_t i = 0; i + 1 < parties; ++i) {
+        got_parties.push_back(peers[i]->party(speeds[i]));
+        ref_parties.push_back(peers[i]->ref_party(speeds[i]));
+      }
+      CorunStats stats;
+      const auto got = simulate_corun_many(got_parties, options, &stats);
+      const auto want = reference_corun(ref_parties, options);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("parties=" + std::to_string(parties) +
+                     (hw ? " [hw]" : " [sim]") + " party " +
+                     std::to_string(i));
+        expect_sim_equal(got[i], want[i]);
+      }
+      // Spin-heavy mixes must actually exercise the collapse.
+      EXPECT_GT(stats.rounds_fast, 0u);
+      EXPECT_GT(stats.windows, 0u);
+    }
+  }
+}
+
+TEST(CorunFast, FastPeerSpeedMatchesPerEventReplay) {
+  // speed > 1 makes peers take several steps per round; the round-replay
+  // rejection has to count them exactly.
+  const Prepared a(spin_variant("470.lbm", 0.7, 48.0), 31, 20'000, 4'000);
+  const Prepared b(spin_variant("403.gcc", 0.7, 48.0), 32, 30'000, 12'000);
+  const SimOptions options = hardware_proxy_options();
+  const double speed = 3.0;
+  const CorunResult got =
+      simulate_corun(a.module, a.layout, a.trace, b.module, b.layout, b.trace,
+                     options, speed);
+  const auto want =
+      reference_corun({a.ref_party(), b.ref_party(speed)}, options);
+  expect_sim_equal(got.self, want[0]);
+  expect_sim_equal(got.peer, want[1]);
+}
+
+// ---- Degenerate geometries --------------------------------------------------
+
+TEST(CorunFast, DegenerateGeometriesMatchPerEventReplay) {
+  const Prepared a(spin_variant("470.lbm", 0.6, 32.0), 41, 20'000, 4'000);
+  const Prepared b(spin_variant("416.gamess", 0.6, 32.0), 42, 20'000, 8'000);
+
+  const CacheGeometry geometries[] = {
+      {256, 4, 64},   // a single set: everything conflicts
+      {512, 1, 64},   // direct-mapped
+      {1024, 8, 64},  // assoc > 4: the generic (non-packed) cache path
+  };
+  for (const CacheGeometry& geom : geometries) {
+    for (const bool hw : {false, true}) {
+      SimOptions options = hw ? hardware_proxy_options() : SimOptions{};
+      options.geometry = geom;
+      options.geometry.validate();
+      SCOPED_TRACE(std::string(hw ? "[hw]" : "[sim]") + " sets=" +
+                   std::to_string(geom.sets()) +
+                   " assoc=" + std::to_string(geom.associativity));
+      const CorunResult got =
+          simulate_corun(a.module, a.layout, a.trace, b.module, b.layout,
+                         b.trace, options, 1.7);
+      const auto want =
+          reference_corun({a.ref_party(), b.ref_party(1.7)}, options);
+      expect_sim_equal(got.self, want[0]);
+      expect_sim_equal(got.peer, want[1]);
+    }
+  }
+}
+
+// ---- Plan-based API ---------------------------------------------------------
+
+TEST(CorunFast, PlannedPartiesMatchModuleLayoutParties) {
+  const Prepared a(spin_variant("470.lbm", 0.7, 48.0), 51, 20'000, 5'000);
+  const Prepared b(spin_variant("403.gcc", 0.7, 48.0), 52, 20'000, 8'000);
+  const SimOptions options = hardware_proxy_options();
+  const FetchPlan plan_a(a.module, a.layout, options.geometry.line_bytes);
+  const FetchPlan plan_b(b.module, b.layout, options.geometry.line_bytes);
+
+  std::vector<CorunParty> legacy = {a.party(), b.party(1.3)};
+  std::vector<PlannedParty> planned = {PlannedParty{&plan_a, &a.trace, 1.0},
+                                       PlannedParty{&plan_b, &b.trace, 1.3}};
+  CorunStats legacy_stats, planned_stats;
+  const auto legacy_results =
+      simulate_corun_many(legacy, options, &legacy_stats);
+  const auto planned_results =
+      simulate_corun_many(planned, options, &planned_stats);
+  ASSERT_EQ(legacy_results.size(), planned_results.size());
+  for (std::size_t i = 0; i < legacy_results.size(); ++i) {
+    SCOPED_TRACE("party " + std::to_string(i));
+    expect_sim_equal(planned_results[i], legacy_results[i]);
+  }
+  EXPECT_EQ(planned_stats.rounds_fast, legacy_stats.rounds_fast);
+  EXPECT_EQ(planned_stats.rounds_fallback, legacy_stats.rounds_fallback);
+  EXPECT_EQ(planned_stats.windows, legacy_stats.windows);
+
+  // The two-way entry point is the same engine at two parties.
+  const CorunResult pair = simulate_corun(plan_a, a.trace, plan_b, b.trace,
+                                          options, 1.3);
+  expect_sim_equal(pair.self, legacy_results[0]);
+  expect_sim_equal(pair.peer, legacy_results[1]);
+  EXPECT_EQ(pair.stats.rounds_fast, legacy_stats.rounds_fast);
+}
+
+TEST(CorunFast, MeasuredPartyMustRunAtUnitSpeed) {
+  const Prepared a(spin_variant("470.lbm", 0.5, 24.0), 61, 10'000, 2'000);
+  std::vector<CorunParty> parties = {a.party(0.5), a.party()};
+  EXPECT_THROW(simulate_corun_many(parties, {}), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout
