@@ -37,6 +37,7 @@
 #include "affinity/analysis.hpp"
 #include "affinity/naive.hpp"
 #include "cache/icache_sim.hpp"
+#include "support/cli.hpp"
 #include "exec/interpreter.hpp"
 #include "harness/pipeline.hpp"
 #include "layout/layout.hpp"
@@ -532,35 +533,32 @@ int main(int argc, char** argv) {
   bool suite = false;
   bool json = false;
   std::string workload;
-  std::string sweep = "1";
+  std::string sweep;
   std::uint64_t max_events = ~std::uint64_t{0};
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--suite") == 0) {
-      suite = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      suite = true;
-      json = true;
-    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
-      suite = true;
-      workload = argv[++i];
-    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
-      max_events = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--sweep-threads") == 0 && i + 1 < argc) {
-      suite = true;
-      sweep = argv[++i];
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
+  std::vector<std::string> leftover;
+  CliOptions cli(argv[0], "run-aware analysis kernel throughput");
+  cli.flag("--suite", &suite, "events/s suite mode (implied by the "
+                              "flags below); default is google-benchmark");
+  cli.flag("--json", &json, "suite mode with the machine-readable report");
+  cli.option("--workload", &workload, "A,B,...",
+             "suite mode over the named workloads (+spin variants allowed)");
+  cli.option_u64("--events", &max_events, 1, ~std::uint64_t{0}, "N",
+                 "truncate each trace to N events");
+  cli.option("--sweep-threads", &sweep, "1,2,8",
+             "suite mode: per-width events/s for the parallel kernels");
+  cli.passthrough(&leftover);  // --benchmark_* flags pass through
+  cli.parse_or_exit(argc, argv);
+  suite = suite || json || !workload.empty() || !sweep.empty();
   if (suite) {
     return run_suite_mode(workload, max_events, json,
-                          parse_thread_counts(sweep));
+                          parse_thread_counts(sweep.empty() ? "1" : sweep));
   }
 
-  int bench_argc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&bench_argc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+  std::vector<char*> bench_argv{argv[0]};
+  for (std::string& arg : leftover) bench_argv.push_back(arg.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -1,4 +1,6 @@
-// Shared command-line handling for the bench binaries.
+// Shared command-line handling for the bench binaries, built on the typed
+// support/cli options API (so service binaries compose their own flags with
+// the standard set instead of re-parsing argv).
 //
 //   --threads N | --threads=N   engine width (N >= 1; omit for one worker
 //                               per hardware thread)
@@ -13,17 +15,15 @@
 //                               as JSON
 //
 // (bench_analysis_perf is the exception: it is a google-benchmark binary
-// with its own --benchmark_* flags and JSON format.)
+// with its own --benchmark_* flags and JSON format; it composes via the CLI
+// passthrough mode.)
 #pragma once
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "harness/lab.hpp"
+#include "support/cli.hpp"
 #include "support/registry.hpp"
 #include "support/trace_recorder.hpp"
 
@@ -36,86 +36,22 @@ struct BenchArgs {
   std::string metrics_out;  ///< empty = metrics registry off
 };
 
-namespace bench_detail {
-
-[[noreturn]] inline void usage_error(const char* argv0, const std::string& why) {
-  std::fprintf(stderr, "%s: %s\n", argv0, why.c_str());
-  std::fprintf(stderr,
-               "usage: %s [--threads N] [--json] [--trace-out FILE] "
-               "[--metrics-out FILE]\n",
-               argv0);
-  std::exit(2);
+/// Declares the standard bench flags on `cli`, bound to `args`. Binaries
+/// with extra flags declare them on the same parser before parse_or_exit.
+inline void add_bench_flags(CliOptions& cli, BenchArgs& args) {
+  cli.option_uint("--threads", &args.threads, 1, 4096, "N",
+                  "engine width (default: one worker per hardware thread)");
+  cli.flag("--json", &args.json,
+           "append a one-line JSON engine-metrics dump after the output");
+  cli.option("--trace-out", &args.trace_out, "FILE",
+             "record scoped spans and write a Perfetto/Chrome trace JSON");
+  cli.option("--metrics-out", &args.metrics_out, "FILE",
+             "enable the metrics registry and write counters + histograms");
 }
 
-/// Strict positive-integer parse: rejects empty, non-digit, zero, and
-/// out-of-range values instead of strtoul's silent 0.
-inline unsigned parse_threads(const char* argv0, const std::string& text) {
-  bool all_digits = !text.empty();
-  for (const char c : text) {
-    all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
-  }
-  if (!all_digits) {
-    usage_error(argv0, "invalid --threads value '" + text +
-                           "': expected a positive integer");
-  }
-  errno = 0;
-  const unsigned long value = std::strtoul(text.c_str(), nullptr, 10);
-  if (errno != 0 || value == 0 || value > 4096) {
-    usage_error(argv0, "invalid --threads value '" + text +
-                           "': expected an integer in [1, 4096]");
-  }
-  return static_cast<unsigned>(value);
-}
-
-/// Consumes "--flag VALUE" / "--flag=VALUE"; returns true when `arg` matched
-/// `flag` and `out` was filled.
-inline bool parse_value_flag(const char* argv0, const char* flag,
-                             const std::string& arg, int argc, char** argv,
-                             int& i, std::string& out) {
-  const std::size_t flag_len = std::strlen(flag);
-  if (arg == flag) {
-    if (i + 1 >= argc) {
-      usage_error(argv0, std::string(flag) + " requires a value");
-    }
-    out = argv[++i];
-  } else if (arg.rfind(std::string(flag) + "=", 0) == 0) {
-    out = arg.substr(flag_len + 1);
-  } else {
-    return false;
-  }
-  if (out.empty()) usage_error(argv0, std::string(flag) + " requires a value");
-  return true;
-}
-
-}  // namespace bench_detail
-
-inline BenchArgs parse_bench_args(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string value;
-    if (arg == "--json") {
-      args.json = true;
-    } else if (bench_detail::parse_value_flag(argv[0], "--threads", arg, argc,
-                                              argv, i, value)) {
-      args.threads = bench_detail::parse_threads(argv[0], value);
-    } else if (bench_detail::parse_value_flag(argv[0], "--trace-out", arg,
-                                              argc, argv, i, args.trace_out)) {
-    } else if (bench_detail::parse_value_flag(argv[0], "--metrics-out", arg,
-                                              argc, argv, i,
-                                              args.metrics_out)) {
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: %s [--threads N] [--json] [--trace-out FILE] "
-          "[--metrics-out FILE]\n",
-          argv[0]);
-      std::exit(0);
-    } else {
-      bench_detail::usage_error(argv[0], "unknown argument: " + arg);
-    }
-  }
-  // Flip the observability switches before any Lab work happens so the first
-  // pipeline phase is already covered.
+/// Flips the observability switches before any Lab work happens so the first
+/// pipeline phase is already covered.
+inline void apply_bench_observability(const BenchArgs& args) {
   if (!args.trace_out.empty()) {
     TraceRecorder::instance().enable();
     TraceRecorder::instance().set_thread_name("main");
@@ -123,6 +59,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
   if (!args.metrics_out.empty()) {
     MetricsRegistry::global().set_enabled(true);
   }
+}
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  CliOptions cli(argv[0]);
+  add_bench_flags(cli, args);
+  cli.parse_or_exit(argc, argv);
+  apply_bench_observability(args);
   return args;
 }
 

@@ -37,6 +37,7 @@
 #include "cache/icache_sim.hpp"
 #include "exec/interpreter.hpp"
 #include "json_lint.hpp"
+#include "support/cli.hpp"
 #include "layout/layout.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -282,25 +283,23 @@ std::uint64_t total_blocks(const std::vector<SimResult>& results) {
 
 /// Measures production vs per-event reference for one party mix under one
 /// flavour, verifying bit-identity of the outputs.
-KernelReport measure_corun_kernel(const char* name,
-                                  const std::vector<PlannedParty>& parties,
-                                  const std::vector<RefParty>& ref_parties,
-                                  const SimOptions& options) {
+KernelReport measure_corun_kernel(const char* name, const CorunSpec& spec,
+                                  const std::vector<RefParty>& ref_parties) {
   KernelReport report{.name = name};
   CorunStats stats;
-  const std::vector<SimResult> produced =
-      simulate_corun_many(parties, options, &stats);
+  const std::vector<SimResult> produced = simulate_corun(spec, &stats);
   const std::uint64_t events = total_blocks(produced);
   report.checksum = hash_results(produced);
   report.rounds_fast = stats.rounds_fast;
   report.rounds_fallback = stats.rounds_fallback;
   report.events_per_sec = measure_events_per_sec(events, [&] {
-    const auto r = simulate_corun_many(parties, options);
+    const auto r = simulate_corun(spec);
     if (hash_results(r) != report.checksum) g_checksums_ok = false;
   });
-  report.baseline_checksum = hash_results(reference_corun(ref_parties, options));
+  report.baseline_checksum =
+      hash_results(reference_corun(ref_parties, spec.options));
   report.baseline_events_per_sec = measure_events_per_sec(events, [&] {
-    const auto r = reference_corun(ref_parties, options);
+    const auto r = reference_corun(ref_parties, spec.options);
     if (hash_results(r) != report.baseline_checksum) g_checksums_ok = false;
   });
   if (report.checksum != report.baseline_checksum) {
@@ -320,23 +319,21 @@ KernelReport measure_corun_kernel(const char* name,
 KernelReport measure_cell_sweep(const PreparedWorkloadBench& a,
                                 const PreparedWorkloadBench& b,
                                 const std::vector<unsigned>& thread_counts) {
-  struct Cell {
-    std::vector<PlannedParty> parties;
-    SimOptions options;
-  };
-  std::vector<Cell> cells;
+  std::vector<CorunSpec> cells;
   for (const bool hw : {false, true}) {
     for (const std::uint64_t seed : {1ull, 2ull}) {
       SimOptions options = hw ? hardware_proxy_options(seed) : SimOptions{};
       options.seed = seed;
-      cells.push_back(Cell{{a.planned_party(), b.planned_party(1.3)}, options});
-      cells.push_back(Cell{{b.planned_party(), a.planned_party(0.7)}, options});
+      cells.push_back(
+          CorunSpec{{a.planned_party(), b.planned_party(1.3)}, options});
+      cells.push_back(
+          CorunSpec{{b.planned_party(), a.planned_party(0.7)}, options});
     }
   }
 
   std::uint64_t events = 0;
-  for (const Cell& cell : cells) {
-    events += total_blocks(simulate_corun_many(cell.parties, cell.options));
+  for (const CorunSpec& cell : cells) {
+    events += total_blocks(simulate_corun(cell));
   }
 
   const auto run_cells = [&](ThreadPool* pool, unsigned threads) {
@@ -344,8 +341,7 @@ KernelReport measure_cell_sweep(const PreparedWorkloadBench& a,
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
       for (std::size_t i; (i = next.fetch_add(1)) < cells.size();) {
-        sums[i] =
-            hash_results(simulate_corun_many(cells[i].parties, cells[i].options));
+        sums[i] = hash_results(simulate_corun(cells[i]));
       }
     };
     if (pool == nullptr) {
@@ -396,24 +392,24 @@ PairReport measure_pair(const PreparedWorkloadBench& a,
                     .peer_compression = b.trace.run_compression(),
                     .kernels = {}};
 
-  const std::vector<PlannedParty> pair = {a.planned_party(),
-                                          b.planned_party(1.3)};
+  const CorunSpec pair_sim{{a.planned_party(), b.planned_party(1.3)},
+                           SimOptions{}};
+  const CorunSpec pair_hw{{a.planned_party(), b.planned_party(1.3)},
+                          hardware_proxy_options()};
   const std::vector<RefParty> ref_pair = {a.ref_party(), b.ref_party(1.3)};
-  report.events = total_blocks(simulate_corun_many(pair, SimOptions{}));
+  report.events = total_blocks(simulate_corun(pair_sim));
 
   report.kernels.push_back(
-      measure_corun_kernel("corun_sim", pair, ref_pair, SimOptions{}));
-  report.kernels.push_back(measure_corun_kernel("corun_hw", pair, ref_pair,
-                                                hardware_proxy_options()));
+      measure_corun_kernel("corun_sim", pair_sim, ref_pair));
+  report.kernels.push_back(measure_corun_kernel("corun_hw", pair_hw, ref_pair));
 
-  const std::vector<PlannedParty> four = {
-      a.planned_party(), b.planned_party(1.3), a.planned_party(0.5),
-      b.planned_party(1.7)};
+  const CorunSpec four{{a.planned_party(), b.planned_party(1.3),
+                        a.planned_party(0.5), b.planned_party(1.7)},
+                       hardware_proxy_options()};
   const std::vector<RefParty> ref_four = {a.ref_party(), b.ref_party(1.3),
                                           a.ref_party(0.5), b.ref_party(1.7)};
-  report.kernels.push_back(measure_corun_kernel("corun_many4_hw", four,
-                                                ref_four,
-                                                hardware_proxy_options()));
+  report.kernels.push_back(
+      measure_corun_kernel("corun_many4_hw", four, ref_four));
 
   report.kernels.push_back(measure_cell_sweep(a, b, sweep_threads));
   return report;
@@ -586,23 +582,17 @@ int main(int argc, char** argv) {
       "470.lbm+spin,403.gcc+spin,403.gcc,416.gamess";
   std::string sweep = "1";
   std::uint64_t max_events = ~std::uint64_t{0};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
-      workload = argv[++i];
-    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
-      max_events = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--sweep-threads") == 0 && i + 1 < argc) {
-      sweep = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--workload A,B,...] [--events N] [--json] "
-                   "[--sweep-threads 1,2,8]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  CliOptions cli(argv[0],
+                 "co-run engine throughput vs the per-event reference");
+  cli.flag("--json", &json, "emit the machine-readable report");
+  cli.option("--workload", &workload, "A,B,...",
+             "consecutive entries form (self, peer) pairs; +spin[:p:r] "
+             "selects the spin variant");
+  cli.option_u64("--events", &max_events, 1, ~std::uint64_t{0}, "N",
+                 "truncate each trace to N events");
+  cli.option("--sweep-threads", &sweep, "1,2,8",
+             "fan independent co-run cells out at each width");
+  cli.parse_or_exit(argc, argv);
   const std::vector<unsigned> thread_counts = parse_thread_counts(sweep);
   const std::vector<WorkloadSpec> specs = parse_workloads(workload);
   if (specs.size() < 2) {

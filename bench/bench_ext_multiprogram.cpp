@@ -47,21 +47,23 @@ int main(int argc, char** argv) {
     double prev_opt = -1.0;
     for (std::size_t optimized = 0; optimized < threads; ++optimized) {
       auto run = [&](bool optimize_self) {
-        std::vector<CorunParty> parties;
+        // One CorunSpec carries parties, speeds, and the hw-proxy flags;
+        // fetch plans come memoized from the Lab (one per layout, shared
+        // across every N-way cell below).
+        CorunSpec spec;
+        spec.options = hardware_proxy_options();
         for (std::size_t i = 0; i < threads; ++i) {
           const std::string& name = names[i % names.size()];
           const PreparedWorkload& w = lab.workload(name);
           const bool use_opt =
               (i == 0 && optimize_self) || (i > 0 && i <= optimized);
-          parties.push_back(CorunParty{
-              &w.module,
-              &lab.layout(name, use_opt
-                                    ? std::optional<Optimizer>(kBBAffinity)
-                                    : std::nullopt),
-              &w.eval_blocks, 1.0});
+          const std::optional<Optimizer> opt =
+              use_opt ? std::optional<Optimizer>(kBBAffinity) : std::nullopt;
+          spec.parties.push_back(
+              CorunSpec::Party{&lab.fetch_plan(name, opt), &w.eval_blocks,
+                               1.0});
         }
-        return simulate_corun_many(parties, hardware_proxy_options())[0]
-            .miss_ratio();
+        return simulate_corun(spec)[0].miss_ratio();
       };
       const double base_self = run(false);
       const double opt_self = run(true);

@@ -1,0 +1,204 @@
+// Throughput / latency bench for the layout-optimization service
+// (BENCH_service.json): drives a daemon with N concurrent load-generator
+// clients over a unix socket and reports p50/p90/p99 round-trip latency and
+// jobs/s.
+//
+//   bench_service [--clients N] [--jobs N] [--connect PATH] [--json] ...
+//
+// By default it self-hosts a daemon in-process (real socket, real framing,
+// real queue); --connect PATH drives an externally started service_daemon
+// instead — the CI smoke job uses that mode. The job mix cycles solo,
+// layout, co-run, and trace-stats jobs across all three priority classes,
+// so repeats exercise the cross-request response cache while first
+// occurrences exercise the full pipeline. A warm-up pass (one client, one
+// pass through the mix) populates the Lab's memo tables first, so the
+// measured distribution reflects steady-state service latency rather than
+// one giant first-compute outlier. --json output is validated with the test
+// suite's JSON linter (exit 3 on invalid).
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "json_lint.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/metrics.hpp"
+#include "workloads/spec.hpp"
+
+namespace {
+
+using namespace codelayout;
+using namespace codelayout::service;
+
+/// The benched job mix: every job kind, both measurement flavours, all three
+/// priority classes.
+std::vector<JobRequest> build_mix() {
+  std::vector<JobRequest> mix;
+
+  auto solo = [&](const char* workload, std::optional<Optimizer> optimizer,
+                  Measure measure) {
+    JobRequest job;
+    job.kind = JobKind::kSolo;
+    job.workload = workload;
+    job.optimizer = optimizer;
+    job.measure = measure;
+    mix.push_back(std::move(job));
+  };
+  solo(kProbe1, std::nullopt, Measure::kHardware);
+  solo(kProbe1, kBBAffinity, Measure::kHardware);
+  solo(kProbe2, kFuncTrg, Measure::kSimulator);
+
+  JobRequest layout;
+  layout.kind = JobKind::kLayout;
+  layout.workload = kProbe2;
+  layout.optimizer = kBBAffinity;
+  mix.push_back(std::move(layout));
+
+  JobRequest corun;
+  corun.kind = JobKind::kCorun;
+  corun.measure = Measure::kHardware;
+  corun.parties.push_back({kProbe1, kBBAffinity, 1.0});
+  corun.parties.push_back({kProbe2, std::nullopt, 1.0});
+  mix.push_back(std::move(corun));
+
+  JobRequest stats;
+  stats.kind = JobKind::kTraceStats;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    stats.trace.push_run(i % 23, 3 + i % 9);
+  }
+  mix.push_back(std::move(stats));
+
+  constexpr JobPriority kPriorities[] = {
+      JobPriority::kInteractive, JobPriority::kNormal, JobPriority::kBatch};
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    mix[i].priority = kPriorities[i % 3];
+  }
+  return mix;
+}
+
+std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
+                        const ServiceServer* server) {
+  JsonWriter json;
+  json.field("bench", "service");
+  json.field("clients", load.clients);
+  json.field("jobs_per_client", load.jobs_per_client);
+  json.field("jobs", report.jobs);
+  json.field("ok", report.ok);
+  json.field("errors", report.errors);
+  json.field("rejected", report.rejected);
+  json.field("wall_seconds", report.wall_seconds);
+  json.field("jobs_per_sec", report.jobs_per_sec);
+  json.begin_object("latency_ms");
+  json.field("mean", report.latency.mean() / 1e6);
+  json.field("p50", report.latency.p50 / 1e6);
+  json.field("p90", report.latency.p90 / 1e6);
+  json.field("p99", report.latency.p99 / 1e6);
+  json.field("max", static_cast<double>(report.latency.max) / 1e6);
+  json.end_object();
+  if (server != nullptr) {
+    const ServiceServer::Stats stats = server->stats();
+    const ResponseCache::Stats cache = server->cache_stats();
+    json.begin_object("server");
+    json.field("submitted", stats.submitted);
+    json.field("completed", stats.completed);
+    json.field("cache_hits", stats.cache_hits);
+    json.field("queue_peak", static_cast<std::uint64_t>(stats.queue_peak));
+    json.field("cache_entries", static_cast<std::uint64_t>(cache.entries));
+    json.field("cache_evictions", cache.evictions);
+    json.end_object();
+  }
+  return json.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs bench;
+  unsigned clients = 4;
+  unsigned jobs_per_client = 24;
+  std::string connect;
+
+  CliOptions cli(argv[0],
+                 "Service load generator: p50/p99 job latency and jobs/s "
+                 "under concurrent clients.");
+  add_bench_flags(cli, bench);
+  cli.option_uint("--clients", &clients, 1, 256, "N",
+                  "concurrent client connections");
+  cli.option_uint("--jobs", &jobs_per_client, 1, 1u << 20, "N",
+                  "jobs per client");
+  cli.option("--connect", &connect, "PATH",
+             "drive an external daemon at PATH instead of self-hosting");
+  cli.parse_or_exit(argc, argv);
+  apply_bench_observability(bench);
+
+  std::optional<ServiceServer> server;
+  std::string socket_path = connect;
+  if (connect.empty()) {
+    ServerConfig config;
+    config.workers = 2;
+    config.queue_depth = 4096;  // benching latency, not admission control
+    server.emplace(config,
+                   std::make_unique<LabExecutor>(bench_lab_options(bench)));
+    socket_path = "bench-service.sock";
+    server->listen_unix(socket_path);
+  }
+
+  LoadGenOptions load;
+  load.socket_path = socket_path;
+  load.clients = clients;
+  load.jobs_per_client = jobs_per_client;
+  load.mix = build_mix();
+
+  // Warm-up: populate the Lab memo tables (and the response cache) so the
+  // measured run reports steady-state latency.
+  LoadGenOptions warmup = load;
+  warmup.clients = 1;
+  warmup.jobs_per_client = static_cast<unsigned>(load.mix.size());
+  const LoadGenReport warm = run_load_generator(warmup);
+  if (warm.errors != 0) {
+    std::fprintf(stderr, "warm-up reported %llu job errors\n",
+                 static_cast<unsigned long long>(warm.errors));
+    return 2;
+  }
+
+  const LoadGenReport report = run_load_generator(load);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"clients", std::to_string(clients)});
+  table.add_row({"jobs", fmt_count(report.jobs)});
+  table.add_row({"ok / errors / rejected",
+                 fmt_count(report.ok) + " / " + fmt_count(report.errors) +
+                     " / " + fmt_count(report.rejected)});
+  table.add_row({"wall", fmt_fixed(report.wall_seconds, 3) + " s"});
+  table.add_row({"jobs/s", fmt_fixed(report.jobs_per_sec, 1)});
+  table.add_row({"latency p50", fmt_fixed(report.latency.p50 / 1e6, 3) + " ms"});
+  table.add_row({"latency p90", fmt_fixed(report.latency.p90 / 1e6, 3) + " ms"});
+  table.add_row({"latency p99", fmt_fixed(report.latency.p99 / 1e6, 3) + " ms"});
+  table.add_row({"latency max",
+                 fmt_fixed(static_cast<double>(report.latency.max) / 1e6, 3) +
+                     " ms"});
+  std::printf("%s", table.render().c_str());
+
+  const std::string json =
+      json_report(load, report, server ? &*server : nullptr);
+  if (bench.json) std::printf("%s\n", json.c_str());
+  std::string json_error;
+  if (!codelayout::testing::json_is_valid(json, &json_error)) {
+    std::fprintf(stderr, "invalid JSON report: %s\n", json_error.c_str());
+    return 3;
+  }
+
+  if (server) server->shutdown();
+  finish_observability(bench, "bench_service");
+  if (report.errors != 0) {
+    std::fprintf(stderr, "%llu jobs reported errors\n",
+                 static_cast<unsigned long long>(report.errors));
+    return 4;
+  }
+  return 0;
+}

@@ -483,33 +483,39 @@ CorunResult simulate_corun(const Module& self_module,
                         peer_speed);
 }
 
+std::vector<SimResult> simulate_corun(const CorunSpec& spec,
+                                      CorunStats* stats) {
+  CODELAYOUT_PHASE("icache_corun_many", "cache",
+                   "cache.icache_corun_many.wall_ns",
+                   {"parties", std::uint64_t{spec.parties.size()}});
+  return run_corun_engine(spec.parties, spec.options, stats);
+}
+
 std::vector<SimResult> simulate_corun_many(
     std::span<const PlannedParty> parties, const SimOptions& options,
     CorunStats* stats) {
-  CODELAYOUT_PHASE("icache_corun_many", "cache",
-                   "cache.icache_corun_many.wall_ns",
-                   {"parties", std::uint64_t{parties.size()}});
-  return run_corun_engine(parties, options, stats);
+  CorunSpec spec;
+  spec.parties.assign(parties.begin(), parties.end());
+  spec.options = options;
+  return simulate_corun(spec, stats);
 }
 
 std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
                                            const SimOptions& options,
                                            CorunStats* stats) {
   CL_CHECK_MSG(parties.size() >= 2, "need at least two co-runners");
-  CODELAYOUT_PHASE("icache_corun_many", "cache",
-                   "cache.icache_corun_many.wall_ns",
-                   {"parties", std::uint64_t{parties.size()}});
   std::vector<FetchPlan> plans;
-  std::vector<PlannedParty> planned;
+  CorunSpec spec;
+  spec.options = options;
   plans.reserve(parties.size());
-  planned.reserve(parties.size());
+  spec.parties.reserve(parties.size());
   for (const CorunParty& p : parties) {
     CL_CHECK(p.module && p.layout && p.trace);
     CL_CHECK(p.speed > 0.0);
     plans.emplace_back(*p.module, *p.layout, options.geometry.line_bytes);
-    planned.push_back(PlannedParty{&plans.back(), p.trace, p.speed});
+    spec.parties.push_back(CorunSpec::Party{&plans.back(), p.trace, p.speed});
   }
-  return run_corun_engine(planned, options, stats);
+  return simulate_corun(spec, stats);
 }
 
 Trace line_trace(const Module& module, const CodeLayout& layout,

@@ -59,6 +59,8 @@ struct SimResult {
   std::uint64_t wrong_path_misses = 0;
   std::uint64_t blocks = 0;         ///< block executions replayed
 
+  friend bool operator==(const SimResult&, const SimResult&) = default;
+
   /// Misses visible to a hardware counter.
   [[nodiscard]] std::uint64_t misses() const {
     return demand_misses + wrong_path_misses;
@@ -117,6 +119,11 @@ CorunResult simulate_corun(const FetchPlan& self_plan, const Trace& self_trace,
 /// N-way shared-cache co-run (extension of the paper's Sec. III-F
 /// conjecture: Power-class SMT runs 4-8 hardware threads per core).
 ///
+/// One request struct replaces the old simulate_corun_many overload pair:
+/// parties, speeds, geometry and flavour flags travel together, the wire
+/// protocol of the service serializes the same shape, and every legacy entry
+/// point below is a thin shim over this one.
+///
 /// Party 0 is the measured reference stream: it replays its full trace
 /// exactly once, fetches one block per round, and its fetch rate defines the
 /// unit every other party's `speed` is relative to — so `parties[0].speed`
@@ -124,6 +131,23 @@ CorunResult simulate_corun(const FetchPlan& self_plan, const Trace& self_trace,
 /// finishes. Streams take turns round-robin with miss-induced fetch stalls
 /// as in the two-way simulation; the two-way simulate_corun is exactly this
 /// engine at two parties.
+struct CorunSpec {
+  struct Party {
+    const FetchPlan* plan = nullptr;
+    const Trace* trace = nullptr;
+    double speed = 1.0;  ///< blocks per round relative to the measured stream
+  };
+  std::vector<Party> parties;  ///< >= 2; parties[0] is the measured stream
+  SimOptions options{};        ///< geometry + measurement-flavour flags
+};
+
+/// Simulates the spec's co-run: one SimResult per party, in party order.
+std::vector<SimResult> simulate_corun(const CorunSpec& spec,
+                                      CorunStats* stats = nullptr);
+
+/// Module/layout-based party for callers without a FetchPlan; a plan is
+/// built per party (deprecated shim path — prefer CorunSpec with plans the
+/// caller amortizes, as the Lab does).
 struct CorunParty {
   const Module* module;
   const CodeLayout* layout;
@@ -131,13 +155,13 @@ struct CorunParty {
   double speed = 1.0;  ///< blocks per round relative to the measured stream
 };
 
-/// Plan-based party for callers that share FetchPlans across simulations.
-struct PlannedParty {
-  const FetchPlan* plan;
-  const Trace* trace;
-  double speed = 1.0;  ///< blocks per round relative to the measured stream
-};
+/// Plan-based party; same shape as CorunSpec::Party (kept as an alias so
+/// pre-CorunSpec call sites compile unchanged).
+using PlannedParty = CorunSpec::Party;
 
+/// Deprecated shims over simulate_corun(CorunSpec): bit-identical to the
+/// spec-based entry point (pinned by tests). New code should build a
+/// CorunSpec instead.
 std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
                                            const SimOptions& options = {},
                                            CorunStats* stats = nullptr);

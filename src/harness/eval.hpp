@@ -63,4 +63,19 @@ struct EvalRequest {
   friend auto operator<=>(const EvalRequest&, const EvalRequest&) = default;
 };
 
+/// Terminal state of one request in a checked batch.
+enum class CellStatus : std::uint8_t { kOk, kFailed };
+
+/// Per-request result of Lab::evaluate_all_checked: the request, whether its
+/// cell materialized, and the failure message when it did not. A failed cell
+/// never aborts the rest of the batch — the service daemon turns one bad job
+/// into one error response while its neighbours complete.
+struct EvalOutcome {
+  EvalRequest request;
+  CellStatus status = CellStatus::kOk;
+  std::string error;  ///< empty when ok
+
+  [[nodiscard]] bool ok() const { return status == CellStatus::kOk; }
+};
+
 }  // namespace codelayout

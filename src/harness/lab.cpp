@@ -110,15 +110,23 @@ void Lab::execute(const EvalRequest& request) {
   CL_CHECK_MSG(false, "unknown evaluation stage");
 }
 
-void Lab::evaluate_all(std::span<const EvalRequest> requests) {
+std::vector<std::exception_ptr> Lab::run_batch(
+    std::span<const EvalRequest> requests) {
   CODELAYOUT_PHASE("evaluate_all", "lab", "lab.evaluate_all.wall_ns",
                    {"requests", std::uint64_t{requests.size()}});
   const std::uint64_t wall0 = wall_nanos_now();
   batches_.fetch_add(1, std::memory_order_relaxed);
   requests_submitted_.fetch_add(requests.size(), std::memory_order_relaxed);
 
+  std::vector<std::exception_ptr> errors(requests.size());
   if (threads_ <= 1) {
-    for (const EvalRequest& request : requests) execute(request);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      try {
+        execute(requests[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
   } else {
     std::vector<std::future<void>> futures;
     futures.reserve(requests.size());
@@ -126,20 +134,44 @@ void Lab::evaluate_all(std::span<const EvalRequest> requests) {
       futures.push_back(
           pool().submit([this, request] { execute(request); }));
     }
-    // Settle the whole batch before surfacing the first failure, so no task
-    // is left running against a caller that already unwound.
-    std::exception_ptr first_error;
-    for (auto& future : futures) {
+    // Settle the whole batch before surfacing any failure, so no task is
+    // left running against a caller that already unwound.
+    for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
-        future.get();
+        futures[i].get();
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+        errors[i] = std::current_exception();
       }
     }
-    if (first_error) std::rethrow_exception(first_error);
   }
   engine_wall_nanos_.fetch_add(wall_nanos_now() - wall0,
                                std::memory_order_relaxed);
+  return errors;
+}
+
+void Lab::evaluate_all(std::span<const EvalRequest> requests) {
+  for (std::exception_ptr& error : run_batch(requests)) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::vector<EvalOutcome> Lab::evaluate_all_checked(
+    std::span<const EvalRequest> requests) {
+  const std::vector<std::exception_ptr> errors = run_batch(requests);
+  std::vector<EvalOutcome> outcomes(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    outcomes[i].request = requests[i];
+    if (!errors[i]) continue;
+    outcomes[i].status = CellStatus::kFailed;
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      outcomes[i].error = e.what();
+    } catch (...) {
+      outcomes[i].error = "unknown error";
+    }
+  }
+  return outcomes;
 }
 
 void Lab::prepare_all(const std::vector<std::string>& names) {

@@ -73,8 +73,17 @@ class Lab {
 
   /// Materializes every requested cell, fanning independent cells out over
   /// the thread pool (inline when threads() == 1). Returns when all are
-  /// done; rethrows the first failure after the batch has settled.
+  /// done; rethrows the first failure (in request order) after the batch has
+  /// settled.
   void evaluate_all(std::span<const EvalRequest> requests);
+
+  /// evaluate_all with per-cell status instead of a batch-aborting throw:
+  /// every request runs to completion and reports ok or its own failure
+  /// message. Failures are memoized like values (deterministic computes
+  /// would fail identically on retry), so a failed cell reports the same
+  /// error to every later requester.
+  std::vector<EvalOutcome> evaluate_all_checked(
+      std::span<const EvalRequest> requests);
 
   /// Prepares the named workloads concurrently (optional warm-up).
   void prepare_all(const std::vector<std::string>& names);
@@ -118,6 +127,9 @@ class Lab {
 
  private:
   void execute(const EvalRequest& request);
+  /// Shared batch driver: one exception_ptr slot per request (null = ok).
+  std::vector<std::exception_ptr> run_batch(
+      std::span<const EvalRequest> requests);
   ThreadPool& pool();
   StageCounters* counters(Stage stage);
   SimOptions sim_options(Measure measure) const;

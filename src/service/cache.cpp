@@ -1,0 +1,84 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/registry.hpp"
+
+namespace codelayout::service {
+namespace {
+
+/// Flush-on-touch counters, same convention as the engine: a disabled
+/// registry costs one branch per cache operation.
+void bump(const char* name) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) registry.counter(name).add(1);
+}
+
+}  // namespace
+
+ResponseCache::ResponseCache() : ResponseCache(Config{}) {}
+
+ResponseCache::ResponseCache(Config config) : config_(config) {
+  CL_CHECK_MSG(config_.max_entries > 0, "response cache needs >= 1 entry");
+  CL_CHECK_MSG(config_.max_bytes > 0, "response cache needs a byte budget");
+}
+
+std::optional<JobResponse> ResponseCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    bump("service.cache.misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  bump("service.cache.hits");
+  return it->second->response;
+}
+
+void ResponseCache::insert(const std::string& key,
+                           const JobResponse& response) {
+  const std::size_t bytes =
+      key.size() + encode_response_payload(response).size();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    bytes_ += bytes;
+    it->second->response = response;
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, response, bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    ++stats_.insertions;
+  }
+  evict_locked();
+  stats_.entries = lru_.size();
+  stats_.bytes = bytes_;
+}
+
+void ResponseCache::evict_locked() {
+  while (lru_.size() > 1 && (lru_.size() > config_.max_entries ||
+                             bytes_ > config_.max_bytes)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    bump("service.cache.evictions");
+  }
+}
+
+ResponseCache::Stats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+}  // namespace codelayout::service

@@ -1,0 +1,73 @@
+// Cross-request response cache of the service daemon.
+//
+// The Lab's MemoTable already dedups work *within* one Lab lifetime, but it
+// memoizes unbounded typed artifacts (prepared workloads, layouts, plans).
+// The service layer adds a second, bounded tier above it: finished
+// JobResponses keyed by the request's canonical encoding (id and priority
+// normalized away), evicted LRU by entry count and by total byte footprint.
+// A hit skips queueing and execution entirely — repeat jobs across clients
+// answer in microseconds — while eviction keeps a long-lived daemon's
+// memory flat under a churning workload mix.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+
+namespace codelayout::service {
+
+class ResponseCache {
+ public:
+  struct Config {
+    std::size_t max_entries = 1024;
+    /// Approximate footprint cap: sum of key + encoded-response sizes.
+    std::size_t max_bytes = 16u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  ResponseCache();
+  explicit ResponseCache(Config config);
+
+  /// Returns the cached response (marked most-recently-used) or nullopt.
+  /// The caller re-stamps the job id; cached responses carry id 0.
+  [[nodiscard]] std::optional<JobResponse> lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key`; evicts LRU entries until both caps hold.
+  /// Responses that should not be replayed (status != kOk) are the caller's
+  /// responsibility to filter.
+  void insert(const std::string& key, const JobResponse& response);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    JobResponse response;
+    std::size_t bytes = 0;
+  };
+
+  void evict_locked();
+
+  Config config_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace codelayout::service

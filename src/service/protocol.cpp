@@ -1,0 +1,383 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "trace/io.hpp"
+
+namespace codelayout::service {
+namespace {
+
+// ---- Primitive writers ------------------------------------------------------
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void put_double(std::string& out, double value) {
+  // IEEE-754 bit pattern, little-endian: byte-deterministic across hosts
+  // with the same endianness, and round-trips NaN payloads untouched.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.append(s.data(), s.size());
+}
+
+void put_optimizer(std::string& out, const std::optional<Optimizer>& opt) {
+  put_u8(out, opt.has_value() ? 1 : 0);
+  if (opt) {
+    put_u8(out, static_cast<std::uint8_t>(opt->model));
+    put_u8(out, static_cast<std::uint8_t>(opt->granularity));
+  }
+}
+
+void put_trace(std::string& out, const Trace& trace) {
+  std::ostringstream blob;
+  write_trace(blob, trace);
+  put_string(out, blob.str());
+}
+
+void put_sim_result(std::string& out, const SimResult& r) {
+  put_varint(out, r.instructions);
+  put_varint(out, r.overhead_instructions);
+  put_varint(out, r.line_probes);
+  put_varint(out, r.demand_misses);
+  put_varint(out, r.wrong_path_misses);
+  put_varint(out, r.blocks);
+}
+
+// ---- Primitive readers ------------------------------------------------------
+
+/// Cursor over a payload. Every getter throws ContractError on truncation;
+/// decode() checks exhaustion at the end so trailing garbage is an error too.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    CL_CHECK_MSG(pos_ < data_.size(), "service payload truncated");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        CL_CHECK_MSG(shift < 63 || byte <= 1, "service payload varint overflow");
+        return value;
+      }
+    }
+    CL_CHECK_MSG(false, "service payload varint overflow");
+    return 0;  // unreachable
+  }
+
+  double f64() {
+    CL_CHECK_MSG(remaining() >= 8, "service payload truncated");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += 8;
+    double value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string_view bytes(std::uint64_t n) {
+    CL_CHECK_MSG(n <= remaining(), "service payload truncated");
+    std::string_view view = data_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  std::string str() { return std::string(bytes(varint())); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Optimizer> get_optimizer(Reader& in) {
+  const std::uint8_t present = in.u8();
+  CL_CHECK_MSG(present <= 1, "service payload: bad optimizer presence flag");
+  if (!present) return std::nullopt;
+  const std::uint8_t model = in.u8();
+  const std::uint8_t granularity = in.u8();
+  CL_CHECK_MSG(model <= static_cast<std::uint8_t>(ModelKind::kTrg),
+               "service payload: optimizer model out of range");
+  CL_CHECK_MSG(granularity <= static_cast<std::uint8_t>(Granularity::kBlock),
+               "service payload: optimizer granularity out of range");
+  return Optimizer{static_cast<ModelKind>(model),
+                   static_cast<Granularity>(granularity)};
+}
+
+Trace get_trace(Reader& in) {
+  const std::string_view blob = in.bytes(in.varint());
+  if (blob.empty()) return Trace{Trace::Granularity::kBlock};
+  std::istringstream is{std::string(blob)};
+  Trace trace = read_trace(is);
+  // read_trace consumed exactly the stream it declared; anything left in the
+  // blob is garbage the embedder never wrote.
+  is.peek();
+  CL_CHECK_MSG(is.eof(), "service payload: trailing bytes after embedded trace");
+  return trace;
+}
+
+SimResult get_sim_result(Reader& in) {
+  SimResult r;
+  r.instructions = in.varint();
+  r.overhead_instructions = in.varint();
+  r.line_probes = in.varint();
+  r.demand_misses = in.varint();
+  r.wrong_path_misses = in.varint();
+  r.blocks = in.varint();
+  return r;
+}
+
+/// One encoder for both the wire payload and the cache key: the key is the
+/// same body with the per-call fields (id, priority) normalized away.
+std::string encode_request_body(const JobRequest& request, std::uint64_t id,
+                                JobPriority priority) {
+  std::string out;
+  put_varint(out, id);
+  put_u8(out, static_cast<std::uint8_t>(priority));
+  put_u8(out, static_cast<std::uint8_t>(request.kind));
+  put_u8(out, static_cast<std::uint8_t>(request.measure));
+  put_string(out, request.workload);
+  put_optimizer(out, request.optimizer);
+  put_varint(out, request.parties.size());
+  for (const CorunPartyRequest& party : request.parties) {
+    put_string(out, party.workload);
+    put_optimizer(out, party.optimizer);
+    put_double(out, party.speed);
+  }
+  put_u8(out, request.cpi_speeds ? 1 : 0);
+  put_trace(out, request.trace);
+  return out;
+}
+
+std::string frame(FrameType type, const std::string& payload) {
+  CL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+               "service frame payload too large: " << payload.size()
+                                                   << " bytes");
+  FrameHeader header;
+  header.type = type;
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::string out(kFrameHeaderBytes, '\0');
+  encode_frame_header(header, out.data());
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+const char* job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSolo: return "solo";
+    case JobKind::kLayout: return "layout";
+    case JobKind::kCorun: return "corun";
+    case JobKind::kTraceStats: return "trace-stats";
+  }
+  return "?";
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kError: return "error";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+std::string JobRequest::canonical_key() const {
+  return encode_request_body(*this, 0, JobPriority::kNormal);
+}
+
+std::string JobRequest::to_string() const {
+  std::ostringstream os;
+  os << job_kind_name(kind);
+  if (kind == JobKind::kCorun) {
+    for (std::size_t i = 0; i < parties.size(); ++i) {
+      os << (i == 0 ? " " : " x ") << parties[i].workload << '|'
+         << (parties[i].optimizer ? parties[i].optimizer->name() : "Original");
+    }
+  } else if (kind == JobKind::kTraceStats) {
+    os << ' ' << trace.size() << " events";
+  } else {
+    os << ' ' << workload << '|'
+       << (optimizer ? optimizer->name() : "Original");
+  }
+  if (kind == JobKind::kSolo || kind == JobKind::kCorun) {
+    os << '|' << (measure == Measure::kHardware ? "hw" : "sim");
+  }
+  return os.str();
+}
+
+std::string encode_request_payload(const JobRequest& request) {
+  return encode_request_body(request, request.id, request.priority);
+}
+
+std::string encode_response_payload(const JobResponse& response) {
+  std::string out;
+  put_varint(out, response.id);
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  put_string(out, response.error);
+  put_varint(out, response.results.size());
+  for (const SimResult& r : response.results) put_sim_result(out, r);
+  put_varint(out, response.layout.blocks);
+  put_varint(out, response.layout.total_bytes);
+  put_varint(out, response.layout.overhead_bytes);
+  put_varint(out, response.layout.fixups);
+  put_varint(out, response.layout.order_checksum);
+  put_varint(out, response.trace_stats.events);
+  put_varint(out, response.trace_stats.runs);
+  put_varint(out, response.trace_stats.distinct_symbols);
+  put_varint(out, response.trace_stats.checksum);
+  return out;
+}
+
+JobRequest decode_request_payload(std::string_view payload) {
+  Reader in(payload);
+  JobRequest request;
+  request.id = in.varint();
+  const std::uint8_t priority = in.u8();
+  CL_CHECK_MSG(priority <= static_cast<std::uint8_t>(JobPriority::kInteractive),
+               "service payload: priority out of range");
+  request.priority = static_cast<JobPriority>(priority);
+  const std::uint8_t kind = in.u8();
+  CL_CHECK_MSG(kind <= static_cast<std::uint8_t>(JobKind::kTraceStats),
+               "service payload: job kind out of range");
+  request.kind = static_cast<JobKind>(kind);
+  const std::uint8_t measure = in.u8();
+  CL_CHECK_MSG(measure <= static_cast<std::uint8_t>(Measure::kHardware),
+               "service payload: measure out of range");
+  request.measure = static_cast<Measure>(measure);
+  request.workload = in.str();
+  request.optimizer = get_optimizer(in);
+  const std::uint64_t party_count = in.varint();
+  CL_CHECK_MSG(party_count <= 64, "service payload: too many co-run parties");
+  request.parties.reserve(party_count);
+  for (std::uint64_t i = 0; i < party_count; ++i) {
+    CorunPartyRequest party;
+    party.workload = in.str();
+    party.optimizer = get_optimizer(in);
+    party.speed = in.f64();
+    request.parties.push_back(std::move(party));
+  }
+  const std::uint8_t cpi = in.u8();
+  CL_CHECK_MSG(cpi <= 1, "service payload: bad cpi_speeds flag");
+  request.cpi_speeds = cpi != 0;
+  request.trace = get_trace(in);
+  CL_CHECK_MSG(in.done(), "service payload: trailing bytes after request");
+  return request;
+}
+
+JobResponse decode_response_payload(std::string_view payload) {
+  Reader in(payload);
+  JobResponse response;
+  response.id = in.varint();
+  const std::uint8_t status = in.u8();
+  CL_CHECK_MSG(status <= static_cast<std::uint8_t>(JobStatus::kShuttingDown),
+               "service payload: status out of range");
+  response.status = static_cast<JobStatus>(status);
+  response.error = in.str();
+  const std::uint64_t result_count = in.varint();
+  CL_CHECK_MSG(result_count <= 64, "service payload: too many results");
+  response.results.reserve(result_count);
+  for (std::uint64_t i = 0; i < result_count; ++i) {
+    response.results.push_back(get_sim_result(in));
+  }
+  response.layout.blocks = in.varint();
+  response.layout.total_bytes = in.varint();
+  response.layout.overhead_bytes = in.varint();
+  const std::uint64_t fixups = in.varint();
+  CL_CHECK_MSG(fixups <= ~std::uint32_t{0},
+               "service payload: fixup count out of range");
+  response.layout.fixups = static_cast<std::uint32_t>(fixups);
+  response.layout.order_checksum = in.varint();
+  response.trace_stats.events = in.varint();
+  response.trace_stats.runs = in.varint();
+  response.trace_stats.distinct_symbols = in.varint();
+  response.trace_stats.checksum = in.varint();
+  CL_CHECK_MSG(in.done(), "service payload: trailing bytes after response");
+  return response;
+}
+
+void encode_frame_header(const FrameHeader& header,
+                         char out[kFrameHeaderBytes]) {
+  auto put32 = [](char* p, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  };
+  put32(out, kWireMagic);
+  out[4] = static_cast<char>(header.version & 0xff);
+  out[5] = static_cast<char>((header.version >> 8) & 0xff);
+  out[6] = static_cast<char>(header.type);
+  out[7] = 0;  // reserved
+  put32(out + 8, header.payload_len);
+}
+
+FrameHeader decode_frame_header(const char in[kFrameHeaderBytes]) {
+  auto get32 = [](const char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const std::uint32_t magic = get32(in);
+  CL_CHECK_MSG(magic == kWireMagic,
+               "service frame: bad magic 0x" << std::hex << magic);
+  FrameHeader header;
+  header.version = static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(in[4]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(in[5])) << 8));
+  CL_CHECK_MSG(header.version == kWireVersion,
+               "service frame: unsupported wire version "
+                   << header.version << " (this build speaks "
+                   << kWireVersion << ")");
+  const std::uint8_t type = static_cast<std::uint8_t>(in[6]);
+  CL_CHECK_MSG(type <= static_cast<std::uint8_t>(FrameType::kResponse),
+               "service frame: bad frame type");
+  header.type = static_cast<FrameType>(type);
+  header.payload_len = get32(in + 8);
+  CL_CHECK_MSG(header.payload_len <= kMaxPayloadBytes,
+               "service frame: payload length " << header.payload_len
+                                                << " exceeds cap");
+  return header;
+}
+
+std::string encode_request_frame(const JobRequest& request) {
+  return frame(FrameType::kRequest, encode_request_payload(request));
+}
+
+std::string encode_response_frame(const JobResponse& response) {
+  return frame(FrameType::kResponse, encode_response_payload(response));
+}
+
+}  // namespace codelayout::service

@@ -1,0 +1,171 @@
+// Versioned wire schema of the layout-optimization service.
+//
+// A job names an optimization-pipeline product the daemon can compute — a
+// solo or co-run miss-ratio simulation, an optimized layout, or statistics
+// over an uploaded trace — and maps directly onto the Lab's typed
+// EvalKey/EvalRequest surface. Requests and responses travel as framed
+// messages:
+//
+//   [magic u32][version u16][type u8][reserved u8][payload_len u32][payload]
+//
+// with a little-endian fixed header and a varint-encoded payload (strings
+// are length-prefixed, doubles travel as IEEE-754 bit patterns so responses
+// are byte-deterministic, and an uploaded trace embeds the trace/io varint
+// v2 stream verbatim). Decoding is hardened the same way trace/io is: bad
+// magic, unsupported version, truncated or over-long payloads, out-of-range
+// enums, and trailing garbage all throw ContractError instead of
+// propagating garbage into the engine.
+//
+// Versioning: kWireVersion stamps every frame; a server rejects frames it
+// does not speak with JobStatus::kError naming both versions. Fields are
+// only ever appended to the payloads, so a vN+1 decoder reads vN payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/icache_sim.hpp"
+#include "harness/eval.hpp"
+#include "harness/pipeline.hpp"
+#include "trace/trace.hpp"
+
+namespace codelayout::service {
+
+inline constexpr std::uint32_t kWireMagic = 0x434c5356;  // "CLSV"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Admission-time cap on one frame's payload (a full varint trace fits
+/// comfortably; a hostile length field does not get to allocate gigabytes).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t { kRequest = 0, kResponse = 1 };
+
+enum class JobKind : std::uint8_t {
+  kSolo = 0,        ///< solo miss ratio of (workload, optimizer, measure)
+  kLayout = 1,      ///< optimized-layout summary of (workload, optimizer)
+  kCorun = 2,       ///< N-party shared-cache co-run over `parties`
+  kTraceStats = 3,  ///< statistics of the uploaded varint trace
+};
+
+/// Queue class, highest first; FIFO within a class.
+enum class JobPriority : std::uint8_t {
+  kBatch = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+enum class JobStatus : std::uint8_t {
+  kOk = 0,
+  kError = 1,         ///< the job itself failed; see `error`
+  kRejected = 2,      ///< admission control: bounded queue full
+  kShuttingDown = 3,  ///< server is draining; job was not admitted
+};
+
+[[nodiscard]] const char* job_kind_name(JobKind kind);
+[[nodiscard]] const char* job_status_name(JobStatus status);
+
+/// One co-runner of a kCorun job — the wire shape of a CorunSpec party:
+/// the (workload, optimizer) pair resolves to a memoized fetch plan
+/// server-side, `speed` is relative to party 0 (see CorunSpec).
+struct CorunPartyRequest {
+  std::string workload;
+  std::optional<Optimizer> optimizer;
+  double speed = 1.0;
+
+  friend bool operator==(const CorunPartyRequest&,
+                         const CorunPartyRequest&) = default;
+};
+
+struct JobRequest {
+  std::uint64_t id = 0;  ///< client-chosen correlation id, echoed back
+  JobPriority priority = JobPriority::kNormal;
+  JobKind kind = JobKind::kSolo;
+  Measure measure = Measure::kHardware;
+  std::string workload;                ///< kSolo / kLayout
+  std::optional<Optimizer> optimizer;  ///< kSolo / kLayout
+  std::vector<CorunPartyRequest> parties;  ///< kCorun; parties[0] measured
+  /// kCorun: when true (the default), party speeds are derived from the
+  /// workloads' CPIs exactly like Lab::corun (SMT threads progress inversely
+  /// to their CPIs) and the wire `speed` fields are ignored; service-path
+  /// pair results are then byte-identical to the in-process engine.
+  bool cpi_speeds = true;
+  /// kTraceStats payload (embedded as a trace/io varint stream).
+  Trace trace{Trace::Granularity::kBlock};
+
+  friend bool operator==(const JobRequest&, const JobRequest&) = default;
+
+  /// Serialized body with id zeroed and priority normalized — what two
+  /// requests for the same work share; the response cache keys on it.
+  [[nodiscard]] std::string canonical_key() const;
+  /// "solo 403.gcc|BB Affinity|hw" — for logs and errors.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// kLayout response payload: the layout's size accounting plus an FNV-1a
+/// checksum of the placed block order (enough to pin byte-identity without
+/// shipping the whole placement table).
+struct LayoutSummary {
+  std::uint64_t blocks = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t overhead_bytes = 0;
+  std::uint32_t fixups = 0;
+  std::uint64_t order_checksum = 0;
+
+  friend bool operator==(const LayoutSummary&, const LayoutSummary&) = default;
+};
+
+/// kTraceStats response payload.
+struct TraceStatsResult {
+  std::uint64_t events = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t distinct_symbols = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a over the run decomposition
+
+  friend bool operator==(const TraceStatsResult&,
+                         const TraceStatsResult&) = default;
+};
+
+struct JobResponse {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::kOk;
+  std::string error;  ///< non-empty iff status != kOk
+  /// kSolo: exactly one entry; kCorun: one per party, in party order.
+  std::vector<SimResult> results;
+  LayoutSummary layout;          ///< kLayout
+  TraceStatsResult trace_stats;  ///< kTraceStats
+
+  friend bool operator==(const JobResponse&, const JobResponse&) = default;
+};
+
+// ---- Payload codecs ---------------------------------------------------------
+
+[[nodiscard]] std::string encode_request_payload(const JobRequest& request);
+[[nodiscard]] std::string encode_response_payload(const JobResponse& response);
+
+/// Throw ContractError on any malformed payload (truncation, varint
+/// overflow, enum out of range, embedded-trace corruption, trailing bytes).
+[[nodiscard]] JobRequest decode_request_payload(std::string_view payload);
+[[nodiscard]] JobResponse decode_response_payload(std::string_view payload);
+
+// ---- Framing ----------------------------------------------------------------
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  FrameType type = FrameType::kRequest;
+  std::uint32_t payload_len = 0;
+};
+
+/// Packs/unpacks the fixed 12-byte header. decode_frame_header validates
+/// magic, version, type, and the payload-length cap.
+void encode_frame_header(const FrameHeader& header, char out[kFrameHeaderBytes]);
+[[nodiscard]] FrameHeader decode_frame_header(const char in[kFrameHeaderBytes]);
+
+/// Header + payload in one buffer, ready for a socket write.
+[[nodiscard]] std::string encode_request_frame(const JobRequest& request);
+[[nodiscard]] std::string encode_response_frame(const JobResponse& response);
+
+}  // namespace codelayout::service

@@ -1,0 +1,545 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/registry.hpp"
+#include "support/trace_recorder.hpp"
+
+namespace codelayout::service {
+namespace {
+
+std::uint64_t now_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// FNV-1a over the little-endian bytes of each 64-bit word — the same
+// construction the golden-equivalence suite uses, so layout/trace checksums
+// are stable, deterministic fingerprints rather than full payloads.
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+JobResponse error_response(const JobRequest& request, std::string message) {
+  JobResponse response;
+  response.id = request.id;
+  response.status = JobStatus::kError;
+  response.error = std::move(message);
+  return response;
+}
+
+void bump(const char* name) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) registry.counter(name).add(1);
+}
+
+// ---- Socket IO helpers ------------------------------------------------------
+
+bool read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return false;  // orderly EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- LabExecutor ------------------------------------------------------------
+
+LabExecutor::LabExecutor(LabOptions options) : lab_(std::move(options)) {}
+
+JobResponse LabExecutor::execute(const JobRequest& request) {
+  try {
+    return run(request);
+  } catch (const std::exception& e) {
+    return error_response(request, e.what());
+  }
+}
+
+JobResponse LabExecutor::run(const JobRequest& request) {
+  JobResponse response;
+  response.id = request.id;
+
+  switch (request.kind) {
+    case JobKind::kSolo: {
+      if (request.workload.empty()) {
+        return error_response(request, "solo job needs a workload");
+      }
+      const EvalRequest cell = EvalRequest::solo(
+          request.workload, request.optimizer, request.measure);
+      const std::vector<EvalOutcome> outcomes =
+          lab_.evaluate_all_checked({&cell, 1});
+      if (!outcomes[0].ok()) return error_response(request, outcomes[0].error);
+      response.results.push_back(
+          lab_.solo(request.workload, request.optimizer, request.measure));
+      return response;
+    }
+
+    case JobKind::kLayout: {
+      if (request.workload.empty()) {
+        return error_response(request, "layout job needs a workload");
+      }
+      const EvalRequest cell =
+          EvalRequest::layout(request.workload, request.optimizer);
+      const std::vector<EvalOutcome> outcomes =
+          lab_.evaluate_all_checked({&cell, 1});
+      if (!outcomes[0].ok()) return error_response(request, outcomes[0].error);
+      const CodeLayout& layout =
+          lab_.layout(request.workload, request.optimizer);
+      response.layout.blocks = layout.block_order().size();
+      response.layout.total_bytes = layout.total_bytes();
+      response.layout.overhead_bytes = layout.overhead_bytes();
+      response.layout.fixups = layout.fixup_count();
+      std::uint64_t h = fnv1a(kFnvSeed, layout.block_order().size());
+      for (const BlockId b : layout.block_order()) h = fnv1a(h, b.value);
+      response.layout.order_checksum = h;
+      return response;
+    }
+
+    case JobKind::kCorun: {
+      if (request.parties.size() < 2) {
+        return error_response(request, "corun job needs >= 2 parties");
+      }
+      for (const CorunPartyRequest& party : request.parties) {
+        if (party.workload.empty()) {
+          return error_response(request, "corun party needs a workload");
+        }
+        if (!request.cpi_speeds &&
+            !(std::isfinite(party.speed) && party.speed > 0.0)) {
+          return error_response(request, "corun party speed must be finite "
+                                         "and positive");
+        }
+      }
+      if (!request.cpi_speeds && request.parties[0].speed != 1.0) {
+        return error_response(
+            request, "the measured party (parties[0]) defines the speed "
+                     "unit; its speed must be 1.0");
+      }
+
+      // The canonical pair under CPI-derived speeds is exactly a Lab co-run
+      // cell: route it through Lab::corun so service responses are
+      // byte-identical to the in-process engine (pinned by the golden
+      // round-trip test).
+      if (request.cpi_speeds && request.parties.size() == 2) {
+        const EvalRequest cell = EvalRequest::corun(
+            request.parties[0].workload, request.parties[0].optimizer,
+            request.parties[1].workload, request.parties[1].optimizer,
+            request.measure);
+        const std::vector<EvalOutcome> outcomes =
+            lab_.evaluate_all_checked({&cell, 1});
+        if (!outcomes[0].ok()) {
+          return error_response(request, outcomes[0].error);
+        }
+        const CorunResult& result = lab_.corun(
+            request.parties[0].workload, request.parties[0].optimizer,
+            request.parties[1].workload, request.parties[1].optimizer,
+            request.measure);
+        response.results = {result.self, result.peer};
+        return response;
+      }
+
+      // General N-party path: materialize every party's layout (checked, so
+      // one unknown workload fails this job alone), then assemble a
+      // CorunSpec over the Lab's memoized fetch plans.
+      std::vector<EvalRequest> cells;
+      cells.reserve(request.parties.size());
+      for (const CorunPartyRequest& party : request.parties) {
+        cells.push_back(EvalRequest::layout(party.workload, party.optimizer));
+      }
+      for (const EvalOutcome& outcome : lab_.evaluate_all_checked(cells)) {
+        if (!outcome.ok()) return error_response(request, outcome.error);
+      }
+      CorunSpec spec;
+      spec.options = request.measure == Measure::kHardware
+                         ? hardware_proxy_options()
+                         : SimOptions{};
+      spec.parties.reserve(request.parties.size());
+      const double self_cpi =
+          lab_.perf().base_cpi +
+          lab_.workload(request.parties[0].workload).spec.data_stall_cpi;
+      for (std::size_t i = 0; i < request.parties.size(); ++i) {
+        const CorunPartyRequest& party = request.parties[i];
+        CorunSpec::Party p;
+        p.plan = &lab_.fetch_plan(party.workload, party.optimizer);
+        p.trace = &lab_.workload(party.workload).eval_blocks;
+        if (i == 0) {
+          p.speed = 1.0;
+        } else if (request.cpi_speeds) {
+          // SMT threads progress inversely to their CPIs, clamped exactly
+          // like Lab::corun.
+          const double party_cpi =
+              lab_.perf().base_cpi +
+              lab_.workload(party.workload).spec.data_stall_cpi;
+          p.speed = std::clamp(self_cpi / party_cpi, 0.25, 4.0);
+        } else {
+          p.speed = party.speed;
+        }
+        spec.parties.push_back(p);
+      }
+      response.results = simulate_corun(spec);
+      return response;
+    }
+
+    case JobKind::kTraceStats: {
+      const Trace& trace = request.trace;
+      response.trace_stats.events = trace.size();
+      response.trace_stats.runs = trace.run_count();
+      response.trace_stats.distinct_symbols = trace.distinct_count();
+      std::uint64_t h = fnv1a(kFnvSeed, trace.size());
+      h = fnv1a(h, trace.is_block() ? 0 : 1);
+      for (const Run& run : trace.runs()) {
+        h = fnv1a(h, run.symbol);
+        h = fnv1a(h, run.length);
+      }
+      response.trace_stats.checksum = h;
+      return response;
+    }
+  }
+  return error_response(request, "unknown job kind");
+}
+
+// ---- ServiceServer ----------------------------------------------------------
+
+ServiceServer::ServiceServer(ServerConfig config,
+                             std::unique_ptr<JobExecutor> executor)
+    : config_(config), executor_(std::move(executor)), cache_(config.cache) {
+  CL_CHECK_MSG(executor_ != nullptr, "service server needs an executor");
+  CL_CHECK_MSG(config_.workers >= 1, "service server needs >= 1 worker");
+  CL_CHECK_MSG(config_.queue_depth >= 1,
+               "service server needs a queue depth >= 1");
+  workers_.reserve(config_.workers);
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServiceServer::~ServiceServer() { shutdown(); }
+
+void ServiceServer::submit(JobRequest request,
+                           std::function<void(JobResponse)> deliver) {
+  CL_CHECK_MSG(deliver != nullptr, "submit needs a deliver callback");
+  bump("service.jobs.submitted");
+
+  // Admission control under the lock; every deliver call outside it.
+  JobResponse inline_response;
+  bool respond_inline = false;
+  const std::string key =
+      config_.cache_enabled ? request.canonical_key() : std::string{};
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (draining_) {
+      ++stats_.shutdown_rejected;
+      inline_response = error_response(request, "server is shutting down");
+      inline_response.status = JobStatus::kShuttingDown;
+      respond_inline = true;
+    }
+  }
+  if (!respond_inline && config_.cache_enabled) {
+    if (std::optional<JobResponse> hit = cache_.lookup(key)) {
+      hit->id = request.id;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.cache_hits;
+      }
+      deliver(std::move(*hit));
+      return;
+    }
+  }
+  if (!respond_inline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queued_ >= config_.queue_depth) {
+      ++stats_.rejected;
+      inline_response =
+          error_response(request, "job queue is full (depth " +
+                                      std::to_string(config_.queue_depth) +
+                                      ")");
+      inline_response.status = JobStatus::kRejected;
+      respond_inline = true;
+      bump("service.jobs.rejected");
+    } else {
+      const auto priority = static_cast<std::size_t>(request.priority);
+      queues_[priority].push_back(
+          QueuedJob{std::move(request), std::move(deliver), now_nanos()});
+      ++queued_;
+      stats_.queue_peak = std::max(stats_.queue_peak, queued_);
+      lock.unlock();
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  deliver(std::move(inline_response));
+}
+
+JobResponse ServiceServer::call(const JobRequest& request) {
+  auto promise = std::make_shared<std::promise<JobResponse>>();
+  std::future<JobResponse> future = promise->get_future();
+  submit(request, [promise](JobResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void ServiceServer::worker_loop() {
+  for (;;) {
+    QueuedJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return queued_ > 0 || draining_; });
+      if (queued_ == 0) return;  // draining and nothing left to run
+      // Highest priority class first; FIFO within a class.
+      for (int p = 2; p >= 0; --p) {
+        if (!queues_[p].empty()) {
+          job = std::move(queues_[p].front());
+          queues_[p].pop_front();
+          break;
+        }
+      }
+      --queued_;
+      ++inflight_;
+    }
+    finish_job(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      ++stats_.completed;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ServiceServer::finish_job(QueuedJob job) {
+  const std::uint64_t start = now_nanos();
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.histogram("service.queue.wait_ns")
+        .record(start - job.enqueue_nanos);
+  }
+  JobResponse response;
+  {
+    CODELAYOUT_SPAN("service_job", "service",
+                    {"kind", job_kind_name(job.request.kind)});
+    response = executor_->execute(job.request);
+  }
+  response.id = job.request.id;
+  if (registry.enabled()) {
+    registry.histogram("service.job.wall_ns").record(now_nanos() - start);
+    registry.counter("service.jobs.completed").add(1);
+  }
+  if (config_.cache_enabled && response.status == JobStatus::kOk) {
+    cache_.insert(job.request.canonical_key(), response);
+  }
+  job.deliver(std::move(response));
+}
+
+void ServiceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && workers_.empty()) return;  // already shut down
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+
+  // Stop the acceptor first so no new connections arrive mid-drain, then
+  // give every blocked reader an EOF; their already-admitted jobs drain
+  // below before the readers close their fds.
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // Workers exit once the queue is empty; joining them means every queued
+  // and in-flight job has reached its deliver callback.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  for (std::thread& reader : connection_threads_) {
+    if (reader.joinable()) reader.join();
+  }
+  connection_threads_.clear();
+  close_socket();
+}
+
+void ServiceServer::close_socket() {
+  std::lock_guard<std::mutex> lock(socket_mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) {
+    ::unlink(socket_path_.c_str());
+    socket_path_.clear();
+  }
+  connection_fds_.clear();
+}
+
+void ServiceServer::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CL_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+               "unix socket path too long: " << path.size() << " bytes (max "
+                                             << sizeof(addr.sun_path) - 1
+                                             << ")");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CL_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a crashed daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    CL_CHECK_MSG(false, "bind(" << path << ") failed: " << std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    CL_CHECK_MSG(false, "listen(" << path
+                                  << ") failed: " << std::strerror(err));
+  }
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    CL_CHECK_MSG(listen_fd_ < 0, "server is already listening");
+    listen_fd_ = fd;
+    socket_path_ = path;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceServer::accept_loop() {
+  for (;;) {
+    int listen_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(socket_mu_);
+      listen_fd = listen_fd_;
+    }
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void ServiceServer::connection_loop(int fd) {
+  // Deliveries race the reader and each other; the write end outlives the
+  // read loop until every submitted job has answered, so a client that
+  // half-closes after its last request still receives all its responses.
+  struct WriteEnd {
+    explicit WriteEnd(int stream_fd) : fd(stream_fd) {}
+    const int fd;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+
+    void send_frame(const std::string& frame) {
+      std::lock_guard<std::mutex> lock(mu);
+      (void)write_all(fd, frame.data(), frame.size());
+    }
+    void job_done() {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --pending;
+      }
+      cv.notify_all();
+    }
+  };
+  auto write_end = std::make_shared<WriteEnd>(fd);
+
+  for (;;) {
+    char header_bytes[kFrameHeaderBytes];
+    if (!read_exact(fd, header_bytes, kFrameHeaderBytes)) break;
+    JobRequest request;
+    try {
+      const FrameHeader header = decode_frame_header(header_bytes);
+      CL_CHECK_MSG(header.type == FrameType::kRequest,
+                   "service frame: expected a request frame");
+      std::string payload(header.payload_len, '\0');
+      if (header.payload_len > 0 &&
+          !read_exact(fd, payload.data(), payload.size())) {
+        break;
+      }
+      request = decode_request_payload(payload);
+    } catch (const std::exception& e) {
+      // The stream is desynchronized; report and hang up.
+      JobResponse response;
+      response.status = JobStatus::kError;
+      response.error = e.what();
+      write_end->send_frame(encode_response_frame(response));
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(write_end->mu);
+      ++write_end->pending;
+    }
+    submit(std::move(request), [write_end](JobResponse response) {
+      write_end->send_frame(encode_response_frame(response));
+      write_end->job_done();
+    });
+  }
+
+  // EOF (or protocol error): flush in-flight responses, then hang up.
+  {
+    std::unique_lock<std::mutex> lock(write_end->mu);
+    write_end->cv.wait(lock, [&] { return write_end->pending == 0; });
+  }
+  ::close(fd);
+}
+
+ServiceServer::Stats ServiceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace codelayout::service

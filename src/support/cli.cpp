@@ -1,0 +1,252 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+namespace {
+
+bool all_digits(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string range_error(const std::string& flag, const std::string& value,
+                        const std::string& expectation) {
+  return "invalid " + flag + " value '" + value + "': expected " + expectation;
+}
+
+std::string parse_u64(const std::string& flag, const std::string& value,
+                      std::uint64_t min, std::uint64_t max,
+                      std::uint64_t* out) {
+  const std::string expectation = "an integer in [" + std::to_string(min) +
+                                  ", " + std::to_string(max) + "]";
+  if (!all_digits(value)) return range_error(flag, value, expectation);
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), nullptr, 10);
+  if (errno != 0 || parsed < min || parsed > max) {
+    return range_error(flag, value, expectation);
+  }
+  *out = static_cast<std::uint64_t>(parsed);
+  return "";
+}
+
+}  // namespace
+
+CliOptions::CliOptions(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+CliOptions& CliOptions::add(Spec spec) {
+  CL_CHECK_MSG(spec.name.rfind("--", 0) == 0,
+               "option names start with '--': " << spec.name);
+  CL_CHECK_MSG(find(spec.name) == nullptr,
+               "duplicate option declared: " << spec.name);
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+const CliOptions::Spec* CliOptions::find(const std::string& name) const {
+  for (const Spec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+CliOptions& CliOptions::flag(std::string name, bool* out, std::string help) {
+  CL_CHECK(out != nullptr);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.takes_value = false;
+  spec.help = std::move(help);
+  spec.apply = [out](const std::string&) {
+    *out = true;
+    return std::string();
+  };
+  return add(std::move(spec));
+}
+
+CliOptions& CliOptions::option(std::string name, std::string* out,
+                               std::string value_name, std::string help) {
+  CL_CHECK(out != nullptr);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.takes_value = true;
+  spec.value_name = std::move(value_name);
+  spec.help = std::move(help);
+  const std::string flag_name = spec.name;
+  spec.apply = [out, flag_name](const std::string& value) {
+    if (value.empty()) return flag_name + " requires a value";
+    *out = value;
+    return std::string();
+  };
+  return add(std::move(spec));
+}
+
+CliOptions& CliOptions::option_uint(std::string name, unsigned* out,
+                                    unsigned min, unsigned max,
+                                    std::string value_name, std::string help) {
+  CL_CHECK(out != nullptr);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.takes_value = true;
+  spec.value_name = std::move(value_name);
+  spec.help = std::move(help);
+  const std::string flag_name = spec.name;
+  spec.apply = [out, flag_name, min, max](const std::string& value) {
+    std::uint64_t parsed = 0;
+    const std::string error = parse_u64(flag_name, value, min, max, &parsed);
+    if (error.empty()) *out = static_cast<unsigned>(parsed);
+    return error;
+  };
+  return add(std::move(spec));
+}
+
+CliOptions& CliOptions::option_u64(std::string name, std::uint64_t* out,
+                                   std::uint64_t min, std::uint64_t max,
+                                   std::string value_name, std::string help) {
+  CL_CHECK(out != nullptr);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.takes_value = true;
+  spec.value_name = std::move(value_name);
+  spec.help = std::move(help);
+  const std::string flag_name = spec.name;
+  spec.apply = [out, flag_name, min, max](const std::string& value) {
+    return parse_u64(flag_name, value, min, max, out);
+  };
+  return add(std::move(spec));
+}
+
+CliOptions& CliOptions::option_double(std::string name, double* out,
+                                      double min, double max,
+                                      std::string value_name,
+                                      std::string help) {
+  CL_CHECK(out != nullptr);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.takes_value = true;
+  spec.value_name = std::move(value_name);
+  spec.help = std::move(help);
+  const std::string flag_name = spec.name;
+  spec.apply = [out, flag_name, min, max](const std::string& value) {
+    const std::string expectation =
+        "a number in [" + std::to_string(min) + ", " + std::to_string(max) +
+        "]";
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+        !std::isfinite(parsed) || parsed < min || parsed > max) {
+      return range_error(flag_name, value, expectation);
+    }
+    *out = parsed;
+    return std::string();
+  };
+  return add(std::move(spec));
+}
+
+CliOptions& CliOptions::passthrough(std::vector<std::string>* sink) {
+  CL_CHECK(sink != nullptr);
+  passthrough_ = sink;
+  return *this;
+}
+
+std::string CliOptions::parse(int argc, char** argv) {
+  help_requested_ = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return "";
+    }
+    std::string name = arg;
+    std::string inline_value;
+    bool has_inline_value = false;
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      if (passthrough_ != nullptr) {
+        passthrough_->push_back(arg);
+        continue;
+      }
+      return "unknown argument: " + arg;
+    }
+    std::string value;
+    if (spec->takes_value) {
+      if (has_inline_value) {
+        value = inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return spec->name + " requires a value";
+      }
+      if (value.empty()) return spec->name + " requires a value";
+    } else if (has_inline_value) {
+      return spec->name + " does not take a value";
+    }
+    const std::string error = spec->apply(value);
+    if (!error.empty()) return error;
+  }
+  return "";
+}
+
+void CliOptions::parse_or_exit(int argc, char** argv) {
+  const std::string error = parse(argc, argv);
+  if (help_requested_) {
+    std::printf("%s", help().c_str());
+    std::exit(0);
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n%s\n", program_.c_str(), error.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  }
+}
+
+std::string CliOptions::usage() const {
+  std::string out = "usage: " + program_;
+  for (const Spec& spec : specs_) {
+    out += " [" + spec.name;
+    if (spec.takes_value) out += " " + spec.value_name;
+    out += "]";
+  }
+  return out;
+}
+
+std::string CliOptions::help() const {
+  std::string out;
+  if (!summary_.empty()) out += program_ + " — " + summary_ + "\n\n";
+  out += usage() + "\n";
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(specs_.size());
+  for (const Spec& spec : specs_) {
+    std::string head = "  " + spec.name;
+    if (spec.takes_value) head += " " + spec.value_name;
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out += heads[i];
+    out.append(width - heads[i].size() + 2, ' ');
+    out += specs_[i].help + "\n";
+  }
+  return out;
+}
+
+}  // namespace codelayout

@@ -1,0 +1,93 @@
+// Typed command-line options shared by every bench binary, the service
+// daemon, and the load-generator client.
+//
+// Replaces the per-binary ad-hoc argv loops: flags are declared once with a
+// type, a value range, and a help line; parsing accepts both "--flag VALUE"
+// and "--flag=VALUE", rejects unknown flags and out-of-range values with a
+// usage error naming the offender, and renders --help from the declarations.
+// Binaries that front another parser (google-benchmark's --benchmark_*
+// family) collect unrecognized arguments through passthrough() instead of
+// erroring.
+//
+//   CliOptions cli("bench_foo", "regenerates Table I");
+//   cli.flag("--json", &args.json, "append a JSON metrics line");
+//   cli.option_uint("--threads", &args.threads, 1, 4096, "N", "engine width");
+//   cli.parse_or_exit(argc, argv);   // --help / unknown flag handled here
+//
+// parse() is the exit-free core (returns the error message) so tests and
+// embedding binaries can observe failures without dying.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace codelayout {
+
+class CliOptions {
+ public:
+  /// `program` names the binary in usage output; `summary` is the first
+  /// --help line (may be empty).
+  explicit CliOptions(std::string program, std::string summary = "");
+
+  /// Boolean switch: present = true. `*out` is untouched when absent.
+  CliOptions& flag(std::string name, bool* out, std::string help);
+
+  /// String-valued option; rejects an empty value.
+  CliOptions& option(std::string name, std::string* out,
+                     std::string value_name, std::string help);
+
+  /// Strict unsigned option: digits only, range-checked against [min, max].
+  CliOptions& option_uint(std::string name, unsigned* out, unsigned min,
+                          unsigned max, std::string value_name,
+                          std::string help);
+  CliOptions& option_u64(std::string name, std::uint64_t* out,
+                         std::uint64_t min, std::uint64_t max,
+                         std::string value_name, std::string help);
+
+  /// Strict finite double in [min, max].
+  CliOptions& option_double(std::string name, double* out, double min,
+                            double max, std::string value_name,
+                            std::string help);
+
+  /// Collect unrecognized arguments into `sink` instead of failing (for
+  /// binaries that hand leftovers to another parser).
+  CliOptions& passthrough(std::vector<std::string>* sink);
+
+  /// Parses argv[1..). Returns the empty string on success, the error
+  /// message otherwise. "--help"/"-h" sets help_requested() and returns
+  /// success without consuming further arguments.
+  [[nodiscard]] std::string parse(int argc, char** argv);
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  /// parse(), then: --help prints help() and exits 0; an error prints the
+  /// message plus usage() to stderr and exits 2.
+  void parse_or_exit(int argc, char** argv);
+
+  /// "usage: prog [--flag] [--opt VALUE] ..." on one line.
+  [[nodiscard]] std::string usage() const;
+  /// Full help: summary, usage, one aligned line per declared option.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    bool takes_value = false;
+    std::string value_name;
+    std::string help;
+    /// Applies a parsed occurrence; returns an error message or "".
+    std::function<std::string(const std::string& value)> apply;
+  };
+
+  CliOptions& add(Spec spec);
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Spec> specs_;
+  std::vector<std::string>* passthrough_ = nullptr;
+  bool help_requested_ = false;
+};
+
+}  // namespace codelayout

@@ -1,0 +1,145 @@
+// Tests for the support/cli typed options API shared by every bench binary,
+// the service daemon, and the load generator.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+
+namespace codelayout {
+namespace {
+
+/// argv adapter: gtest strings -> the mutable char** mains receive.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& arg : storage_) ptrs_.push_back(arg.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(CliOptions, ParsesEveryValueKind) {
+  bool json = false;
+  unsigned threads = 0;
+  std::uint64_t events = 0;
+  double rate = 0.0;
+  std::string out;
+
+  CliOptions cli("prog");
+  cli.flag("--json", &json, "emit json");
+  cli.option_uint("--threads", &threads, 1, 64, "N", "width");
+  cli.option_u64("--events", &events, 1, ~std::uint64_t{0}, "N", "events");
+  cli.option_double("--rate", &rate, 0.0, 10.0, "X", "rate");
+  cli.option("--out", &out, "FILE", "output");
+
+  Argv args({"prog", "--json", "--threads", "8", "--events=123456789012345",
+             "--rate", "2.5", "--out=result.json"});
+  EXPECT_EQ(cli.parse(args.argc(), args.argv()), "");
+  EXPECT_TRUE(json);
+  EXPECT_EQ(threads, 8u);
+  EXPECT_EQ(events, 123456789012345ull);
+  EXPECT_DOUBLE_EQ(rate, 2.5);
+  EXPECT_EQ(out, "result.json");
+}
+
+TEST(CliOptions, BothSpaceAndEqualsFormsWork) {
+  unsigned threads = 0;
+  CliOptions cli("prog");
+  cli.option_uint("--threads", &threads, 1, 64, "N", "width");
+
+  Argv space({"prog", "--threads", "4"});
+  EXPECT_EQ(cli.parse(space.argc(), space.argv()), "");
+  EXPECT_EQ(threads, 4u);
+
+  Argv equals({"prog", "--threads=16"});
+  EXPECT_EQ(cli.parse(equals.argc(), equals.argv()), "");
+  EXPECT_EQ(threads, 16u);
+}
+
+TEST(CliOptions, RejectsUnknownArguments) {
+  bool json = false;
+  CliOptions cli("prog");
+  cli.flag("--json", &json, "emit json");
+  Argv args({"prog", "--jsn"});
+  EXPECT_EQ(cli.parse(args.argc(), args.argv()), "unknown argument: --jsn");
+}
+
+TEST(CliOptions, RejectsOutOfRangeAndMalformedIntegers) {
+  unsigned threads = 0;
+  CliOptions cli("prog");
+  cli.option_uint("--threads", &threads, 1, 64, "N", "width");
+
+  Argv zero({"prog", "--threads", "0"});
+  EXPECT_EQ(cli.parse(zero.argc(), zero.argv()),
+            "invalid --threads value '0': expected an integer in [1, 64]");
+
+  Argv word({"prog", "--threads", "many"});
+  EXPECT_EQ(cli.parse(word.argc(), word.argv()),
+            "invalid --threads value 'many': expected an integer in [1, 64]");
+
+  Argv negative({"prog", "--threads", "-2"});
+  EXPECT_NE(cli.parse(negative.argc(), negative.argv()), "");
+}
+
+TEST(CliOptions, RejectsMissingAndMisplacedValues) {
+  unsigned threads = 0;
+  bool json = false;
+  CliOptions cli("prog");
+  cli.option_uint("--threads", &threads, 1, 64, "N", "width");
+  cli.flag("--json", &json, "emit json");
+
+  Argv missing({"prog", "--threads"});
+  EXPECT_EQ(cli.parse(missing.argc(), missing.argv()),
+            "--threads requires a value");
+
+  Argv flag_with_value({"prog", "--json=yes"});
+  EXPECT_EQ(cli.parse(flag_with_value.argc(), flag_with_value.argv()),
+            "--json does not take a value");
+}
+
+TEST(CliOptions, HelpRequestShortCircuitsParsing) {
+  unsigned threads = 0;
+  CliOptions cli("prog", "does prog things");
+  cli.option_uint("--threads", &threads, 1, 64, "N", "width");
+  Argv args({"prog", "--help", "--threads", "not-an-int"});
+  EXPECT_EQ(cli.parse(args.argc(), args.argv()), "");
+  EXPECT_TRUE(cli.help_requested());
+
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("does prog things"), std::string::npos);
+  EXPECT_NE(help.find("--threads N"), std::string::npos);
+  EXPECT_NE(help.find("width"), std::string::npos);
+  EXPECT_NE(cli.usage().find("usage: prog [--threads N]"), std::string::npos);
+}
+
+TEST(CliOptions, PassthroughCollectsUnknownArguments) {
+  bool json = false;
+  std::vector<std::string> leftover;
+  CliOptions cli("prog");
+  cli.flag("--json", &json, "emit json");
+  cli.passthrough(&leftover);
+  Argv args({"prog", "--benchmark_filter=corun", "--json", "positional"});
+  EXPECT_EQ(cli.parse(args.argc(), args.argv()), "");
+  EXPECT_TRUE(json);
+  EXPECT_EQ(leftover,
+            (std::vector<std::string>{"--benchmark_filter=corun",
+                                      "positional"}));
+}
+
+TEST(CliOptions, RejectsBadDeclarations) {
+  bool flag_out = false;
+  CliOptions cli("prog");
+  cli.flag("--json", &flag_out, "emit json");
+  EXPECT_THROW(cli.flag("--json", &flag_out, "duplicate"), ContractError);
+  EXPECT_THROW(cli.flag("json", &flag_out, "no dashes"), ContractError);
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -110,5 +110,52 @@ TEST(CorunMany, RejectsBadParty) {
   EXPECT_THROW(simulate_corun_many(parties, {}), ContractError);
 }
 
+// ---- CorunSpec: the consolidated request struct -----------------------------
+
+TEST(CorunSpec, ShimsAreBitIdenticalToSpec) {
+  const Prepared a(160, 1);
+  const Prepared b(160, 2);
+  const Prepared c(160, 3);
+  const SimOptions options = hardware_proxy_options();
+
+  // Reference: the consolidated entry point with caller-built plans.
+  const FetchPlan plan_a(a.module, a.layout, options.geometry.line_bytes);
+  const FetchPlan plan_b(b.module, b.layout, options.geometry.line_bytes);
+  const FetchPlan plan_c(c.module, c.layout, options.geometry.line_bytes);
+  CorunSpec spec;
+  spec.options = options;
+  spec.parties = {{&plan_a, &a.trace, 1.0},
+                  {&plan_b, &b.trace, 1.3},
+                  {&plan_c, &c.trace, 0.8}};
+  CorunStats spec_stats;
+  const auto from_spec = simulate_corun(spec, &spec_stats);
+
+  // Deprecated module/layout shim.
+  std::vector<CorunParty> raw = {a.party(), b.party(1.3), c.party(0.8)};
+  CorunStats raw_stats;
+  const auto from_raw = simulate_corun_many(raw, options, &raw_stats);
+
+  // Deprecated plan-based shim (PlannedParty aliases CorunSpec::Party).
+  std::vector<PlannedParty> planned = spec.parties;
+  CorunStats planned_stats;
+  const auto from_planned =
+      simulate_corun_many(planned, options, &planned_stats);
+
+  ASSERT_EQ(from_spec.size(), 3u);
+  EXPECT_EQ(from_spec, from_raw);
+  EXPECT_EQ(from_spec, from_planned);
+  EXPECT_EQ(spec_stats.rounds(), raw_stats.rounds());
+  EXPECT_EQ(spec_stats.rounds(), planned_stats.rounds());
+}
+
+TEST(CorunSpec, ValidatesMeasuredPartySpeed) {
+  const Prepared a(16, 1);
+  const SimOptions options;
+  const FetchPlan plan(a.module, a.layout, options.geometry.line_bytes);
+  CorunSpec spec;
+  spec.parties = {{&plan, &a.trace, 2.0}, {&plan, &a.trace, 1.0}};
+  EXPECT_THROW(simulate_corun(spec), ContractError);
+}
+
 }  // namespace
 }  // namespace codelayout

@@ -281,5 +281,68 @@ TEST(LabEngineTest, DriverRowsAreIdenticalAtAnyThreadCount) {
   }
 }
 
+// ---- evaluate_all_checked: per-cell status ----------------------------------
+
+TEST(LabEngineTest, CheckedBatchIsolatesFailuresPerCell) {
+  Lab lab(LabOptions{}.threads(2));
+  const std::vector<EvalRequest> requests = {
+      EvalRequest::solo("429.mcf", std::nullopt, Measure::kHardware),
+      EvalRequest::prepare("no.such-benchmark"),
+      EvalRequest::solo("458.sjeng", kFuncAffinity, Measure::kSimulator),
+  };
+  const std::vector<EvalOutcome> outcomes = lab.evaluate_all_checked(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+
+  // Outcomes are positional: outcome[i] reports request[i].
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[0].error.empty());
+  EXPECT_EQ(outcomes[0].request, requests[0]);
+
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].status, CellStatus::kFailed);
+  EXPECT_NE(outcomes[1].error.find("no.such-benchmark"), std::string::npos)
+      << outcomes[1].error;
+
+  // The bad cell did not poison its neighbours: both good cells
+  // materialized and are readable afterwards.
+  EXPECT_TRUE(outcomes[2].ok());
+  EXPECT_GT(lab.solo("429.mcf", std::nullopt, Measure::kHardware).instructions,
+            0u);
+  EXPECT_GT(
+      lab.solo("458.sjeng", kFuncAffinity, Measure::kSimulator).instructions,
+      0u);
+}
+
+TEST(LabEngineTest, CheckedAndThrowingBatchesAgree) {
+  const std::vector<EvalRequest> requests = {
+      EvalRequest::solo("429.mcf", std::nullopt, Measure::kHardware),
+      EvalRequest::prepare("no.such-benchmark"),
+  };
+  // evaluate_all rethrows the first failure in request order...
+  Lab throwing(LabOptions{}.threads(1));
+  EXPECT_THROW(throwing.evaluate_all(requests), std::exception);
+  // ...and a checked batch on a fresh engine reports the same failure as a
+  // status instead, with identical results for the surviving cells.
+  Lab checked(LabOptions{}.threads(1));
+  const std::vector<EvalOutcome> outcomes =
+      checked.evaluate_all_checked(requests);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(throwing.solo("429.mcf", std::nullopt, Measure::kHardware),
+            checked.solo("429.mcf", std::nullopt, Measure::kHardware));
+}
+
+TEST(LabEngineTest, CheckedBatchReportsMemoizedErrorToLaterRequesters) {
+  Lab lab(LabOptions{}.threads(1));
+  const std::vector<EvalRequest> batch = {
+      EvalRequest::prepare("no.such-benchmark")};
+  const std::string first_error = lab.evaluate_all_checked(batch)[0].error;
+  const std::vector<EvalOutcome> again = lab.evaluate_all_checked(batch);
+  EXPECT_FALSE(again[0].ok());
+  EXPECT_EQ(again[0].error, first_error);
+  // The failing compute ran once; the retry hit the memoized failure.
+  EXPECT_EQ(lab.metrics().prepare.computed, 1u);
+}
+
 }  // namespace
 }  // namespace codelayout

@@ -1,0 +1,627 @@
+// Tests for the layout-optimization service (DESIGN.md §12): wire-protocol
+// round-trips and hostile-stream hardening, the bounded-LRU response cache,
+// admission control / prioritization / graceful shutdown on an injected
+// gated executor, and the golden round-trip — jobs driven through a real
+// unix socket answer byte-identically to the in-process engine.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/options.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/check.hpp"
+
+namespace codelayout::service {
+namespace {
+
+JobRequest solo_request(std::string workload,
+                        std::optional<Optimizer> optimizer, Measure measure,
+                        std::uint64_t id = 1) {
+  JobRequest request;
+  request.id = id;
+  request.kind = JobKind::kSolo;
+  request.workload = std::move(workload);
+  request.optimizer = optimizer;
+  request.measure = measure;
+  return request;
+}
+
+Trace synthetic_trace() {
+  Trace trace{Trace::Granularity::kBlock};
+  for (std::uint32_t i = 0; i < 64; ++i) trace.push_run(i % 7, 1 + i % 5);
+  return trace;
+}
+
+// ---- Protocol ---------------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsEveryKind) {
+  std::vector<JobRequest> requests;
+  requests.push_back(solo_request("429.mcf", kBBAffinity, Measure::kHardware,
+                                  42));
+  requests.push_back(solo_request("458.sjeng", std::nullopt,
+                                  Measure::kSimulator, 7));
+
+  JobRequest layout;
+  layout.id = 3;
+  layout.priority = JobPriority::kInteractive;
+  layout.kind = JobKind::kLayout;
+  layout.workload = "429.mcf";
+  layout.optimizer = kFuncTrg;
+  requests.push_back(layout);
+
+  JobRequest corun;
+  corun.id = ~std::uint64_t{0};  // varint edge: all 64 bits set
+  corun.priority = JobPriority::kBatch;
+  corun.kind = JobKind::kCorun;
+  corun.measure = Measure::kHardware;
+  corun.cpi_speeds = false;
+  corun.parties.push_back({"429.mcf", kBBAffinity, 1.0});
+  corun.parties.push_back({"458.sjeng", std::nullopt, 1.25});
+  corun.parties.push_back({"403.gcc", kFuncAffinity, 0.5});
+  requests.push_back(corun);
+
+  JobRequest stats;
+  stats.id = 9;
+  stats.kind = JobKind::kTraceStats;
+  stats.trace = synthetic_trace();
+  requests.push_back(stats);
+
+  for (const JobRequest& request : requests) {
+    const std::string payload = encode_request_payload(request);
+    const JobRequest decoded = decode_request_payload(payload);
+    EXPECT_EQ(decoded, request) << request.to_string();
+  }
+}
+
+TEST(ServiceProtocol, ResponseRoundTrips) {
+  JobResponse response;
+  response.id = 77;
+  response.status = JobStatus::kOk;
+  SimResult r;
+  r.instructions = 123456789;
+  r.overhead_instructions = 42;
+  r.line_probes = 999;
+  r.demand_misses = 1234;
+  r.wrong_path_misses = 5;
+  r.blocks = 777;
+  response.results = {r, SimResult{}};
+  response.layout = {1000, 64000, 512, 33, 0xdeadbeefcafef00dull};
+  response.trace_stats = {5000, 1200, 97, 0x1234567890abcdefull};
+
+  const JobResponse decoded =
+      decode_response_payload(encode_response_payload(response));
+  EXPECT_EQ(decoded, response);
+
+  JobResponse error;
+  error.id = 1;
+  error.status = JobStatus::kRejected;
+  error.error = "job queue is full (depth 4)";
+  EXPECT_EQ(decode_response_payload(encode_response_payload(error)), error);
+}
+
+TEST(ServiceProtocol, CanonicalKeyNormalizesIdAndPriority) {
+  JobRequest a = solo_request("429.mcf", kBBAffinity, Measure::kHardware, 1);
+  JobRequest b = solo_request("429.mcf", kBBAffinity, Measure::kHardware, 999);
+  a.priority = JobPriority::kBatch;
+  b.priority = JobPriority::kInteractive;
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+
+  const JobRequest c =
+      solo_request("429.mcf", kBBAffinity, Measure::kSimulator, 1);
+  EXPECT_NE(a.canonical_key(), c.canonical_key());
+}
+
+TEST(ServiceProtocol, FrameHeaderRoundTrips) {
+  FrameHeader header;
+  header.type = FrameType::kResponse;
+  header.payload_len = 123456;
+  char bytes[kFrameHeaderBytes];
+  encode_frame_header(header, bytes);
+  const FrameHeader decoded = decode_frame_header(bytes);
+  EXPECT_EQ(decoded.version, kWireVersion);
+  EXPECT_EQ(decoded.type, FrameType::kResponse);
+  EXPECT_EQ(decoded.payload_len, 123456u);
+}
+
+TEST(ServiceProtocol, RejectsHostileFrames) {
+  FrameHeader header;
+  header.payload_len = 4;
+  char good[kFrameHeaderBytes];
+  encode_frame_header(header, good);
+
+  char bad_magic[kFrameHeaderBytes];
+  std::memcpy(bad_magic, good, sizeof(good));
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)decode_frame_header(bad_magic), ContractError);
+
+  char bad_version[kFrameHeaderBytes];
+  std::memcpy(bad_version, good, sizeof(good));
+  bad_version[4] = 99;
+  EXPECT_THROW((void)decode_frame_header(bad_version), ContractError);
+
+  char bad_type[kFrameHeaderBytes];
+  std::memcpy(bad_type, good, sizeof(good));
+  bad_type[6] = 9;
+  EXPECT_THROW((void)decode_frame_header(bad_type), ContractError);
+
+  char huge_payload[kFrameHeaderBytes];
+  std::memcpy(huge_payload, good, sizeof(good));
+  huge_payload[11] = 0x7f;  // payload_len > kMaxPayloadBytes
+  EXPECT_THROW((void)decode_frame_header(huge_payload), ContractError);
+}
+
+TEST(ServiceProtocol, RejectsHostilePayloads) {
+  const std::string payload = encode_request_payload(
+      solo_request("429.mcf", kBBAffinity, Measure::kHardware));
+
+  // Truncation at every length must throw, never read out of bounds.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW((void)decode_request_payload(payload.substr(0, len)),
+                 ContractError)
+        << "truncated to " << len;
+  }
+  // Trailing garbage.
+  EXPECT_THROW((void)decode_request_payload(payload + "x"), ContractError);
+
+  // Out-of-range enums: byte 1 is the priority, byte 2 the job kind.
+  std::string bad_priority = payload;
+  bad_priority[1] = 17;
+  EXPECT_THROW((void)decode_request_payload(bad_priority), ContractError);
+  std::string bad_kind = payload;
+  bad_kind[2] = 17;
+  EXPECT_THROW((void)decode_request_payload(bad_kind), ContractError);
+
+  // A corrupt embedded trace blob must throw, not crash.
+  JobRequest stats;
+  stats.kind = JobKind::kTraceStats;
+  stats.trace = synthetic_trace();
+  std::string stats_payload = encode_request_payload(stats);
+  stats_payload[stats_payload.size() / 2] ^= 0x5a;
+  EXPECT_THROW((void)decode_request_payload(stats_payload), std::exception);
+}
+
+// ---- Response cache ---------------------------------------------------------
+
+JobResponse canned_response(std::uint64_t marker) {
+  JobResponse response;
+  response.trace_stats.checksum = marker;
+  return response;
+}
+
+TEST(ResponseCacheTest, HitsMissesAndLruEvictionByEntries) {
+  ResponseCache cache(ResponseCache::Config{.max_entries = 2,
+                                            .max_bytes = 1u << 20});
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.insert("a", canned_response(1));
+  cache.insert("b", canned_response(2));
+  ASSERT_TRUE(cache.lookup("a").has_value());  // refreshes "a"
+  cache.insert("c", canned_response(3));       // evicts LRU "b"
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  ASSERT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.lookup("c")->trace_stats.checksum, 3u);
+
+  const ResponseCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(ResponseCacheTest, EvictsByByteBudget) {
+  // Each entry costs key + encoded response (tens of bytes); a 200-byte
+  // budget holds only a couple of entries.
+  ResponseCache cache(ResponseCache::Config{.max_entries = 1000,
+                                            .max_bytes = 200});
+  for (int i = 0; i < 32; ++i) {
+    cache.insert("key-" + std::to_string(i), canned_response(i));
+  }
+  const ResponseCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 200u);
+  EXPECT_LT(stats.entries, 32u);
+  EXPECT_GT(stats.evictions, 0u);
+  // The most recent insertion survives.
+  EXPECT_TRUE(cache.lookup("key-31").has_value());
+}
+
+TEST(ResponseCacheTest, InsertRefreshesExistingKey) {
+  ResponseCache cache(ResponseCache::Config{.max_entries = 8,
+                                            .max_bytes = 1u << 20});
+  cache.insert("k", canned_response(1));
+  cache.insert("k", canned_response(2));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.lookup("k")->trace_stats.checksum, 2u);
+}
+
+// ---- Server: admission, priorities, shutdown (gated executor) ---------------
+
+/// Deterministic test executor: execute() blocks until open() so tests can
+/// fill the queue, then records execution order.
+class GatedExecutor : public JobExecutor {
+ public:
+  JobResponse execute(const JobRequest& request) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++started_;
+    started_cv_.notify_all();
+    open_cv_.wait(lock, [this] { return open_; });
+    order_.push_back(request.id);
+    JobResponse response;
+    response.id = request.id;
+    response.trace_stats.checksum = request.id;  // deterministic payload
+    return response;
+  }
+
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+  /// Blocks until `n` execute() calls have started (i.e. are in-flight).
+  void wait_started(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_cv_.wait(lock, [&] { return started_ >= n; });
+  }
+
+  std::vector<std::uint64_t> order() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable started_cv_;
+  std::condition_variable open_cv_;
+  std::size_t started_ = 0;
+  bool open_ = false;
+  std::vector<std::uint64_t> order_;
+};
+
+/// Collects delivered responses across threads.
+class Deliveries {
+ public:
+  std::function<void(JobResponse)> sink() {
+    return [this](JobResponse response) {
+      std::lock_guard<std::mutex> lock(mu_);
+      responses_.push_back(std::move(response));
+    };
+  }
+  std::vector<JobResponse> all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<JobResponse> responses_;
+};
+
+ServerConfig small_config(unsigned workers, std::size_t depth) {
+  ServerConfig config;
+  config.workers = workers;
+  config.queue_depth = depth;
+  config.cache_enabled = false;  // admission tests count every execution
+  return config;
+}
+
+TEST(ServiceServer, BoundedQueueRejectsWhenFull) {
+  auto executor = std::make_unique<GatedExecutor>();
+  GatedExecutor& gate = *executor;
+  ServiceServer server(small_config(1, 2), std::move(executor));
+  Deliveries delivered;
+
+  server.submit(solo_request("a", std::nullopt, Measure::kHardware, 1),
+                delivered.sink());
+  gate.wait_started(1);  // job 1 is in-flight; the queue is empty again
+  server.submit(solo_request("b", std::nullopt, Measure::kHardware, 2),
+                delivered.sink());
+  server.submit(solo_request("c", std::nullopt, Measure::kHardware, 3),
+                delivered.sink());
+  // Depth 2 is exhausted: the fourth submission answers kRejected inline.
+  server.submit(solo_request("d", std::nullopt, Measure::kHardware, 4),
+                delivered.sink());
+
+  auto rejected = delivered.all();
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].id, 4u);
+  EXPECT_EQ(rejected[0].status, JobStatus::kRejected);
+  EXPECT_NE(rejected[0].error.find("queue is full"), std::string::npos);
+
+  gate.open();
+  server.shutdown();
+  const auto all = delivered.all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().completed, 3u);
+}
+
+TEST(ServiceServer, HigherPriorityClassesRunFirst) {
+  auto executor = std::make_unique<GatedExecutor>();
+  GatedExecutor& gate = *executor;
+  ServiceServer server(small_config(1, 16), std::move(executor));
+  Deliveries delivered;
+
+  auto submit = [&](std::uint64_t id, JobPriority priority) {
+    JobRequest request = solo_request("w", std::nullopt, Measure::kHardware,
+                                      id);
+    request.priority = priority;
+    server.submit(std::move(request), delivered.sink());
+  };
+  submit(1, JobPriority::kNormal);  // picked up immediately, blocks on gate
+  gate.wait_started(1);
+  submit(2, JobPriority::kBatch);
+  submit(3, JobPriority::kBatch);
+  submit(4, JobPriority::kNormal);
+  submit(5, JobPriority::kInteractive);
+  submit(6, JobPriority::kInteractive);
+
+  gate.open();
+  server.shutdown();
+  // Interactive first (FIFO within the class), then normal, then batch.
+  EXPECT_EQ(gate.order(),
+            (std::vector<std::uint64_t>{1, 5, 6, 4, 2, 3}));
+}
+
+TEST(ServiceServer, GracefulShutdownDrainsQueuedAndInflightJobs) {
+  auto executor = std::make_unique<GatedExecutor>();
+  GatedExecutor& gate = *executor;
+  ServiceServer server(small_config(2, 16), std::move(executor));
+  Deliveries delivered;
+
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    server.submit(solo_request("w", std::nullopt, Measure::kHardware, id),
+                  delivered.sink());
+  }
+  gate.wait_started(2);  // both workers hold in-flight jobs; four queued
+
+  std::thread closer([&] { server.shutdown(); });
+  gate.open();
+  closer.join();
+
+  // Every job — queued and in-flight — reached its deliver callback.
+  const auto all = delivered.all();
+  ASSERT_EQ(all.size(), 6u);
+  for (const JobResponse& response : all) {
+    EXPECT_EQ(response.status, JobStatus::kOk);
+  }
+  EXPECT_EQ(server.stats().completed, 6u);
+
+  // After the drain, the server stays up but admits nothing.
+  server.submit(solo_request("late", std::nullopt, Measure::kHardware, 99),
+                delivered.sink());
+  const auto late = delivered.all().back();
+  EXPECT_EQ(late.id, 99u);
+  EXPECT_EQ(late.status, JobStatus::kShuttingDown);
+  EXPECT_EQ(server.stats().shutdown_rejected, 1u);
+}
+
+/// Counts executions; responses are a pure function of the request.
+class CountingExecutor : public JobExecutor {
+ public:
+  JobResponse execute(const JobRequest& request) override {
+    executed.fetch_add(1);
+    JobResponse response;
+    response.id = request.id;
+    if (request.workload == "fails") {
+      response.status = JobStatus::kError;
+      response.error = "synthetic failure";
+    } else {
+      response.trace_stats.events = request.workload.size();
+    }
+    return response;
+  }
+  std::atomic<std::uint64_t> executed{0};
+};
+
+TEST(ServiceServer, ResponseCacheServesRepeatsAcrossRequests) {
+  auto executor = std::make_unique<CountingExecutor>();
+  CountingExecutor& counter = *executor;
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::move(executor));
+
+  const JobResponse first =
+      server.call(solo_request("429.mcf", kBBAffinity, Measure::kHardware, 1));
+  // Same work, different id and priority: served from cache, id re-stamped.
+  JobRequest repeat =
+      solo_request("429.mcf", kBBAffinity, Measure::kHardware, 2);
+  repeat.priority = JobPriority::kInteractive;
+  const JobResponse second = server.call(repeat);
+
+  EXPECT_EQ(counter.executed.load(), 1u);
+  EXPECT_EQ(first.id, 1u);
+  EXPECT_EQ(second.id, 2u);
+  EXPECT_EQ(first.trace_stats.events, second.trace_stats.events);
+  server.shutdown();
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+}
+
+TEST(ServiceServer, ErrorResponsesAreNotCached) {
+  auto executor = std::make_unique<CountingExecutor>();
+  CountingExecutor& counter = *executor;
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::move(executor));
+
+  const JobRequest bad = solo_request("fails", std::nullopt,
+                                      Measure::kHardware, 1);
+  EXPECT_EQ(server.call(bad).status, JobStatus::kError);
+  EXPECT_EQ(server.call(bad).status, JobStatus::kError);
+  EXPECT_EQ(counter.executed.load(), 2u);
+}
+
+// ---- Socket round-trip: byte-identity with the in-process engine ------------
+
+TEST(ServiceSocket, GoldenRoundTripIsByteIdenticalToInProcess) {
+  const LabOptions options = LabOptions{}.threads(2);
+  ServerConfig config;
+  config.workers = 2;
+  ServiceServer server(config, std::make_unique<LabExecutor>(options));
+  const std::string socket_path = "svc_golden.sock";
+  server.listen_unix(socket_path);
+  ServiceClient client = ServiceClient::connect_unix(socket_path);
+
+  // The in-process reference: the same job mapping over a local Lab.
+  LabExecutor local(options);
+
+  std::vector<JobRequest> jobs;
+  jobs.push_back(solo_request("429.mcf", std::nullopt, Measure::kHardware));
+  jobs.push_back(solo_request("429.mcf", kBBAffinity, Measure::kHardware));
+  jobs.push_back(solo_request("458.sjeng", kFuncAffinity,
+                              Measure::kSimulator));
+
+  JobRequest layout;
+  layout.kind = JobKind::kLayout;
+  layout.workload = "458.sjeng";
+  layout.optimizer = kBBAffinity;
+  jobs.push_back(layout);
+
+  JobRequest corun;
+  corun.kind = JobKind::kCorun;
+  corun.measure = Measure::kHardware;
+  corun.parties.push_back({"429.mcf", kBBAffinity, 1.0});
+  corun.parties.push_back({"458.sjeng", std::nullopt, 1.0});
+  jobs.push_back(corun);
+
+  JobRequest stats;
+  stats.kind = JobKind::kTraceStats;
+  stats.trace = synthetic_trace();
+  jobs.push_back(stats);
+
+  // A failing job travels the same path and fails alone.
+  jobs.push_back(solo_request("no.such-benchmark", std::nullopt,
+                              Measure::kHardware));
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    const JobResponse remote = client.call(jobs[i]);
+    const JobResponse expected = local.execute(jobs[i]);
+    // Byte-identical on the wire, not merely approximately equal.
+    EXPECT_EQ(encode_response_payload(remote),
+              encode_response_payload(expected))
+        << jobs[i].to_string();
+    EXPECT_EQ(remote, expected) << jobs[i].to_string();
+  }
+
+  // Spot-check against the Lab directly: the service path reports exactly
+  // what in-process evaluation computes.
+  Lab direct(LabOptions{}.threads(2));
+  const JobResponse solo_remote = client.call(jobs[1]);
+  EXPECT_EQ(solo_remote.results.size(), 1u);
+  EXPECT_EQ(solo_remote.results[0],
+            direct.solo("429.mcf", kBBAffinity, Measure::kHardware));
+  const JobResponse corun_remote = client.call(jobs[4]);
+  const CorunResult& corun_direct = direct.corun(
+      "429.mcf", kBBAffinity, "458.sjeng", std::nullopt, Measure::kHardware);
+  ASSERT_EQ(corun_remote.results.size(), 2u);
+  EXPECT_EQ(corun_remote.results[0], corun_direct.self);
+  EXPECT_EQ(corun_remote.results[1], corun_direct.peer);
+
+  server.shutdown();
+}
+
+TEST(ServiceSocket, GarbageFramesGetAnErrorResponseAndHangup) {
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_garbage.sock";
+  server.listen_unix(socket_path);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const char garbage[kFrameHeaderBytes] = "NOTAFRAME!!";
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  char header_bytes[kFrameHeaderBytes];
+  std::size_t got = 0;
+  while (got < sizeof(header_bytes)) {
+    const ssize_t r =
+        ::recv(fd, header_bytes + got, sizeof(header_bytes) - got, 0);
+    ASSERT_GT(r, 0);
+    got += static_cast<std::size_t>(r);
+  }
+  const FrameHeader header = decode_frame_header(header_bytes);
+  EXPECT_EQ(header.type, FrameType::kResponse);
+  std::string payload(header.payload_len, '\0');
+  got = 0;
+  while (got < payload.size()) {
+    const ssize_t r = ::recv(fd, payload.data() + got, payload.size() - got, 0);
+    ASSERT_GT(r, 0);
+    got += static_cast<std::size_t>(r);
+  }
+  const JobResponse response = decode_response_payload(payload);
+  EXPECT_EQ(response.status, JobStatus::kError);
+  EXPECT_FALSE(response.error.empty());
+
+  // The server hangs up after a protocol error.
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(ServiceSocket, ConcurrentClientsAllGetTheirOwnAnswers) {
+  ServerConfig config;
+  config.workers = 2;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_many.sock";
+  server.listen_unix(socket_path);
+
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kJobs = 16;
+  std::atomic<unsigned> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceClient client = ServiceClient::connect_unix(socket_path);
+      for (unsigned j = 0; j < kJobs; ++j) {
+        // Distinct workloads per job: the response payload must echo this
+        // request's workload length, not some other client's.
+        const std::string workload(1 + (c * kJobs + j) % 9, 'w');
+        JobRequest request =
+            solo_request(workload, std::nullopt, Measure::kHardware,
+                         (static_cast<std::uint64_t>(c) << 32) | j);
+        const JobResponse response = client.call(request);
+        if (response.status != JobStatus::kOk ||
+            response.trace_stats.events != workload.size()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  server.shutdown();
+  EXPECT_EQ(server.stats().completed + server.stats().cache_hits,
+            static_cast<std::uint64_t>(kClients) * kJobs);
+}
+
+}  // namespace
+}  // namespace codelayout::service
