@@ -288,7 +288,15 @@ void ServiceServer::submit(JobRequest request,
   }
   if (!respond_inline) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (queued_ >= config_.queue_depth) {
+    // Recheck under the same lock that enqueues: shutdown() may have set
+    // draining_ while the cache lookup ran lock-free, and workers exit once
+    // the queue is empty — a job enqueued after that point would never run.
+    if (draining_) {
+      ++stats_.shutdown_rejected;
+      inline_response = error_response(request, "server is shutting down");
+      inline_response.status = JobStatus::kShuttingDown;
+      respond_inline = true;
+    } else if (queued_ >= config_.queue_depth) {
       ++stats_.rejected;
       inline_response =
           error_response(request, "job queue is full (depth " +
@@ -361,14 +369,17 @@ void ServiceServer::finish_job(QueuedJob job) {
                     {"kind", job_kind_name(job.request.kind)});
     response = executor_->execute(job.request);
   }
-  response.id = job.request.id;
   if (registry.enabled()) {
     registry.histogram("service.job.wall_ns").record(now_nanos() - start);
     registry.counter("service.jobs.completed").add(1);
   }
   if (config_.cache_enabled && response.status == JobStatus::kOk) {
+    // Stored entries carry id 0 (the cache's documented contract); lookup
+    // callers re-stamp the requester's id on a hit.
+    response.id = 0;
     cache_.insert(job.request.canonical_key(), response);
   }
+  response.id = job.request.id;
   job.deliver(std::move(response));
 }
 
@@ -421,6 +432,12 @@ void ServiceServer::close_socket() {
 }
 
 void ServiceServer::listen_unix(const std::string& path) {
+  // Refuse before touching the filesystem: a second call must not unlink
+  // and rebind over the live socket (or leak the fresh fd on throw).
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    CL_CHECK_MSG(listen_fd_ < 0, "server is already listening");
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   CL_CHECK_MSG(path.size() < sizeof(addr.sun_path),
@@ -446,7 +463,10 @@ void ServiceServer::listen_unix(const std::string& path) {
   }
   {
     std::lock_guard<std::mutex> lock(socket_mu_);
-    CL_CHECK_MSG(listen_fd_ < 0, "server is already listening");
+    if (listen_fd_ >= 0) {  // lost a listen_unix/listen_unix race
+      ::close(fd);
+      CL_CHECK_MSG(false, "server is already listening");
+    }
     listen_fd_ = fd;
     socket_path_ = path;
   }
@@ -533,6 +553,14 @@ void ServiceServer::connection_loop(int fd) {
   {
     std::unique_lock<std::mutex> lock(write_end->mu);
     write_end->cv.wait(lock, [&] { return write_end->pending == 0; });
+  }
+  // Deregister before closing so shutdown() never calls ::shutdown on a
+  // recycled descriptor number owned by something else.
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
   }
   ::close(fd);
 }

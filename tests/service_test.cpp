@@ -468,6 +468,63 @@ TEST(ServiceServer, ErrorResponsesAreNotCached) {
   EXPECT_EQ(counter.executed.load(), 2u);
 }
 
+TEST(ServiceServer, SubmitRacingShutdownAlwaysDelivers) {
+  // Regression: submit() drops the server lock for the cache lookup between
+  // the draining_ check and the enqueue. If shutdown() lands in that window
+  // the job must answer kShuttingDown inline — never sit in a queue no
+  // worker will read, which wedged call() and shutdown() forever.
+  constexpr int kRounds = 32;
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    ServerConfig config;
+    config.workers = 2;
+    config.queue_depth = 64;
+    config.cache_enabled = true;  // the lock-free lookup opens the window
+    ServiceServer server(config, std::make_unique<CountingExecutor>());
+    Deliveries delivered;
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int j = 0; j < kJobsPerThread; ++j) {
+          server.submit(
+              solo_request("w" + std::to_string(t % 2), std::nullopt,
+                           Measure::kHardware,
+                           static_cast<std::uint64_t>(t * 100 + j + 1)),
+              delivered.sink());
+        }
+      });
+    }
+    server.shutdown();  // races the submitters
+    for (std::thread& submitter : submitters) submitter.join();
+
+    // Every submit reached its deliver callback exactly once: admitted jobs
+    // were drained by shutdown(), late ones answered kShuttingDown inline.
+    EXPECT_EQ(delivered.all().size(),
+              static_cast<std::size_t>(kThreads * kJobsPerThread));
+  }
+}
+
+TEST(ServiceSocket, SecondListenIsRefusedAndLeavesTheFirstAlive) {
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  server.listen_unix("svc_double.sock");
+  // A second listen must refuse up front — not unlink/rebind the live
+  // socket, not leak a fresh fd.
+  EXPECT_THROW(server.listen_unix("svc_double_b.sock"), ContractError);
+  EXPECT_EQ(server.socket_path(), "svc_double.sock");
+
+  ServiceClient client = ServiceClient::connect_unix("svc_double.sock");
+  const JobResponse response =
+      client.call(solo_request("w", std::nullopt, Measure::kHardware, 5));
+  EXPECT_EQ(response.id, 5u);
+  EXPECT_EQ(response.status, JobStatus::kOk);
+  server.shutdown();
+}
+
 // ---- Socket round-trip: byte-identity with the in-process engine ------------
 
 TEST(ServiceSocket, GoldenRoundTripIsByteIdenticalToInProcess) {
