@@ -21,13 +21,15 @@ using namespace codelayout;
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   Lab lab(bench_lab_options(args));
+  const HierarchySpec hierarchy = args.hierarchy();
   const std::vector<std::string> names = {"403.gcc", "458.sjeng",
                                           "471.omnetpp", "483.xalancbmk"};
   std::vector<EvalRequest> requests;
   for (const std::string& name : names) {
+    requests.push_back(EvalRequest::solo(name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
     requests.push_back(
-        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
-    requests.push_back(EvalRequest::solo(name, kBBTrg, Measure::kHardware));
+        EvalRequest::solo(name, kBBTrg, Measure::kHardware, hierarchy));
   }
   lab.evaluate_all(requests);
   std::printf(
@@ -38,17 +40,20 @@ int main(int argc, char** argv) {
   for (const std::string& name : names) {
     const PreparedWorkload& w = lab.workload(name);
     const double base =
-        lab.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
+        lab.solo(name, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
     const CodeLayout& reorder = lab.layout(name, kBBTrg);
     const double reorder_miss =
-        lab.solo(name, kBBTrg, Measure::kHardware).miss_ratio();
+        lab.solo(name, kBBTrg, Measure::kHardware, hierarchy).miss_ratio();
 
     const Trg graph = Trg::build(
         w.profile_blocks,
         TrgConfig{.window_entries = trg_window_entries(32 * 1024, 64)});
     const PlacementResult padded = gloy_smith_placement(w.module, graph);
+    SimOptions padded_options = hardware_proxy_options();
+    padded_options.hierarchy = hierarchy;
     const SimResult padded_sim = simulate_solo(
-        w.module, padded.layout, w.eval_blocks, hardware_proxy_options());
+        w.module, padded.layout, w.eval_blocks, padded_options);
 
     table.add_row({name, fmt_pct(base), fmt_pct(reorder_miss),
                    fmt_pct(padded_sim.miss_ratio()),

@@ -17,6 +17,7 @@ using namespace codelayout;
 
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
+  const HierarchySpec hierarchy = args.hierarchy();
   const std::string target = "403.gcc";  // the paper's worst-case trace
 
   std::printf("Ablation (paper Sec. II-F): trace pruning on %s\n\n",
@@ -31,14 +32,18 @@ int main(int argc, char** argv) {
     config.prune_top_k = top_k;
     Lab lab(bench_lab_options(args).pipeline(config));
     const std::vector<EvalRequest> requests = {
-        EvalRequest::solo(target, std::nullopt, Measure::kHardware),
-        EvalRequest::solo(target, kBBAffinity, Measure::kHardware)};
+        EvalRequest::solo(target, std::nullopt, Measure::kHardware,
+                          hierarchy),
+        EvalRequest::solo(target, kBBAffinity, Measure::kHardware,
+                          hierarchy)};
     lab.evaluate_all(requests);
     const PreparedWorkload& w = lab.workload(target);
     const double base =
-        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+        lab.solo(target, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
     const double opt =
-        lab.solo(target, kBBAffinity, Measure::kHardware).miss_ratio();
+        lab.solo(target, kBBAffinity, Measure::kHardware, hierarchy)
+            .miss_ratio();
     table.add_row({fmt_count(top_k), fmt_pct(w.prune_kept_fraction, 1),
                    std::to_string(w.profile_blocks.distinct_count()),
                    fmt_pct(opt), fmt_pct(base > 0 ? 1.0 - opt / base : 0, 1)});
@@ -50,7 +55,8 @@ int main(int argc, char** argv) {
   Lab base_lab(bench_lab_options(args));
   const PreparedWorkload& full = base_lab.workload(target);
   const double base =
-      base_lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+      base_lab.solo(target, std::nullopt, Measure::kHardware, hierarchy)
+          .miss_ratio();
   for (std::size_t stride : {std::size_t{4096}, std::size_t{8192},
                              std::size_t{16384}, std::size_t{65536}}) {
     // Re-run the model on a sampled profile trace, transform, re-simulate.
@@ -58,9 +64,10 @@ int main(int argc, char** argv) {
     sampled.profile_blocks = sample_windows(full.profile_blocks, 4096, stride);
     const CodeLayout layout =
         optimize_layout(sampled, kBBAffinity, base_lab.pipeline());
+    SimOptions sim_options = hardware_proxy_options();
+    sim_options.hierarchy = hierarchy;
     const SimResult sim = simulate_solo(sampled.module, layout,
-                                        sampled.eval_blocks,
-                                        hardware_proxy_options());
+                                        sampled.eval_blocks, sim_options);
     stable.add_row({fmt_count(stride),
                     fmt_count(sampled.profile_blocks.size()),
                     fmt_pct(base > 0 ? 1.0 - sim.miss_ratio() / base : 0, 1)});

@@ -20,28 +20,32 @@ namespace {
 
 /// Batches the sweep point's full cell set (solos + co-runs vs every probe)
 /// before any row math touches the memo.
-void submit_sweep_point(Lab& lab, const std::string& name, Optimizer opt) {
+void submit_sweep_point(Lab& lab, const std::string& name, Optimizer opt,
+                        const HierarchySpec& hierarchy) {
   std::vector<EvalRequest> requests = {
-      EvalRequest::solo(name, std::nullopt, Measure::kHardware),
-      EvalRequest::solo(name, opt, Measure::kHardware)};
+      EvalRequest::solo(name, std::nullopt, Measure::kHardware, hierarchy),
+      EvalRequest::solo(name, opt, Measure::kHardware, hierarchy)};
   for (const std::string& probe : selected_benchmarks()) {
     requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
-                                          std::nullopt, Measure::kHardware));
-    requests.push_back(
-        EvalRequest::corun(name, opt, probe, std::nullopt,
-                           Measure::kHardware));
+                                          std::nullopt, Measure::kHardware,
+                                          hierarchy));
+    requests.push_back(EvalRequest::corun(name, opt, probe, std::nullopt,
+                                          Measure::kHardware, hierarchy));
   }
   lab.evaluate_all(requests);
 }
 
-double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt) {
+double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt,
+                           const HierarchySpec& hierarchy) {
   RunningStats stats;
   for (const std::string& probe : selected_benchmarks()) {
     const double base =
-        lab.corun(name, std::nullopt, probe, std::nullopt, Measure::kHardware)
+        lab.corun(name, std::nullopt, probe, std::nullopt, Measure::kHardware,
+                  hierarchy)
             .self.miss_ratio();
     const double with_opt =
-        lab.corun(name, opt, probe, std::nullopt, Measure::kHardware)
+        lab.corun(name, opt, probe, std::nullopt, Measure::kHardware,
+                  hierarchy)
             .self.miss_ratio();
     stats.add(base > 0 ? 1.0 - with_opt / base : 0.0);
   }
@@ -52,6 +56,7 @@ double avg_corun_reduction(Lab& lab, const std::string& name, Optimizer opt) {
 
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
+  const HierarchySpec hierarchy = args.hierarchy();
   const std::string target = "458.sjeng";
 
   std::printf(
@@ -70,15 +75,17 @@ int main(int argc, char** argv) {
     config.trg_cache_bytes =
         static_cast<std::uint64_t>(32 * 1024 * f / 2.0);
     Lab lab(bench_lab_options(args).pipeline(config));
-    submit_sweep_point(lab, target, kFuncTrg);
+    submit_sweep_point(lab, target, kFuncTrg, hierarchy);
     const double solo_base =
-        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+        lab.solo(target, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
     const double solo_opt =
-        lab.solo(target, kFuncTrg, Measure::kHardware).miss_ratio();
+        lab.solo(target, kFuncTrg, Measure::kHardware, hierarchy)
+            .miss_ratio();
     trg_table.add_row(
         {fmt_fixed(f, 1) + "C",
          fmt_pct(solo_base > 0 ? 1.0 - solo_opt / solo_base : 0.0, 1),
-         fmt_pct(avg_corun_reduction(lab, target, kFuncTrg), 1)});
+         fmt_pct(avg_corun_reduction(lab, target, kFuncTrg, hierarchy), 1)});
   }
   std::printf("%s\n", trg_table.render().c_str());
 
@@ -97,14 +104,17 @@ int main(int argc, char** argv) {
     PipelineConfig config;
     config.affinity.w_values = grid;
     Lab lab(bench_lab_options(args).pipeline(config));
-    submit_sweep_point(lab, target, kBBAffinity);
+    submit_sweep_point(lab, target, kBBAffinity, hierarchy);
     const double solo_base =
-        lab.solo(target, std::nullopt, Measure::kHardware).miss_ratio();
+        lab.solo(target, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
     const double solo_opt =
-        lab.solo(target, kBBAffinity, Measure::kHardware).miss_ratio();
+        lab.solo(target, kBBAffinity, Measure::kHardware, hierarchy)
+            .miss_ratio();
     aff_table.add_row(
         {label, fmt_pct(solo_base > 0 ? 1.0 - solo_opt / solo_base : 0.0, 1),
-         fmt_pct(avg_corun_reduction(lab, target, kBBAffinity), 1)});
+         fmt_pct(avg_corun_reduction(lab, target, kBBAffinity, hierarchy),
+                 1)});
   }
   std::printf("%s", aff_table.render().c_str());
   finish_observability(args, "bench_ablation_windows");

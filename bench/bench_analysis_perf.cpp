@@ -191,12 +191,34 @@ std::uint64_t hash_trg(const Trg& graph) {
   return h;
 }
 
+std::uint64_t hash_sim_result(const SimResult& r) {
+  std::uint64_t h = fnv1a(kFnvSeed, r.instructions);
+  h = fnv1a(h, r.overhead_instructions);
+  h = fnv1a(h, r.line_probes);
+  h = fnv1a(h, r.demand_misses);
+  h = fnv1a(h, r.wrong_path_misses);
+  h = fnv1a(h, r.blocks);
+  h = fnv1a(h, r.l2_probes);
+  return fnv1a(h, r.l2_misses);
+}
+
+bool g_geometry_checksums_ok = true;
+
+/// One cache hierarchy of the icache kernel's --sweep-geometry axis.
+struct GeometryPoint {
+  std::string geometry;  ///< HierarchySpec::to_string() form
+  double events_per_sec = 0.0;
+  std::uint64_t checksum = 0;  ///< FNV over the full SimResult
+  double amat_cycles = 0.0;
+};
+
 struct WorkloadReport {
   std::string name;
   std::uint64_t events = 0;
   std::uint64_t runs = 0;
   double run_compression = 1.0;
   std::vector<KernelReport> kernels;
+  std::vector<GeometryPoint> geometry_sweep;
 };
 
 /// Times `fn`, repeating until at least ~50 ms of work, and returns events/s.
@@ -250,13 +272,13 @@ std::uint64_t per_event_reuse(const Trace& trace) {
 /// accumulating the same statistics as the production kernel.
 SimResult per_event_solo(const Module& module, const CodeLayout& layout,
                          const Trace& trace, const SimOptions& options) {
-  SetAssocCache cache(options.geometry);
+  SetAssocCache cache(options.geometry());
   Rng rng = Rng(options.seed).fork(1);
   SimResult stats;
   for (const Symbol sym : trace.symbols()) {
     const BlockId b(sym);
     const BasicBlock& bb = module.block(b);
-    const auto span = layout.lines_of(b, options.geometry.line_bytes);
+    const auto span = layout.lines_of(b, options.geometry().line_bytes);
     const auto& place = layout.placement(b);
     ++stats.blocks;
     stats.instructions += place.bytes / kInstrBytes;
@@ -312,7 +334,9 @@ KernelReport from_sweep(const char* name, std::vector<SweepPoint> sweep) {
 
 WorkloadReport measure_workload(const WorkloadSpec& spec,
                                 std::uint64_t max_events,
-                                const std::vector<unsigned>& sweep_threads) {
+                                const std::vector<unsigned>& sweep_threads,
+                                const std::vector<HierarchySpec>&
+                                    sweep_geometries) {
   const Module module = build_workload(spec);
   const std::uint64_t events = std::min(max_events, spec.profile_events);
   const Trace trace =
@@ -326,7 +350,8 @@ WorkloadReport measure_workload(const WorkloadSpec& spec,
                         .events = trace.size(),
                         .runs = trace.run_count(),
                         .run_compression = trace.run_compression(),
-                        .kernels = {}};
+                        .kernels = {},
+                        .geometry_sweep = {}};
   const auto n = trace.size();
 
   KernelReport lru{.name = "lru_stack"};
@@ -391,6 +416,29 @@ WorkloadReport measure_workload(const WorkloadSpec& spec,
   });
   report.kernels.push_back(sim);
 
+  // Geometry axis for the icache kernel: the same trace under each swept
+  // hierarchy (DESIGN.md §13), with a checksum over the full SimResult —
+  // per-level counters included — so each geometry's output is pinned.
+  for (const HierarchySpec& hierarchy : sweep_geometries) {
+    SimOptions options;
+    options.hierarchy = hierarchy;
+    GeometryPoint point{.geometry = hierarchy.to_string()};
+    const SimResult pinned = simulate_solo(module, layout, trace, options);
+    point.checksum = hash_sim_result(pinned);
+    point.amat_cycles = amat(pinned, hierarchy);
+    point.events_per_sec = measure_events_per_sec(n, [&] {
+      const SimResult r = simulate_solo(module, layout, trace, options);
+      benchmark::DoNotOptimize(r);
+      if (hash_sim_result(r) != point.checksum) {
+        std::fprintf(stderr, "FATAL: %s: icache checksum not deterministic "
+                             "under geometry %s\n",
+                     spec.name.c_str(), point.geometry.c_str());
+        g_geometry_checksums_ok = false;
+      }
+    });
+    report.geometry_sweep.push_back(std::move(point));
+  }
+
   return report;
 }
 
@@ -436,7 +484,20 @@ void print_report(const WorkloadReport& r, bool json, bool first) {
       }
       std::printf("}");
     }
-    std::printf("]}");
+    std::printf("]");
+    if (!r.geometry_sweep.empty()) {
+      std::printf(", \"geometry_sweep\": [");
+      for (std::size_t i = 0; i < r.geometry_sweep.size(); ++i) {
+        const GeometryPoint& g = r.geometry_sweep[i];
+        std::printf("%s{\"geometry\": \"%s\", \"events_per_sec\": %.0f,"
+                    " \"checksum\": \"0x%016llx\", \"amat\": %.4f}",
+                    i ? ", " : "", g.geometry.c_str(), g.events_per_sec,
+                    static_cast<unsigned long long>(g.checksum),
+                    g.amat_cycles);
+      }
+      std::printf("]");
+    }
+    std::printf("}");
     return;
   }
   std::printf("%-18s %10llu events  %8llu runs  compression %6.2fx\n",
@@ -458,6 +519,12 @@ void print_report(const WorkloadReport& r, bool json, bool first) {
                   p.threads, p.threads == 1 ? " " : "s", p.events_per_sec,
                   static_cast<unsigned long long>(p.checksum));
     }
+  }
+  for (const GeometryPoint& g : r.geometry_sweep) {
+    std::printf("    geometry %-28s %12.0f events/s  checksum 0x%016llx"
+                "  amat %.3f\n",
+                g.geometry.c_str(), g.events_per_sec,
+                static_cast<unsigned long long>(g.checksum), g.amat_cycles);
   }
 }
 
@@ -506,8 +573,24 @@ std::vector<unsigned> parse_thread_counts(const std::string& list) {
   return counts;
 }
 
+/// "32K/4/64,16K/2/64+l2=256K/8/64" -> hierarchy specs for the icache
+/// kernel's geometry axis.
+std::vector<HierarchySpec> parse_geometry_list(const std::string& list) {
+  std::vector<HierarchySpec> specs;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string text = list.substr(start, comma - start);
+    if (!text.empty()) specs.push_back(parse_hierarchy(text));
+    start = comma + 1;
+  }
+  return specs;
+}
+
 int run_suite_mode(const std::string& workload, std::uint64_t max_events,
-                   bool json, const std::vector<unsigned>& sweep_threads) {
+                   bool json, const std::vector<unsigned>& sweep_threads,
+                   const std::vector<HierarchySpec>& sweep_geometries) {
   std::vector<WorkloadSpec> specs;
   if (!workload.empty()) {
     specs = parse_workloads(workload);
@@ -519,12 +602,13 @@ int run_suite_mode(const std::string& workload, std::uint64_t max_events,
   if (json) std::printf("[\n");
   bool first = true;
   for (const WorkloadSpec& spec : specs) {
-    print_report(measure_workload(spec, max_events, sweep_threads), json,
-                 first);
+    print_report(
+        measure_workload(spec, max_events, sweep_threads, sweep_geometries),
+        json, first);
     first = false;
   }
   if (json) std::printf("\n]\n");
-  return 0;
+  return g_geometry_checksums_ok ? 0 : 5;
 }
 
 }  // namespace
@@ -544,14 +628,21 @@ int main(int argc, char** argv) {
              "suite mode over the named workloads (+spin variants allowed)");
   cli.option_u64("--events", &max_events, 1, ~std::uint64_t{0}, "N",
                  "truncate each trace to N events");
+  std::string sweep_geometry;
   cli.option("--sweep-threads", &sweep, "1,2,8",
              "suite mode: per-width events/s for the parallel kernels");
+  cli.option("--sweep-geometry", &sweep_geometry, "G1,G2,...",
+             "suite mode: run the icache kernel under these hierarchies "
+             "(SIZE/ASSOC/LINE[+l2=SIZE/ASSOC/LINE])");
   cli.passthrough(&leftover);  // --benchmark_* flags pass through
   cli.parse_or_exit(argc, argv);
-  suite = suite || json || !workload.empty() || !sweep.empty();
+  suite =
+      suite || json || !workload.empty() || !sweep.empty() ||
+      !sweep_geometry.empty();
   if (suite) {
     return run_suite_mode(workload, max_events, json,
-                          parse_thread_counts(sweep.empty() ? "1" : sweep));
+                          parse_thread_counts(sweep.empty() ? "1" : sweep),
+                          parse_geometry_list(sweep_geometry));
   }
 
   std::vector<char*> bench_argv{argv[0]};

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cache/hierarchy.hpp"
 #include "harness/lab.hpp"
 #include "support/cli.hpp"
 #include "support/registry.hpp"
@@ -34,6 +35,17 @@ struct BenchArgs {
   bool json = false;
   std::string trace_out;    ///< empty = tracing off
   std::string metrics_out;  ///< empty = metrics registry off
+  std::string geometry;     ///< L1 geometry text; empty = the paper's 32K/4/64
+  std::string l2;           ///< shared L2 geometry text; empty = no L2
+
+  /// The cache hierarchy the flags describe (validated; latencies default).
+  [[nodiscard]] HierarchySpec hierarchy() const {
+    HierarchySpec spec;
+    if (!geometry.empty()) spec.l1 = parse_geometry(geometry);
+    if (!l2.empty()) spec.l2 = parse_geometry(l2);
+    spec.validate();
+    return spec;
+  }
 };
 
 /// Declares the standard bench flags on `cli`, bound to `args`. Binaries
@@ -47,6 +59,10 @@ inline void add_bench_flags(CliOptions& cli, BenchArgs& args) {
              "record scoped spans and write a Perfetto/Chrome trace JSON");
   cli.option("--metrics-out", &args.metrics_out, "FILE",
              "enable the metrics registry and write counters + histograms");
+  cli.option("--geometry", &args.geometry, "SIZE/ASSOC/LINE",
+             "L1I geometry, e.g. 32K/4/64 (default: the paper's 32K/4/64)");
+  cli.option("--l2", &args.l2, "SIZE/ASSOC/LINE",
+             "add a shared L2 behind private L1s, e.g. 256K/8/64");
 }
 
 /// Flips the observability switches before any Lab work happens so the first

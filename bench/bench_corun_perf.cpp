@@ -20,8 +20,16 @@
 // unequal checksums across widths exit 5. All JSON output is validated with
 // the test suite's JSON linter before it is printed.
 //
+// --sweep-geometry re-runs each pair under a list of cache hierarchies
+// ("SIZE/ASSOC/LINE" with an optional "+l2=SIZE/ASSOC/LINE" shared level,
+// DESIGN.md §13). Each geometry reports events/s, the FNV checksum of the
+// co-run cell results, and per-party AMAT; the cell set is also re-run at
+// the widest --sweep-threads width and a serial/parallel checksum mismatch
+// exits 5 — geometry must never interact with scheduling.
+//
 //   bench_corun_perf [--workload A,B,C,D] [--events N] [--json]
 //                    [--sweep-threads 1,2,8]
+//                    [--sweep-geometry 32K/4/64,16K/2/64+l2=256K/8/64]
 #include <atomic>
 #include <chrono>
 #include <cstdarg>
@@ -134,7 +142,7 @@ class RefStream {
     }
     const BlockId b(symbols_[pos_]);
     const BasicBlock& bb = module_->block(b);
-    const auto span = layout_->lines_of(b, options_.geometry.line_bytes);
+    const auto span = layout_->lines_of(b, options_.geometry().line_bytes);
     const auto& place = layout_->placement(b);
     ++stats_.blocks;
     stats_.instructions += place.bytes / kInstrBytes;
@@ -176,7 +184,7 @@ class RefStream {
 
 std::vector<SimResult> reference_corun(const std::vector<RefParty>& parties,
                                        const SimOptions& options) {
-  RotateCache cache(options.geometry);
+  RotateCache cache(options.geometry());
   std::vector<RefStream> streams;
   streams.reserve(parties.size());
   std::vector<double> credit(parties.size(), 0.0);
@@ -262,6 +270,21 @@ struct PreparedWorkloadBench {
   [[nodiscard]] PlannedParty planned_party(double speed = 1.0) const {
     return PlannedParty{sim_plan.get(), &trace, speed};
   }
+  /// A fetch plan for a sweep geometry's line size (the default plan is
+  /// only valid for 64B lines). Built outside the timed regions.
+  [[nodiscard]] std::unique_ptr<FetchPlan> plan_for(
+      std::uint32_t line_bytes) const {
+    return std::make_unique<FetchPlan>(module, layout, line_bytes);
+  }
+};
+
+/// One cache hierarchy of the --sweep-geometry axis.
+struct GeometryPoint {
+  std::string geometry;  ///< HierarchySpec::to_string() form
+  double events_per_sec = 0.0;
+  std::uint64_t checksum = 0;  ///< FNV over the co-run cell results
+  double self_amat = 0.0;
+  double peer_amat = 0.0;
 };
 
 struct PairReport {
@@ -271,9 +294,11 @@ struct PairReport {
   double self_compression = 1.0;
   double peer_compression = 1.0;
   std::vector<KernelReport> kernels;
+  std::vector<GeometryPoint> geometry_sweep;
 };
 
 bool g_checksums_ok = true;
+bool g_geometry_sweep_ok = true;
 
 std::uint64_t total_blocks(const std::vector<SimResult>& results) {
   std::uint64_t blocks = 0;
@@ -382,15 +407,97 @@ KernelReport measure_cell_sweep(const PreparedWorkloadBench& a,
   return report;
 }
 
+/// Re-runs the pair's co-run cell set under each hierarchy of the geometry
+/// sweep. Per geometry: events/s and the combined FNV checksum of the cell
+/// results, plus each party's AMAT under that hierarchy. The same cells are
+/// then fanned over `cross_check_threads` workers; a serial/parallel
+/// checksum mismatch is fatal (geometry must not interact with scheduling).
+std::vector<GeometryPoint> measure_geometry_sweep(
+    const PreparedWorkloadBench& a, const PreparedWorkloadBench& b,
+    const std::vector<HierarchySpec>& hierarchies,
+    unsigned cross_check_threads) {
+  std::vector<GeometryPoint> points;
+  for (const HierarchySpec& hierarchy : hierarchies) {
+    const std::unique_ptr<FetchPlan> plan_a =
+        a.plan_for(hierarchy.l1.line_bytes);
+    const std::unique_ptr<FetchPlan> plan_b =
+        b.plan_for(hierarchy.l1.line_bytes);
+    std::vector<CorunSpec> cells;
+    for (const bool hw : {false, true}) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        SimOptions options = hw ? hardware_proxy_options(seed) : SimOptions{};
+        options.seed = seed;
+        options.hierarchy = hierarchy;
+        cells.push_back(CorunSpec{{PlannedParty{plan_a.get(), &a.trace, 1.0},
+                                   PlannedParty{plan_b.get(), &b.trace, 1.3}},
+                                  options});
+      }
+    }
+
+    const auto run_cells = [&](ThreadPool* pool) {
+      std::vector<std::uint64_t> sums(cells.size(), 0);
+      std::atomic<std::size_t> next{0};
+      const auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < cells.size();) {
+          sums[i] = hash_results(simulate_corun(cells[i]));
+        }
+      };
+      if (pool == nullptr) {
+        worker();
+      } else {
+        std::vector<std::future<void>> helpers;
+        for (unsigned t = 0; t + 1 < cross_check_threads; ++t) {
+          helpers.push_back(pool->submit(worker));
+        }
+        worker();
+        for (auto& h : helpers) h.get();
+      }
+      std::uint64_t h = fnv1a(kFnvSeed, sums.size());
+      for (const std::uint64_t s : sums) h = fnv1a(h, s);
+      return h;
+    };
+
+    GeometryPoint point{.geometry = hierarchy.to_string()};
+    const std::vector<SimResult> produced = simulate_corun(cells.front());
+    point.self_amat = amat(produced[0], hierarchy);
+    point.peer_amat = amat(produced[1], hierarchy);
+    std::uint64_t events = 0;
+    for (const CorunSpec& cell : cells) {
+      events += total_blocks(simulate_corun(cell));
+    }
+    point.events_per_sec = measure_events_per_sec(
+        events, [&] { point.checksum = run_cells(nullptr); });
+
+    if (cross_check_threads > 1) {
+      ThreadPool pool(cross_check_threads - 1);
+      const std::uint64_t parallel = run_cells(&pool);
+      if (parallel != point.checksum) {
+        std::fprintf(stderr,
+                     "FATAL: %s vs %s: geometry %s checksum diverges between "
+                     "1 and %u threads (0x%016llx vs 0x%016llx)\n",
+                     a.name.c_str(), b.name.c_str(), point.geometry.c_str(),
+                     cross_check_threads,
+                     static_cast<unsigned long long>(point.checksum),
+                     static_cast<unsigned long long>(parallel));
+        g_geometry_sweep_ok = false;
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 PairReport measure_pair(const PreparedWorkloadBench& a,
                         const PreparedWorkloadBench& b,
-                        const std::vector<unsigned>& sweep_threads) {
+                        const std::vector<unsigned>& sweep_threads,
+                        const std::vector<HierarchySpec>& sweep_geometries) {
   PairReport report{.self = a.name,
                     .peer = b.name,
                     .events = 0,
                     .self_compression = a.trace.run_compression(),
                     .peer_compression = b.trace.run_compression(),
-                    .kernels = {}};
+                    .kernels = {},
+                    .geometry_sweep = {}};
 
   const CorunSpec pair_sim{{a.planned_party(), b.planned_party(1.3)},
                            SimOptions{}};
@@ -412,6 +519,10 @@ PairReport measure_pair(const PreparedWorkloadBench& a,
       measure_corun_kernel("corun_many4_hw", four, ref_four));
 
   report.kernels.push_back(measure_cell_sweep(a, b, sweep_threads));
+  if (!sweep_geometries.empty()) {
+    report.geometry_sweep =
+        measure_geometry_sweep(a, b, sweep_geometries, sweep_threads.back());
+  }
   return report;
 }
 
@@ -472,7 +583,22 @@ std::string json_report(const std::vector<PairReport>& pairs) {
       }
       append_format(out, "}");
     }
-    append_format(out, "]}");
+    append_format(out, "]");
+    if (!r.geometry_sweep.empty()) {
+      append_format(out, ", \"geometry_sweep\": [");
+      for (std::size_t i = 0; i < r.geometry_sweep.size(); ++i) {
+        const GeometryPoint& g = r.geometry_sweep[i];
+        append_format(out,
+                      "%s{\"geometry\": \"%s\", \"events_per_sec\": %.0f,"
+                      " \"checksum\": \"0x%016llx\", \"self_amat\": %.4f,"
+                      " \"peer_amat\": %.4f}",
+                      i ? ", " : "", g.geometry.c_str(), g.events_per_sec,
+                      static_cast<unsigned long long>(g.checksum),
+                      g.self_amat, g.peer_amat);
+      }
+      append_format(out, "]");
+    }
+    append_format(out, "}");
   }
   out += "\n]\n";
   return out;
@@ -504,6 +630,13 @@ void print_text(const PairReport& r) {
                   p.threads, p.threads == 1 ? " " : "s", p.events_per_sec,
                   static_cast<unsigned long long>(p.checksum));
     }
+  }
+  for (const GeometryPoint& g : r.geometry_sweep) {
+    std::printf("    geometry %-28s %12.0f events/s  checksum 0x%016llx"
+                "  amat %.3f / %.3f\n",
+                g.geometry.c_str(), g.events_per_sec,
+                static_cast<unsigned long long>(g.checksum), g.self_amat,
+                g.peer_amat);
   }
 }
 
@@ -573,6 +706,19 @@ std::vector<unsigned> parse_thread_counts(const std::string& list) {
   return counts;
 }
 
+std::vector<HierarchySpec> parse_geometry_list(const std::string& list) {
+  std::vector<HierarchySpec> specs;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string text = list.substr(start, comma - start);
+    if (!text.empty()) specs.push_back(parse_hierarchy(text));
+    start = comma + 1;
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -590,10 +736,16 @@ int main(int argc, char** argv) {
              "selects the spin variant");
   cli.option_u64("--events", &max_events, 1, ~std::uint64_t{0}, "N",
                  "truncate each trace to N events");
+  std::string sweep_geometry;
   cli.option("--sweep-threads", &sweep, "1,2,8",
              "fan independent co-run cells out at each width");
+  cli.option("--sweep-geometry", &sweep_geometry, "G1,G2,...",
+             "re-run each pair under these cache hierarchies "
+             "(SIZE/ASSOC/LINE[+l2=SIZE/ASSOC/LINE])");
   cli.parse_or_exit(argc, argv);
   const std::vector<unsigned> thread_counts = parse_thread_counts(sweep);
+  const std::vector<HierarchySpec> sweep_geometries =
+      parse_geometry_list(sweep_geometry);
   const std::vector<WorkloadSpec> specs = parse_workloads(workload);
   if (specs.size() < 2) {
     std::fprintf(stderr, "--workload needs at least two entries\n");
@@ -607,7 +759,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i + 1 < specs.size(); i += 2) {
     const PreparedWorkloadBench a(specs[i], max_events);
     const PreparedWorkloadBench b(specs[i + 1], max_events);
-    pairs.push_back(measure_pair(a, b, thread_counts));
+    pairs.push_back(measure_pair(a, b, thread_counts, sweep_geometries));
     if (!json) print_text(pairs.back());
   }
 
@@ -621,5 +773,6 @@ int main(int argc, char** argv) {
     }
     std::fputs(out.c_str(), stdout);
   }
-  return g_checksums_ok ? 0 : 4;
+  if (!g_checksums_ok) return 4;
+  return g_geometry_sweep_ok ? 0 : 5;
 }

@@ -22,6 +22,7 @@ using namespace codelayout;
 
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
+  const HierarchySpec hierarchy = args.hierarchy();
   Lab lab(bench_lab_options(args));
   // Cache-sensitive programs with moderate footprints.
   const std::vector<std::string> names = {"458.sjeng", "471.omnetpp",
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
         // across every N-way cell below).
         CorunSpec spec;
         spec.options = hardware_proxy_options();
+        spec.options.hierarchy = hierarchy;
         for (std::size_t i = 0; i < threads; ++i) {
           const std::string& name = names[i % names.size()];
           const PreparedWorkload& w = lab.workload(name);
@@ -59,9 +61,9 @@ int main(int argc, char** argv) {
               (i == 0 && optimize_self) || (i > 0 && i <= optimized);
           const std::optional<Optimizer> opt =
               use_opt ? std::optional<Optimizer>(kBBAffinity) : std::nullopt;
-          spec.parties.push_back(
-              CorunSpec::Party{&lab.fetch_plan(name, opt), &w.eval_blocks,
-                               1.0});
+          spec.parties.push_back(CorunSpec::Party{
+              &lab.fetch_plan(name, opt, hierarchy.l1.line_bytes),
+              &w.eval_blocks, 1.0});
         }
         return simulate_corun(spec)[0].miss_ratio();
       };

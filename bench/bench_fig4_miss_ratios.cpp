@@ -17,7 +17,7 @@ using namespace codelayout;
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   Lab lab(bench_lab_options(args));
-  auto rows = fig4_rows(lab);
+  auto rows = fig4_rows(lab, args.hierarchy());
   std::sort(rows.begin(), rows.end(), [](const Fig4Row& a, const Fig4Row& b) {
     return a.solo > b.solo;
   });

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   TextTable table({"program", "func speedup", "func miss red.", "BB speedup",
                    "BB miss red."});
   std::vector<std::pair<std::string, double>> speedup_bars;
-  for (const Fig5Row& row : fig5_rows(lab)) {
+  for (const Fig5Row& row : fig5_rows(lab, args.hierarchy())) {
     table.add_row(
         {row.name, fmt_fixed(row.func_speedup, 4),
          fmt_pct(row.func_miss_reduction, 1),

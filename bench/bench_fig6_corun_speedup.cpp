@@ -18,9 +18,10 @@ using namespace codelayout;
 
 namespace {
 
-void render(Lab& lab, Optimizer opt, const char* caption) {
+void render(Lab& lab, Optimizer opt, const HierarchySpec& hierarchy,
+            const char* caption) {
   std::printf("%s\n", caption);
-  const auto cells = fig6_cells(lab, opt);
+  const auto cells = fig6_cells(lab, opt, hierarchy);
   std::map<std::string, std::vector<const Fig6Cell*>> by_program;
   for (const Fig6Cell& c : cells) by_program[c.program].push_back(&c);
   for (const auto& [program, row] : by_program) {
@@ -42,10 +43,13 @@ void render(Lab& lab, Optimizer opt, const char* caption) {
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   Lab lab(bench_lab_options(args));
-  render(lab, kFuncAffinity,
+  const HierarchySpec hierarchy = args.hierarchy();
+  render(lab, kFuncAffinity, hierarchy,
          "(a) Function layout opt based on affinity model");
-  render(lab, kBBAffinity, "(b) BB layout opt based on affinity model");
-  render(lab, kFuncTrg, "(c) Function layout opt based on TRG model");
+  render(lab, kBBAffinity, hierarchy,
+         "(b) BB layout opt based on affinity model");
+  render(lab, kFuncTrg, hierarchy,
+         "(c) Function layout opt based on TRG model");
   finish_bench(args, "fig6_corun_speedup", lab);
   return 0;
 }

@@ -19,7 +19,7 @@ using namespace codelayout;
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   Lab lab(bench_lab_options(args));
-  const auto pairs = fig7_pairs(lab);
+  const auto pairs = fig7_pairs(lab, args.hierarchy());
 
   std::printf(
       "Figure 7(a): throughput improvement of baseline co-run over "

@@ -15,7 +15,7 @@ using namespace codelayout;
 int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   Lab lab(bench_lab_options(args));
-  const IntroTable table = intro_table(lab);
+  const IntroTable table = intro_table(lab, 0.005, args.hierarchy());
 
   std::printf(
       "Introduction table: avg L1I miss ratio of the %zu non-trivial "

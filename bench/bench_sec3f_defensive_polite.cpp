@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   TextTable table({"program", "peer", "opt+base speedup", "opt+opt speedup",
                    "additional"});
   RunningStats additional;
-  for (const Sec3FRow& row : sec3f_rows(lab)) {
+  for (const Sec3FRow& row : sec3f_rows(lab, 3, args.hierarchy())) {
     const double add = row.opt_opt_speedup / row.opt_base_speedup - 1.0;
     additional.add(add);
     table.add_row({row.program, row.peer,

@@ -36,8 +36,10 @@ using namespace codelayout;
 using namespace codelayout::service;
 
 /// The benched job mix: every job kind, both measurement flavours, all three
-/// priority classes.
-std::vector<JobRequest> build_mix() {
+/// priority classes. Solo and co-run jobs carry `hierarchy` (--geometry /
+/// --l2), so a non-default spec exercises the v2 wire field and per-geometry
+/// memo keys end to end.
+std::vector<JobRequest> build_mix(const HierarchySpec& hierarchy) {
   std::vector<JobRequest> mix;
 
   auto solo = [&](const char* workload, std::optional<Optimizer> optimizer,
@@ -47,6 +49,7 @@ std::vector<JobRequest> build_mix() {
     job.workload = workload;
     job.optimizer = optimizer;
     job.measure = measure;
+    job.hierarchy = hierarchy;
     mix.push_back(std::move(job));
   };
   solo(kProbe1, std::nullopt, Measure::kHardware);
@@ -62,6 +65,7 @@ std::vector<JobRequest> build_mix() {
   JobRequest corun;
   corun.kind = JobKind::kCorun;
   corun.measure = Measure::kHardware;
+  corun.hierarchy = hierarchy;
   corun.parties.push_back({kProbe1, kBBAffinity, 1.0});
   corun.parties.push_back({kProbe2, std::nullopt, 1.0});
   mix.push_back(std::move(corun));
@@ -82,9 +86,11 @@ std::vector<JobRequest> build_mix() {
 }
 
 std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
-                        const ServiceServer* server) {
+                        const ServiceServer* server,
+                        const HierarchySpec& hierarchy) {
   JsonWriter json;
   json.field("bench", "service");
+  json.field("geometry", hierarchy.to_string());
   json.field("clients", load.clients);
   json.field("jobs_per_client", load.jobs_per_client);
   json.field("jobs", report.jobs);
@@ -152,7 +158,7 @@ int main(int argc, char** argv) {
   load.socket_path = socket_path;
   load.clients = clients;
   load.jobs_per_client = jobs_per_client;
-  load.mix = build_mix();
+  load.mix = build_mix(bench.hierarchy());
 
   // Warm-up: populate the Lab memo tables (and the response cache) so the
   // measured run reports steady-state latency.
@@ -185,7 +191,8 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
 
   const std::string json =
-      json_report(load, report, server ? &*server : nullptr);
+      json_report(load, report, server ? &*server : nullptr,
+                  bench.hierarchy());
   if (bench.json) std::printf("%s\n", json.c_str());
   std::string json_error;
   if (!codelayout::testing::json_is_valid(json, &json_error)) {

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       "(instr counts are simulator-scale; the paper's are full SPEC runs)\n\n");
   TextTable table({"Prog.", "Dynamic Instr", "Static (Bytes)", "Solo",
                    "Co-run Gcc", "Co-run Gamess"});
-  for (const Table1Row& row : table1_rows(lab)) {
+  for (const Table1Row& row : table1_rows(lab, args.hierarchy())) {
     table.add_row({row.name, fmt_count(row.dynamic_instructions),
                    fmt_bytes(row.static_bytes), fmt_pct(row.solo),
                    fmt_pct(row.corun_gcc), fmt_pct(row.corun_gamess)});

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                    "BA speedup", "BA hw", "BA sim", "FT speedup", "FT hw",
                    "FT sim", "best"});
   RunningStats fa, ba, ft;
-  for (const Table2Row& row : table2_rows(lab)) {
+  for (const Table2Row& row : table2_rows(lab, args.hierarchy())) {
     auto f = cell_columns(row.func_affinity);
     auto b = cell_columns(row.bb_affinity);
     auto t = cell_columns(row.func_trg);

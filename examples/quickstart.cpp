@@ -60,7 +60,7 @@ int main() {
   // 4. Transformations + evaluation in a tiny 2KB cache so the layout
   //    difference is visible at this scale.
   SimOptions options;
-  options.geometry = CacheGeometry{2048, 4, 64};
+  options.hierarchy.l1 = CacheGeometry{2048, 4, 64};
   auto evaluate = [&](const char* name, const CodeLayout& layout) {
     const SimResult sim =
         simulate_solo(module, layout, prof.block_trace, options);

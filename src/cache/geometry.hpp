@@ -2,7 +2,9 @@
 // instruction cache of the Xeon E5520 testbed and of the Pin simulator).
 #pragma once
 
+#include <compare>
 #include <cstdint>
+#include <string>
 
 #include "support/check.hpp"
 
@@ -18,13 +20,42 @@ struct CacheGeometry {
     return lines() / associativity;
   }
 
+  /// Rejects any geometry the set-indexed cache cannot represent; the
+  /// power-of-two set-count requirement lives here (not in SetAssocCache
+  /// construction) so an invalid sweep point fails at validation with a
+  /// message naming the bad value.
   void validate() const {
     CL_CHECK(line_bytes > 0 && associativity > 0);
     CL_CHECK_MSG(size_bytes % (static_cast<std::uint64_t>(line_bytes) *
                                associativity) == 0,
                  "cache size not divisible into sets");
     CL_CHECK(sets() > 0);
+    CL_CHECK_MSG((sets() & (sets() - 1)) == 0,
+                 "set count must be a power of two (size / (line * assoc) = "
+                     << sets() << " sets for " << to_string() << ")");
   }
+
+  /// "32K/4/64" — size (K/M-suffixed when even), ways, line bytes. The
+  /// canonical text form parse_geometry() reads back.
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    if (size_bytes >= 1024 * 1024 && size_bytes % (1024 * 1024) == 0) {
+      out = std::to_string(size_bytes / (1024 * 1024)) + "M";
+    } else if (size_bytes >= 1024 && size_bytes % 1024 == 0) {
+      out = std::to_string(size_bytes / 1024) + "K";
+    } else {
+      out = std::to_string(size_bytes);
+    }
+    out += '/';
+    out += std::to_string(associativity);
+    out += '/';
+    out += std::to_string(line_bytes);
+    return out;
+  }
+
+  friend bool operator==(const CacheGeometry&, const CacheGeometry&) = default;
+  friend auto operator<=>(const CacheGeometry&,
+                          const CacheGeometry&) = default;
 };
 
 /// The paper's L1I configuration.

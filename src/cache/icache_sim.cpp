@@ -14,6 +14,11 @@ namespace {
 /// The replay cursor walks the trace's run storage directly: (run index,
 /// offset within the run), so no flat event vector is ever materialized.
 /// All per-block facts come from the FetchPlan — one flat load per event.
+///
+/// Streams fetch through a CacheLevel front. Under the flat default the
+/// front has no next level, access() returns 0/1, and the accounting is the
+/// historical single-cache behaviour bit for bit; with an L2 below, demand
+/// misses additionally record L2 probes/misses by hit depth.
 class FetchStream {
  public:
   FetchStream(const FetchPlan& plan, const Trace& trace,
@@ -23,10 +28,11 @@ class FetchStream {
         runs_(trace.runs()),
         namespace_(line_namespace),
         options_(options),
+        track_l2_(options.hierarchy.multi_level()),
         rng_(Rng(options.seed).fork(rng_stream)) {
     CL_CHECK(trace.is_block());
     CL_CHECK(!trace.empty());
-    CL_CHECK_MSG(plan.line_bytes() == options.geometry.line_bytes,
+    CL_CHECK_MSG(plan.line_bytes() == options.hierarchy.l1.line_bytes,
                  "fetch plan was built for a different line size");
     CL_CHECK_MSG(plan.block_count() >= trace.symbol_space(),
                  "fetch plan does not cover the trace's block space");
@@ -36,7 +42,7 @@ class FetchStream {
   /// Returns true when this step consumed the last event of the trace.
   /// When `stall_on_miss` is set, demand misses accrue fetch-slot debt and
   /// subsequent step() calls are consumed by stalling instead of fetching.
-  bool step(SetAssocCache& cache, bool stall_on_miss = false) {
+  bool step(CacheLevel& cache, bool stall_on_miss = false) {
     if (stall_on_miss && stall_debt_ >= 1.0) {
       stall_debt_ -= 1.0;
       return false;
@@ -49,8 +55,13 @@ class FetchStream {
     for (std::uint32_t i = 0; i < bp.line_count; ++i) {
       const std::uint64_t line = namespace_ + bp.first_line + i;
       ++stats_.line_probes;
-      if (!cache.access(line)) {
+      const std::uint32_t depth = cache.access(line);
+      if (depth != 0) {
         ++stats_.demand_misses;
+        if (track_l2_) {
+          ++stats_.l2_probes;
+          if (depth > 1) ++stats_.l2_misses;
+        }
         if (stall_on_miss) stall_debt_ += options_.miss_stall_blocks;
         if (options_.next_line_prefetch) cache.prefill(line + 1);
       }
@@ -60,7 +71,7 @@ class FetchStream {
     if (options_.wrong_path_rate > 0.0 && bp.branchy != 0 &&
         rng_.chance(options_.wrong_path_rate)) {
       const std::uint64_t line = namespace_ + bp.first_line + bp.line_count;
-      if (!cache.access(line)) ++stats_.wrong_path_misses;
+      if (cache.access(line) != 0) ++stats_.wrong_path_misses;
     }
 
     return advance(1);
@@ -73,21 +84,22 @@ class FetchStream {
   /// Collapse argument: the run touches line ids [first_line, first_line +
   /// line_count] (demand lines plus the wrong-path line plus any next-line
   /// prefill target), i.e. line_count + 1 consecutive ids. When that fits in
-  /// the set count, every id maps to a distinct set, so nothing the run
-  /// accesses can evict the run's own lines — after the first iteration all
-  /// demand probes of iterations 2..r are guaranteed hits, and the per-set
+  /// the front level's set count, every id maps to a distinct set, so
+  /// nothing the run accesses can evict the run's own lines — after the
+  /// first iteration all demand probes of iterations 2..r are guaranteed
+  /// front-level hits (generating no downstream traffic), and the per-set
   /// LRU recency order after the run matches flat replay (at most one of the
   /// run's lines per set, and nothing else enters those sets meanwhile).
   /// Wrong-path coin flips still happen once per event, keeping the RNG
   /// stream — and therefore every later draw — identical to flat replay.
   /// Only usable for solo simulation: co-run interleaves streams per event.
-  bool step_run(SetAssocCache& cache) {
+  bool step_run(CacheLevel& cache) {
     const Run run = runs_[run_idx_];
     const std::uint64_t count = run.length - run_pos_;
     const BlockPlan& bp = plan_[run.symbol];
 
     if (count > 1 &&
-        bp.line_count + std::uint64_t{1} > options_.geometry.sets()) {
+        bp.line_count + std::uint64_t{1} > options_.hierarchy.l1.sets()) {
       // Degenerate geometry (block wider than the set array): the run's own
       // lines can conflict with each other, so replay it per event.
       ++fallback_runs_;
@@ -104,15 +116,20 @@ class FetchStream {
     for (std::uint32_t i = 0; i < bp.line_count; ++i) {
       const std::uint64_t line = namespace_ + bp.first_line + i;
       ++stats_.line_probes;
-      if (!cache.access(line)) {
+      const std::uint32_t depth = cache.access(line);
+      if (depth != 0) {
         ++stats_.demand_misses;
+        if (track_l2_) {
+          ++stats_.l2_probes;
+          if (depth > 1) ++stats_.l2_misses;
+        }
         if (options_.next_line_prefetch) cache.prefill(line + 1);
       }
     }
     const bool branchy = options_.wrong_path_rate > 0.0 && bp.branchy != 0;
     const std::uint64_t wrong_line = namespace_ + bp.first_line + bp.line_count;
     if (branchy && rng_.chance(options_.wrong_path_rate)) {
-      if (!cache.access(wrong_line)) ++stats_.wrong_path_misses;
+      if (cache.access(wrong_line) != 0) ++stats_.wrong_path_misses;
     }
 
     // Iterations 2..count: bulk-counted hits; only the wrong-path draws
@@ -125,7 +142,7 @@ class FetchStream {
     if (branchy) {
       for (std::uint64_t i = 0; i < rest; ++i) {
         if (rng_.chance(options_.wrong_path_rate)) {
-          if (!cache.access(wrong_line)) ++stats_.wrong_path_misses;
+          if (cache.access(wrong_line) != 0) ++stats_.wrong_path_misses;
         }
       }
     }
@@ -187,6 +204,7 @@ class FetchStream {
   std::span<const Run> runs_;
   std::uint64_t namespace_;
   SimOptions options_;
+  bool track_l2_;
   Rng rng_;
   std::size_t run_idx_ = 0;
   std::uint64_t run_pos_ = 0;
@@ -202,6 +220,14 @@ class FetchStream {
 /// `speeds` through per-party credit accumulators. Statistics, stall debt,
 /// credit values, and every RNG stream are bit-identical to pure per-event
 /// replay — the exactness argument lives in DESIGN.md §11.
+///
+/// Hierarchy topology: a flat spec shares the single L1 between all parties
+/// (the paper's SMT model); with an L2 each party fetches through a private
+/// L1 front and sharing moves to the L2. The collapse stays exact either
+/// way: its residency precondition is checked at each party's front level,
+/// so every probe inside a window is a front-level hit — no downstream
+/// traffic exists to skip — and the recency replay's prefill() of a
+/// resident line touches only the front level.
 std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
                                         const SimOptions& options,
                                         CorunStats* stats_out) {
@@ -215,8 +241,8 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
                "block per round and defines the unit peer speeds are "
                "relative to");
 
-  SetAssocCache cache(options.geometry);
   const std::size_t P = parties.size();
+  CacheHierarchy hier(options.hierarchy, P);
   std::vector<FetchStream> streams;
   streams.reserve(P);
   std::vector<double> speeds(P, 1.0);
@@ -271,21 +297,24 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
     }
     if (collapsible) {
       // Residency precondition: every demand line of every stream's current
-      // block resident, plus the wrong-path line for blocks that can draw
-      // one. Then every probe in the window hits, nothing is installed or
-      // evicted, and debt stays constant (contains() never perturbs state).
+      // block resident in that stream's front level, plus the wrong-path
+      // line for blocks that can draw one. Then every probe in the window
+      // hits at the front, nothing is installed or evicted anywhere in the
+      // hierarchy, and debt stays constant (contains() never perturbs
+      // state).
       for (std::size_t i = 0; i < P && collapsible; ++i) {
+        const CacheLevel& front = hier.front(i);
         const BlockPlan& bp = streams[i].current_plan();
         const std::uint64_t base = streams[i].line_base() + bp.first_line;
         for (std::uint32_t l = 0; l < bp.line_count; ++l) {
-          if (!cache.contains(base + l)) {
+          if (!front.contains(base + l)) {
             collapsible = false;
             break;
           }
         }
         branchy[i] = wrong_path && bp.branchy != 0 ? 1 : 0;
         if (collapsible && branchy[i] != 0 &&
-            !cache.contains(base + bp.line_count)) {
+            !front.contains(base + bp.line_count)) {
           collapsible = false;
         }
       }
@@ -355,6 +384,8 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
         // span (and last successful wrong-path line) via prefill() in global
         // last-touch order. Keys interleave span touches (2*seq) with wrong
         // touches (2*seq+1): within one step the span precedes the draw.
+        // Every replayed line is resident in its party's front level, so
+        // prefill() is a pure recency touch of that level — no chaining.
         units.clear();
         for (std::size_t i = 0; i < P; ++i) {
           if (window_steps[i] == 0) continue;
@@ -369,13 +400,14 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
         std::sort(units.begin(), units.end(),
                   [](const Unit& a, const Unit& b) { return a.key < b.key; });
         for (const Unit& u : units) {
+          CacheLevel& front = hier.front(u.party);
           const BlockPlan& bp = streams[u.party].current_plan();
           const std::uint64_t base = streams[u.party].line_base() + bp.first_line;
           if (u.wrong) {
-            cache.prefill(base + bp.line_count);
+            front.prefill(base + bp.line_count);
           } else {
             for (std::uint32_t l = 0; l < bp.line_count; ++l) {
-              cache.prefill(base + l);
+              front.prefill(base + l);
             }
           }
         }
@@ -393,11 +425,11 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
 
     // ---- Per-event round: the reference interleaving ----
     ++stats.rounds_fallback;
-    const bool done = streams[0].step(cache, /*stall_on_miss=*/true);
+    const bool done = streams[0].step(hier.front(0), /*stall_on_miss=*/true);
     for (std::size_t i = 1; i < P; ++i) {
       credit[i] += speeds[i];
       while (credit[i] >= 1.0) {
-        streams[i].step(cache, /*stall_on_miss=*/true);
+        streams[i].step(hier.front(i), /*stall_on_miss=*/true);
         credit[i] -= 1.0;
       }
     }
@@ -421,10 +453,34 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
 }  // namespace
 
 SimOptions hardware_proxy_options(std::uint64_t seed) {
-  return SimOptions{.geometry = kL1I,
-                    .next_line_prefetch = true,
+  return SimOptions{.next_line_prefetch = true,
                     .wrong_path_rate = 0.08,
                     .seed = seed};
+}
+
+std::vector<LevelStats> level_breakdown(const SimResult& sim,
+                                        const HierarchySpec& hierarchy) {
+  std::vector<LevelStats> levels;
+  levels.push_back(LevelStats{sim.line_probes, sim.demand_misses});
+  if (hierarchy.multi_level()) {
+    levels.push_back(LevelStats{sim.l2_probes, sim.l2_misses});
+  }
+  return levels;
+}
+
+double amat(const SimResult& sim, const HierarchySpec& hierarchy) {
+  const double mr1 =
+      sim.line_probes ? static_cast<double>(sim.demand_misses) /
+                            static_cast<double>(sim.line_probes)
+                      : 0.0;
+  if (!hierarchy.multi_level()) {
+    return hierarchy.l1_hit_cycles + mr1 * hierarchy.memory_cycles;
+  }
+  const double mr2 = sim.l2_probes ? static_cast<double>(sim.l2_misses) /
+                                         static_cast<double>(sim.l2_probes)
+                                   : 0.0;
+  return hierarchy.l1_hit_cycles +
+         mr1 * (hierarchy.l2_hit_cycles + mr2 * hierarchy.memory_cycles);
 }
 
 SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
@@ -432,10 +488,10 @@ SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
   CODELAYOUT_PHASE("icache_solo", "cache", "cache.icache_solo.wall_ns",
                    {"events", std::uint64_t{trace.size()}},
                    {"runs", std::uint64_t{trace.run_count()}});
-  SetAssocCache cache(options.geometry);
+  CacheHierarchy hier(options.hierarchy);
   FetchStream stream(plan, trace, /*line_namespace=*/0, options,
                      /*rng_stream=*/1);
-  while (!stream.step_run(cache)) {
+  while (!stream.step_run(hier.front(0))) {
   }
   MetricsRegistry& registry = MetricsRegistry::global();
   if (registry.enabled()) {
@@ -447,7 +503,7 @@ SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
 
 SimResult simulate_solo(const Module& module, const CodeLayout& layout,
                         const Trace& trace, const SimOptions& options) {
-  const FetchPlan plan(module, layout, options.geometry.line_bytes);
+  const FetchPlan plan(module, layout, options.geometry().line_bytes);
   return simulate_solo(plan, trace, options);
 }
 
@@ -476,9 +532,9 @@ CorunResult simulate_corun(const Module& self_module,
                            const Trace& peer_trace,
                            const SimOptions& options, double peer_speed) {
   const FetchPlan self_plan(self_module, self_layout,
-                            options.geometry.line_bytes);
+                            options.geometry().line_bytes);
   const FetchPlan peer_plan(peer_module, peer_layout,
-                            options.geometry.line_bytes);
+                            options.geometry().line_bytes);
   return simulate_corun(self_plan, self_trace, peer_plan, peer_trace, options,
                         peer_speed);
 }
@@ -512,7 +568,7 @@ std::vector<SimResult> simulate_corun_many(std::span<const CorunParty> parties,
   for (const CorunParty& p : parties) {
     CL_CHECK(p.module && p.layout && p.trace);
     CL_CHECK(p.speed > 0.0);
-    plans.emplace_back(*p.module, *p.layout, options.geometry.line_bytes);
+    plans.emplace_back(*p.module, *p.layout, options.geometry().line_bytes);
     spec.parties.push_back(CorunSpec::Party{&plans.back(), p.trace, p.speed});
   }
   return simulate_corun(spec, stats);

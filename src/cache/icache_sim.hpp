@@ -11,6 +11,12 @@
 // shared cache, the way two hyper-threads share the L1I; the peer stream
 // wraps around until the measured stream finishes.
 //
+// The cache shape is a HierarchySpec (DESIGN.md §13). The default spec is
+// the paper's flat L1I and reproduces the historical behaviour bit for bit;
+// a spec with an L2 gives every co-run party a private L1 front chained to
+// one shared L2 (sharing moves down a level) and lights up the per-level
+// counters in SimResult.
+//
 // Every simulator exists in two forms: the module/layout entry points below
 // (which build a FetchPlan internally) and plan-based overloads for callers
 // that amortize one plan across many simulations (the Lab memoizes plans per
@@ -25,6 +31,7 @@
 
 #include "cache/fetch_plan.hpp"
 #include "cache/geometry.hpp"
+#include "cache/hierarchy.hpp"
 #include "cache/set_assoc.hpp"
 #include "ir/module.hpp"
 #include "layout/layout.hpp"
@@ -33,7 +40,10 @@
 namespace codelayout {
 
 struct SimOptions {
-  CacheGeometry geometry = kL1I;
+  /// Cache shape: the paper's flat L1I by default. With an L2 present the
+  /// simulators chain demand misses downward and fill in the SimResult
+  /// per-level counters.
+  HierarchySpec hierarchy{};
   /// Install line+1 on every demand miss (hardware stream prefetch).
   bool next_line_prefetch = false;
   /// Probability that a branchy block speculatively fetches down the wrong
@@ -43,6 +53,9 @@ struct SimOptions {
   /// thread stalls and yields fetch slots, throttling its own pollution.
   double miss_stall_blocks = 2.0;
   std::uint64_t seed = 1;
+
+  /// The front (L1) geometry — the level fetch plans are built for.
+  [[nodiscard]] const CacheGeometry& geometry() const { return hierarchy.l1; }
 };
 
 /// The configuration used for "hardware counter" measurements.
@@ -58,10 +71,16 @@ struct SimResult {
   std::uint64_t demand_misses = 0;
   std::uint64_t wrong_path_misses = 0;
   std::uint64_t blocks = 0;         ///< block executions replayed
+  /// L2 traffic (multi-level hierarchies only; zero under the flat default).
+  /// Demand-side attribution: every demand L1 miss probes the L2 once, and
+  /// `l2_misses` of those went on to memory. Wrong-path and prefetch fills
+  /// are not attributed (they are pollution, not fetch latency).
+  std::uint64_t l2_probes = 0;
+  std::uint64_t l2_misses = 0;
 
   friend bool operator==(const SimResult&, const SimResult&) = default;
 
-  /// Misses visible to a hardware counter.
+  /// Misses visible to a hardware counter (at the front level).
   [[nodiscard]] std::uint64_t misses() const {
     return demand_misses + wrong_path_misses;
   }
@@ -72,6 +91,29 @@ struct SimResult {
                         : 0.0;
   }
 };
+
+/// Demand-side accesses and misses of one hierarchy level.
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] double miss_ratio() const {
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+/// Per-level demand traffic of a finished simulation: index 0 is the L1,
+/// index 1 the L2 when the spec has one. (Derived from the SimResult demand
+/// counters, so wrong-path traffic is excluded by construction.)
+[[nodiscard]] std::vector<LevelStats> level_breakdown(
+    const SimResult& sim, const HierarchySpec& hierarchy);
+
+/// Average memory access time per demand line probe under the spec's latency
+/// ladder: l1_hit + mr1 * memory for a flat spec, l1_hit + mr1 * (l2_hit +
+/// mr2 * memory) with an L2.
+[[nodiscard]] double amat(const SimResult& sim, const HierarchySpec& hierarchy);
 
 /// Replays `trace` (block granularity) alone in a cold cache.
 SimResult simulate_solo(const Module& module, const CodeLayout& layout,
@@ -120,7 +162,7 @@ CorunResult simulate_corun(const FetchPlan& self_plan, const Trace& self_trace,
 /// conjecture: Power-class SMT runs 4-8 hardware threads per core).
 ///
 /// One request struct replaces the old simulate_corun_many overload pair:
-/// parties, speeds, geometry and flavour flags travel together, the wire
+/// parties, speeds, hierarchy and flavour flags travel together, the wire
 /// protocol of the service serializes the same shape, and every legacy entry
 /// point below is a thin shim over this one.
 ///
@@ -138,7 +180,7 @@ struct CorunSpec {
     double speed = 1.0;  ///< blocks per round relative to the measured stream
   };
   std::vector<Party> parties;  ///< >= 2; parties[0] is the measured stream
-  SimOptions options{};        ///< geometry + measurement-flavour flags
+  SimOptions options{};        ///< hierarchy + measurement-flavour flags
 };
 
 /// Simulates the spec's co-run: one SimResult per party, in party order.

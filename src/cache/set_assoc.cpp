@@ -36,24 +36,39 @@ constexpr auto kPromote = make_promote_table();
 // stay at the tail).
 constexpr std::uint8_t kIdentityOrder = 0b11'10'01'00;
 
+// The 16-nibble identity permutation for the wide representation: position p
+// holds way p. Tail nibbles (>= assoc) keep values >= assoc forever — only
+// positions <= assoc-1 are ever promoted — so they can never shadow a real
+// way in the nibble match.
+constexpr std::uint64_t kIdentityOrderWide = 0xfedcba9876543210ull;
+
 }  // namespace
 
 SetAssocCache::SetAssocCache(const CacheGeometry& geom) : geom_(geom) {
-  geom_.validate();
+  geom_.validate();  // includes the power-of-two set-count requirement
   set_mask_ = geom_.sets() - 1;
-  CL_CHECK_MSG((geom_.sets() & set_mask_) == 0,
-               "set count must be a power of two");
   assoc_ = geom_.associativity;
-  packed_ = assoc_ <= kPackedMaxAssoc;
+  repr_ = assoc_ <= kPackedMaxAssoc        ? Repr::kPacked4
+          : assoc_ <= kPackedWideMaxAssoc  ? Repr::kPackedWide
+                                           : Repr::kGeneric;
   ways_.assign(geom_.sets() * assoc_, kEmpty);
-  if (packed_) {
+  if (repr_ == Repr::kPacked4) {
     partial_.assign(geom_.sets(), 0);
     order_.assign(geom_.sets(), kIdentityOrder);
+  } else if (repr_ == Repr::kPackedWide) {
+    words_ = (assoc_ + 7) / 8;
+    partial_.assign(geom_.sets() * words_, 0);
+    order16_.assign(geom_.sets(), kIdentityOrderWide);
   }
 }
 
 bool SetAssocCache::touch(std::uint64_t line, bool count) {
-  return packed_ ? touch_packed(line, count) : touch_generic(line, count);
+  switch (repr_) {
+    case Repr::kPacked4: return touch_packed(line, count);
+    case Repr::kPackedWide: return touch_packed_wide(line, count);
+    case Repr::kGeneric: return touch_generic(line, count);
+  }
+  return false;  // unreachable
 }
 
 bool SetAssocCache::touch_packed(std::uint64_t line, bool count) {
@@ -82,11 +97,67 @@ bool SetAssocCache::touch_packed(std::uint64_t line, bool count) {
   if (count) ++misses_;
   const std::uint8_t order = order_[set];
   const std::uint32_t victim = (order >> (2 * (assoc_ - 1))) & 3u;
+  if (tags[victim] != kEmpty) ++evictions_;
   tags[victim] = line;
   const std::uint32_t shift = 16 * victim;
   partial_[set] = (lanes & ~(std::uint64_t{0xffff} << shift)) |
                   (std::uint64_t{partial_tag(line)} << shift);
   order_[set] = kPromote[order * 4u + victim];
+  return false;
+}
+
+std::uint32_t SetAssocCache::wide_position(std::uint64_t perm,
+                                           std::uint32_t way) {
+  const std::uint64_t diff = perm ^ (kNibbleLsb * way);
+  const std::uint64_t flags = (diff - kNibbleLsb) & ~diff & kNibbleMsb;
+  return static_cast<std::uint32_t>(std::countr_zero(flags)) >> 2;
+}
+
+std::uint64_t SetAssocCache::wide_promote(std::uint64_t perm,
+                                          std::uint32_t way,
+                                          std::uint32_t pos) {
+  const std::uint32_t bit = 4 * pos;
+  const std::uint64_t below = perm & ((std::uint64_t{1} << bit) - 1);
+  const std::uint64_t above =
+      pos >= 15 ? 0 : (perm >> (bit + 4)) << (bit + 4);
+  return above | (below << 4) | way;
+}
+
+bool SetAssocCache::touch_packed_wide(std::uint64_t line, bool count) {
+  const std::uint64_t set = line & set_mask_;
+  std::uint64_t* tags = &ways_[set * assoc_];
+  std::uint64_t* lanes = &partial_[set * words_];
+  if (count) ++accesses_;
+  // Same zero-lane test as the 4-way path, at byte granularity across
+  // `words_` lane words; candidates confirm against the full tag.
+  const std::uint64_t pattern = kByteLsb * partial_tag8(line);
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    const std::uint64_t diff = lanes[w] ^ pattern;
+    std::uint64_t cand = (diff - kByteLsb) & ~diff & kByteMsb;
+    while (cand != 0) {
+      const std::uint32_t lane =
+          8 * w + (static_cast<std::uint32_t>(std::countr_zero(cand)) >> 3);
+      if (lane < assoc_ && tags[lane] == line) {
+        std::uint64_t& perm = order16_[set];
+        perm = wide_promote(perm, lane, wide_position(perm, lane));
+        return true;
+      }
+      cand &= cand - 1;
+    }
+  }
+  // Miss: victim at the LRU position, exactly as the packed4 path (empty
+  // ways drain from the permutation tail before any real eviction).
+  if (count) ++misses_;
+  const std::uint64_t perm = order16_[set];
+  const std::uint32_t victim =
+      static_cast<std::uint32_t>(perm >> (4 * (assoc_ - 1))) & 0xfu;
+  if (tags[victim] != kEmpty) ++evictions_;
+  tags[victim] = line;
+  std::uint64_t& word = lanes[victim >> 3];
+  const std::uint32_t shift = 8 * (victim & 7u);
+  word = (word & ~(std::uint64_t{0xff} << shift)) |
+         (std::uint64_t{partial_tag8(line)} << shift);
+  order16_[set] = wide_promote(perm, victim, assoc_ - 1);
   return false;
 }
 
@@ -105,6 +176,7 @@ bool SetAssocCache::touch_generic(std::uint64_t line, bool count) {
   }
   // Miss: evict the LRU way (the last slot).
   if (count) ++misses_;
+  if (base[assoc_ - 1] != kEmpty) ++evictions_;
   for (std::uint32_t j = assoc_ - 1; j > 0; --j) base[j] = base[j - 1];
   base[0] = line;
   return false;
@@ -113,7 +185,7 @@ bool SetAssocCache::touch_generic(std::uint64_t line, bool count) {
 bool SetAssocCache::contains(std::uint64_t line) const {
   const std::uint64_t set = line & set_mask_;
   const std::uint64_t* tags = &ways_[set * assoc_];
-  if (packed_) {
+  if (repr_ == Repr::kPacked4) {
     const std::uint64_t diff = partial_[set] ^ (kLaneLsb * partial_tag(line));
     std::uint64_t cand = (diff - kLaneLsb) & ~diff & kLaneMsb;
     while (cand != 0) {
@@ -121,6 +193,21 @@ bool SetAssocCache::contains(std::uint64_t line) const {
           static_cast<std::uint32_t>(std::countr_zero(cand)) >> 4;
       if (lane < assoc_ && tags[lane] == line) return true;
       cand &= cand - 1;
+    }
+    return false;
+  }
+  if (repr_ == Repr::kPackedWide) {
+    const std::uint64_t* lanes = &partial_[set * words_];
+    const std::uint64_t pattern = kByteLsb * partial_tag8(line);
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      const std::uint64_t diff = lanes[w] ^ pattern;
+      std::uint64_t cand = (diff - kByteLsb) & ~diff & kByteMsb;
+      while (cand != 0) {
+        const std::uint32_t lane =
+            8 * w + (static_cast<std::uint32_t>(std::countr_zero(cand)) >> 3);
+        if (lane < assoc_ && tags[lane] == line) return true;
+        cand &= cand - 1;
+      }
     }
     return false;
   }
@@ -132,9 +219,12 @@ bool SetAssocCache::contains(std::uint64_t line) const {
 
 void SetAssocCache::flush() {
   ways_.assign(ways_.size(), kEmpty);
-  if (packed_) {
+  if (repr_ == Repr::kPacked4) {
     partial_.assign(partial_.size(), 0);
     order_.assign(order_.size(), kIdentityOrder);
+  } else if (repr_ == Repr::kPackedWide) {
+    partial_.assign(partial_.size(), 0);
+    order16_.assign(order16_.size(), kIdentityOrderWide);
   }
 }
 

@@ -39,6 +39,10 @@ std::string EvalKey::to_string() const {
     out += peer_optimizer ? peer_optimizer->name() : "Original";
   }
   out += measure == Measure::kHardware ? "|hw" : "|sim";
+  if (hierarchy != HierarchySpec{}) {
+    out += "|g=";
+    out += hierarchy.to_string();
+  }
   return out;
 }
 
@@ -48,6 +52,7 @@ std::size_t EvalKeyHash::operator()(const EvalKey& key) const noexcept {
   mix(h, key.peer ? std::hash<std::string>{}(*key.peer) + 1 : 0);
   mix(h, optimizer_code(key.peer_optimizer));
   mix(h, static_cast<std::size_t>(key.measure));
+  mix(h, static_cast<std::size_t>(key.hierarchy.hash()));
   return h;
 }
 
@@ -69,12 +74,13 @@ EvalRequest EvalRequest::layout(std::string workload,
 
 EvalRequest EvalRequest::solo(std::string workload,
                               std::optional<Optimizer> optimizer,
-                              Measure measure) {
+                              Measure measure, HierarchySpec hierarchy) {
   EvalRequest out;
   out.stage = Stage::kSolo;
   out.key.workload = std::move(workload);
   out.key.optimizer = optimizer;
   out.key.measure = measure;
+  out.key.hierarchy = std::move(hierarchy);
   return out;
 }
 
@@ -82,7 +88,7 @@ EvalRequest EvalRequest::corun(std::string self,
                                std::optional<Optimizer> self_opt,
                                std::string peer,
                                std::optional<Optimizer> peer_opt,
-                               Measure measure) {
+                               Measure measure, HierarchySpec hierarchy) {
   EvalRequest out;
   out.stage = Stage::kCorun;
   out.key.workload = std::move(self);
@@ -90,6 +96,7 @@ EvalRequest EvalRequest::corun(std::string self,
   out.key.peer = std::move(peer);
   out.key.peer_optimizer = peer_opt;
   out.key.measure = measure;
+  out.key.hierarchy = std::move(hierarchy);
   return out;
 }
 

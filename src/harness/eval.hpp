@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "cache/hierarchy.hpp"
 #include "harness/pipeline.hpp"
 
 namespace codelayout {
@@ -32,11 +33,15 @@ struct EvalKey {
   std::optional<std::string> peer;          ///< engaged = co-run vs this peer
   std::optional<Optimizer> peer_optimizer;  ///< the peer's layout
   Measure measure = Measure::kHardware;
+  /// Cache shape the cell is evaluated under; the default is the paper's
+  /// flat L1I, so legacy keys hash and print exactly as before.
+  HierarchySpec hierarchy{};
 
   friend bool operator==(const EvalKey&, const EvalKey&) = default;
   friend auto operator<=>(const EvalKey&, const EvalKey&) = default;
 
   /// "458.sjeng|BB Affinity|vs|403.gcc|Original|hw" — for logs and errors.
+  /// A non-default hierarchy appends "|g=<spec>".
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -54,10 +59,11 @@ struct EvalRequest {
   static EvalRequest layout(std::string workload,
                             std::optional<Optimizer> optimizer);
   static EvalRequest solo(std::string workload,
-                          std::optional<Optimizer> optimizer, Measure measure);
+                          std::optional<Optimizer> optimizer, Measure measure,
+                          HierarchySpec hierarchy = {});
   static EvalRequest corun(std::string self, std::optional<Optimizer> self_opt,
                            std::string peer, std::optional<Optimizer> peer_opt,
-                           Measure measure);
+                           Measure measure, HierarchySpec hierarchy = {});
 
   friend bool operator==(const EvalRequest&, const EvalRequest&) = default;
   friend auto operator<=>(const EvalRequest&, const EvalRequest&) = default;

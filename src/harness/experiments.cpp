@@ -11,8 +11,8 @@ namespace {
 
 double corun_miss(Lab& lab, const std::string& self,
                   std::optional<Optimizer> self_opt, const std::string& peer,
-                  Measure measure) {
-  return lab.corun(self, self_opt, peer, std::nullopt, measure)
+                  Measure measure, const HierarchySpec& hierarchy) {
+  return lab.corun(self, self_opt, peer, std::nullopt, measure, hierarchy)
       .self.miss_ratio();
 }
 
@@ -22,33 +22,37 @@ double corun_miss(Lab& lab, const std::string& self,
 // memo and emit rows in the fixed reporting order.
 
 void push_probe_coruns(std::vector<EvalRequest>& requests,
-                       const std::string& name, const std::string& probe) {
+                       const std::string& name, const std::string& probe,
+                       const HierarchySpec& hierarchy) {
   requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
-                                        std::nullopt, Measure::kHardware));
+                                        std::nullopt, Measure::kHardware,
+                                        hierarchy));
 }
 
 /// The cells corun_average() consumes for one (name, opt) Table II cell.
 void push_table2_cell(std::vector<EvalRequest>& requests,
                       const std::string& name, Optimizer opt,
-                      const std::vector<std::string>& probes) {
+                      const std::vector<std::string>& probes,
+                      const HierarchySpec& hierarchy) {
   if (opt.granularity == Granularity::kBlock &&
       !Lab::bb_reordering_supported(name)) {
     return;
   }
   for (const std::string& probe : probes) {
     for (const Measure measure : {Measure::kHardware, Measure::kSimulator}) {
-      requests.push_back(
-          EvalRequest::corun(name, std::nullopt, probe, std::nullopt,
-                             measure));
-      requests.push_back(
-          EvalRequest::corun(name, opt, probe, std::nullopt, measure));
+      requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
+                                            std::nullopt, measure,
+                                            hierarchy));
+      requests.push_back(EvalRequest::corun(name, opt, probe, std::nullopt,
+                                            measure, hierarchy));
     }
   }
 }
 
 /// Average co-run speedup/miss reductions of `opt` for `name` across probes.
 Table2Cell corun_average(Lab& lab, const std::string& name, Optimizer opt,
-                         const std::vector<std::string>& probes) {
+                         const std::vector<std::string>& probes,
+                         const HierarchySpec& hierarchy) {
   Table2Cell cell;
   if (opt.granularity == Granularity::kBlock &&
       !Lab::bb_reordering_supported(name)) {
@@ -57,18 +61,20 @@ Table2Cell corun_average(Lab& lab, const std::string& name, Optimizer opt,
   }
   RunningStats speedup_stats, hw_stats, sim_stats;
   for (const auto& probe : probes) {
-    const double base_cycles =
-        lab.corun_self_cycles(name, std::nullopt, probe, std::nullopt);
+    const double base_cycles = lab.corun_self_cycles(
+        name, std::nullopt, probe, std::nullopt, hierarchy);
     const double opt_cycles =
-        lab.corun_self_cycles(name, opt, probe, std::nullopt);
+        lab.corun_self_cycles(name, opt, probe, std::nullopt, hierarchy);
     speedup_stats.add(base_cycles / opt_cycles);
     const double hw0 = corun_miss(lab, name, std::nullopt, probe,
-                                  Measure::kHardware);
-    const double hw1 = corun_miss(lab, name, opt, probe, Measure::kHardware);
+                                  Measure::kHardware, hierarchy);
+    const double hw1 =
+        corun_miss(lab, name, opt, probe, Measure::kHardware, hierarchy);
     hw_stats.add(hw0 > 0 ? 1.0 - hw1 / hw0 : 0.0);
     const double sim0 = corun_miss(lab, name, std::nullopt, probe,
-                                   Measure::kSimulator);
-    const double sim1 = corun_miss(lab, name, opt, probe, Measure::kSimulator);
+                                   Measure::kSimulator, hierarchy);
+    const double sim1 =
+        corun_miss(lab, name, opt, probe, Measure::kSimulator, hierarchy);
     sim_stats.add(sim0 > 0 ? 1.0 - sim1 / sim0 : 0.0);
   }
   cell.speedup = speedup_stats.mean();
@@ -79,23 +85,24 @@ Table2Cell corun_average(Lab& lab, const std::string& name, Optimizer opt,
 
 }  // namespace
 
-IntroTable intro_table(Lab& lab, double nontrivial_threshold) {
+IntroTable intro_table(Lab& lab, double nontrivial_threshold,
+                       const HierarchySpec& hierarchy) {
   // Two dependency-ordered batches: every solo first (the threshold filter
   // needs them), then the co-runs of the programs that qualify.
   std::vector<EvalRequest> requests;
   for (const WorkloadSpec& spec : spec_suite()) {
-    requests.push_back(
-        EvalRequest::solo(spec.name, std::nullopt, Measure::kHardware));
+    requests.push_back(EvalRequest::solo(spec.name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
   }
   lab.evaluate_all(requests);
   requests.clear();
   for (const WorkloadSpec& spec : spec_suite()) {
-    if (lab.solo(spec.name, std::nullopt, Measure::kHardware).miss_ratio() <
-        nontrivial_threshold) {
+    if (lab.solo(spec.name, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio() < nontrivial_threshold) {
       continue;
     }
-    push_probe_coruns(requests, spec.name, kProbe1);
-    push_probe_coruns(requests, spec.name, kProbe2);
+    push_probe_coruns(requests, spec.name, kProbe1, hierarchy);
+    push_probe_coruns(requests, spec.name, kProbe2, hierarchy);
   }
   lab.evaluate_all(requests);
 
@@ -103,14 +110,15 @@ IntroTable intro_table(Lab& lab, double nontrivial_threshold) {
   RunningStats solo, c1, c2;
   for (const WorkloadSpec& spec : spec_suite()) {
     const double s =
-        lab.solo(spec.name, std::nullopt, Measure::kHardware).miss_ratio();
+        lab.solo(spec.name, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
     if (s < nontrivial_threshold) continue;
     out.programs.push_back(spec.name);
     solo.add(s);
     c1.add(corun_miss(lab, spec.name, std::nullopt, kProbe1,
-                      Measure::kHardware));
+                      Measure::kHardware, hierarchy));
     c2.add(corun_miss(lab, spec.name, std::nullopt, kProbe2,
-                      Measure::kHardware));
+                      Measure::kHardware, hierarchy));
   }
   CL_CHECK_MSG(solo.count() > 0, "no program crosses the threshold");
   out.avg_solo = solo.mean();
@@ -119,13 +127,13 @@ IntroTable intro_table(Lab& lab, double nontrivial_threshold) {
   return out;
 }
 
-std::vector<Fig4Row> fig4_rows(Lab& lab) {
+std::vector<Fig4Row> fig4_rows(Lab& lab, const HierarchySpec& hierarchy) {
   std::vector<EvalRequest> requests;
   for (const WorkloadSpec& spec : spec_suite()) {
-    requests.push_back(
-        EvalRequest::solo(spec.name, std::nullopt, Measure::kHardware));
-    push_probe_coruns(requests, spec.name, kProbe1);
-    push_probe_coruns(requests, spec.name, kProbe2);
+    requests.push_back(EvalRequest::solo(spec.name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
+    push_probe_coruns(requests, spec.name, kProbe1, hierarchy);
+    push_probe_coruns(requests, spec.name, kProbe2, hierarchy);
   }
   lab.evaluate_all(requests);
 
@@ -133,25 +141,27 @@ std::vector<Fig4Row> fig4_rows(Lab& lab) {
   for (const WorkloadSpec& spec : spec_suite()) {
     rows.push_back(Fig4Row{
         .name = spec.name,
-        .solo = lab.solo(spec.name, std::nullopt, Measure::kHardware)
-                    .miss_ratio(),
+        .solo =
+            lab.solo(spec.name, std::nullopt, Measure::kHardware, hierarchy)
+                .miss_ratio(),
         .probe_gcc =
             corun_miss(lab, spec.name, std::nullopt, kProbe1,
-                       Measure::kHardware),
+                       Measure::kHardware, hierarchy),
         .probe_gamess =
             corun_miss(lab, spec.name, std::nullopt, kProbe2,
-                       Measure::kHardware)});
+                       Measure::kHardware, hierarchy)});
   }
   return rows;
 }
 
-std::vector<Table1Row> table1_rows(Lab& lab) {
+std::vector<Table1Row> table1_rows(Lab& lab,
+                                   const HierarchySpec& hierarchy) {
   std::vector<EvalRequest> requests;
   for (const std::string& name : selected_benchmarks()) {
-    requests.push_back(
-        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
-    push_probe_coruns(requests, name, kProbe1);
-    push_probe_coruns(requests, name, kProbe2);
+    requests.push_back(EvalRequest::solo(name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
+    push_probe_coruns(requests, name, kProbe1, hierarchy);
+    push_probe_coruns(requests, name, kProbe2, hierarchy);
   }
   lab.evaluate_all(requests);
 
@@ -162,26 +172,26 @@ std::vector<Table1Row> table1_rows(Lab& lab) {
         .name = name,
         .dynamic_instructions = w.eval_instructions,
         .static_bytes = w.module.static_bytes(),
-        .solo =
-            lab.solo(name, std::nullopt, Measure::kHardware).miss_ratio(),
+        .solo = lab.solo(name, std::nullopt, Measure::kHardware, hierarchy)
+                    .miss_ratio(),
         .corun_gcc = corun_miss(lab, name, std::nullopt, kProbe1,
-                                Measure::kHardware),
+                                Measure::kHardware, hierarchy),
         .corun_gamess = corun_miss(lab, name, std::nullopt, kProbe2,
-                                   Measure::kHardware)});
+                                   Measure::kHardware, hierarchy)});
   }
   return rows;
 }
 
-std::vector<Fig5Row> fig5_rows(Lab& lab) {
+std::vector<Fig5Row> fig5_rows(Lab& lab, const HierarchySpec& hierarchy) {
   std::vector<EvalRequest> requests;
   for (const std::string& name : selected_benchmarks()) {
-    requests.push_back(
-        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
-    requests.push_back(
-        EvalRequest::solo(name, kFuncAffinity, Measure::kHardware));
+    requests.push_back(EvalRequest::solo(name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
+    requests.push_back(EvalRequest::solo(name, kFuncAffinity,
+                                         Measure::kHardware, hierarchy));
     if (Lab::bb_reordering_supported(name)) {
-      requests.push_back(
-          EvalRequest::solo(name, kBBAffinity, Measure::kHardware));
+      requests.push_back(EvalRequest::solo(name, kBBAffinity,
+                                           Measure::kHardware, hierarchy));
     }
   }
   lab.evaluate_all(requests);
@@ -194,18 +204,23 @@ std::vector<Fig5Row> fig5_rows(Lab& lab) {
                 .func_miss_reduction = 0,
                 .bb_speedup = 0,
                 .bb_miss_reduction = 0};
-    const double base_cycles = lab.solo_cycles(name, std::nullopt);
+    const double base_cycles = lab.solo_cycles(name, std::nullopt, hierarchy);
     const double base_miss =
-        lab.solo(name, std::nullopt, Measure::kHardware).miss_ratio();
-    row.func_speedup = base_cycles / lab.solo_cycles(name, kFuncAffinity);
+        lab.solo(name, std::nullopt, Measure::kHardware, hierarchy)
+            .miss_ratio();
+    row.func_speedup =
+        base_cycles / lab.solo_cycles(name, kFuncAffinity, hierarchy);
     const double func_miss =
-        lab.solo(name, kFuncAffinity, Measure::kHardware).miss_ratio();
+        lab.solo(name, kFuncAffinity, Measure::kHardware, hierarchy)
+            .miss_ratio();
     row.func_miss_reduction =
         base_miss > 0 ? 1.0 - func_miss / base_miss : 0.0;
     if (row.bb_supported) {
-      row.bb_speedup = base_cycles / lab.solo_cycles(name, kBBAffinity);
+      row.bb_speedup =
+          base_cycles / lab.solo_cycles(name, kBBAffinity, hierarchy);
       const double bb_miss =
-          lab.solo(name, kBBAffinity, Measure::kHardware).miss_ratio();
+          lab.solo(name, kBBAffinity, Measure::kHardware, hierarchy)
+              .miss_ratio();
       row.bb_miss_reduction = base_miss > 0 ? 1.0 - bb_miss / base_miss : 0.0;
     }
     rows.push_back(row);
@@ -213,12 +228,13 @@ std::vector<Fig5Row> fig5_rows(Lab& lab) {
   return rows;
 }
 
-std::vector<Table2Row> table2_rows(Lab& lab) {
+std::vector<Table2Row> table2_rows(Lab& lab,
+                                   const HierarchySpec& hierarchy) {
   const auto& probes = selected_benchmarks();
   std::vector<EvalRequest> requests;
   for (const std::string& name : selected_benchmarks()) {
     for (const Optimizer opt : {kFuncAffinity, kBBAffinity, kFuncTrg}) {
-      push_table2_cell(requests, name, opt, probes);
+      push_table2_cell(requests, name, opt, probes, hierarchy);
     }
   }
   lab.evaluate_all(requests);
@@ -227,14 +243,17 @@ std::vector<Table2Row> table2_rows(Lab& lab) {
   for (const std::string& name : selected_benchmarks()) {
     rows.push_back(Table2Row{
         .name = name,
-        .func_affinity = corun_average(lab, name, kFuncAffinity, probes),
-        .bb_affinity = corun_average(lab, name, kBBAffinity, probes),
-        .func_trg = corun_average(lab, name, kFuncTrg, probes)});
+        .func_affinity =
+            corun_average(lab, name, kFuncAffinity, probes, hierarchy),
+        .bb_affinity = corun_average(lab, name, kBBAffinity, probes,
+                                     hierarchy),
+        .func_trg = corun_average(lab, name, kFuncTrg, probes, hierarchy)});
   }
   return rows;
 }
 
-std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer) {
+std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer,
+                                 const HierarchySpec& hierarchy) {
   std::vector<EvalRequest> requests;
   for (const std::string& name : selected_benchmarks()) {
     if (optimizer.granularity == Granularity::kBlock &&
@@ -243,11 +262,11 @@ std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer) {
     }
     for (const std::string& probe : selected_benchmarks()) {
       requests.push_back(EvalRequest::corun(name, std::nullopt, probe,
-                                            std::nullopt,
-                                            Measure::kHardware));
+                                            std::nullopt, Measure::kHardware,
+                                            hierarchy));
       requests.push_back(EvalRequest::corun(name, optimizer, probe,
-                                            std::nullopt,
-                                            Measure::kHardware));
+                                            std::nullopt, Measure::kHardware,
+                                            hierarchy));
     }
   }
   lab.evaluate_all(requests);
@@ -259,10 +278,10 @@ std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer) {
       continue;
     }
     for (const std::string& probe : selected_benchmarks()) {
-      const double base =
-          lab.corun_self_cycles(name, std::nullopt, probe, std::nullopt);
-      const double opt =
-          lab.corun_self_cycles(name, optimizer, probe, std::nullopt);
+      const double base = lab.corun_self_cycles(name, std::nullopt, probe,
+                                                std::nullopt, hierarchy);
+      const double opt = lab.corun_self_cycles(name, optimizer, probe,
+                                               std::nullopt, hierarchy);
       cells.push_back(Fig6Cell{name, probe, base / opt});
     }
   }
@@ -281,27 +300,27 @@ const std::vector<std::string>& fig7_programs() {
   return programs;
 }
 
-std::vector<Fig7Pair> fig7_pairs(Lab& lab) {
+std::vector<Fig7Pair> fig7_pairs(Lab& lab, const HierarchySpec& hierarchy) {
   const auto& programs = fig7_programs();
   std::vector<EvalRequest> requests;
   for (const std::string& name : programs) {
-    requests.push_back(
-        EvalRequest::solo(name, std::nullopt, Measure::kHardware));
-    requests.push_back(
-        EvalRequest::solo(name, kFuncAffinity, Measure::kHardware));
+    requests.push_back(EvalRequest::solo(name, std::nullopt,
+                                         Measure::kHardware, hierarchy));
+    requests.push_back(EvalRequest::solo(name, kFuncAffinity,
+                                         Measure::kHardware, hierarchy));
   }
   for (std::size_t i = 0; i < programs.size(); ++i) {
     for (std::size_t j = i; j < programs.size(); ++j) {
       const std::string& a = programs[i];
       const std::string& b = programs[j];
       requests.push_back(EvalRequest::corun(a, std::nullopt, b, std::nullopt,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
       requests.push_back(EvalRequest::corun(b, std::nullopt, a, std::nullopt,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
       requests.push_back(EvalRequest::corun(a, kFuncAffinity, b, std::nullopt,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
       requests.push_back(EvalRequest::corun(b, std::nullopt, a, kFuncAffinity,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
     }
   }
   lab.evaluate_all(requests);
@@ -311,22 +330,22 @@ std::vector<Fig7Pair> fig7_pairs(Lab& lab) {
     for (std::size_t j = i; j < programs.size(); ++j) {
       const std::string& a = programs[i];
       const std::string& b = programs[j];
-      const double solo_a = lab.solo_cycles(a, std::nullopt);
-      const double solo_b = lab.solo_cycles(b, std::nullopt);
+      const double solo_a = lab.solo_cycles(a, std::nullopt, hierarchy);
+      const double solo_b = lab.solo_cycles(b, std::nullopt, hierarchy);
 
-      const double base_a =
-          lab.corun_self_cycles(a, std::nullopt, b, std::nullopt);
-      const double base_b =
-          lab.corun_self_cycles(b, std::nullopt, a, std::nullopt);
+      const double base_a = lab.corun_self_cycles(a, std::nullopt, b,
+                                                  std::nullopt, hierarchy);
+      const double base_b = lab.corun_self_cycles(b, std::nullopt, a,
+                                                  std::nullopt, hierarchy);
       const auto baseline =
           corun_throughput(solo_a, base_a, solo_b, base_b);
 
       // Function affinity applied to program a (optimized+baseline co-run).
-      const double opt_solo_a = lab.solo_cycles(a, kFuncAffinity);
-      const double opt_a =
-          lab.corun_self_cycles(a, kFuncAffinity, b, std::nullopt);
-      const double peer_b =
-          lab.corun_self_cycles(b, std::nullopt, a, kFuncAffinity);
+      const double opt_solo_a = lab.solo_cycles(a, kFuncAffinity, hierarchy);
+      const double opt_a = lab.corun_self_cycles(a, kFuncAffinity, b,
+                                                 std::nullopt, hierarchy);
+      const double peer_b = lab.corun_self_cycles(b, std::nullopt, a,
+                                                  kFuncAffinity, hierarchy);
       const auto optimized =
           corun_throughput(opt_solo_a, opt_a, solo_b, peer_b);
 
@@ -340,8 +359,9 @@ std::vector<Fig7Pair> fig7_pairs(Lab& lab) {
   return pairs;
 }
 
-std::vector<std::string> top_improving_programs(Lab& lab, std::size_t n) {
-  const auto rows = table2_rows(lab);
+std::vector<std::string> top_improving_programs(
+    Lab& lab, std::size_t n, const HierarchySpec& hierarchy) {
+  const auto rows = table2_rows(lab, hierarchy);
   std::vector<std::pair<double, std::string>> ranked;
   for (const auto& row : rows) {
     ranked.emplace_back(row.func_affinity.speedup, row.name);
@@ -355,18 +375,19 @@ std::vector<std::string> top_improving_programs(Lab& lab, std::size_t n) {
   return out;
 }
 
-std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n) {
-  const auto programs = top_improving_programs(lab, top_n);
+std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n,
+                                 const HierarchySpec& hierarchy) {
+  const auto programs = top_improving_programs(lab, top_n, hierarchy);
   std::vector<EvalRequest> requests;
   for (const std::string& a : programs) {
     for (const std::string& b : programs) {
       requests.push_back(EvalRequest::corun(a, std::nullopt, b, std::nullopt,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
       requests.push_back(EvalRequest::corun(a, kFuncAffinity, b, std::nullopt,
-                                            Measure::kHardware));
+                                            Measure::kHardware, hierarchy));
       requests.push_back(EvalRequest::corun(a, kFuncAffinity, b,
-                                            kFuncAffinity,
-                                            Measure::kHardware));
+                                            kFuncAffinity, Measure::kHardware,
+                                            hierarchy));
     }
   }
   lab.evaluate_all(requests);
@@ -374,12 +395,12 @@ std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n) {
   std::vector<Sec3FRow> rows;
   for (const std::string& a : programs) {
     for (const std::string& b : programs) {
-      const double base =
-          lab.corun_self_cycles(a, std::nullopt, b, std::nullopt);
-      const double opt_base =
-          lab.corun_self_cycles(a, kFuncAffinity, b, std::nullopt);
-      const double opt_opt =
-          lab.corun_self_cycles(a, kFuncAffinity, b, kFuncAffinity);
+      const double base = lab.corun_self_cycles(a, std::nullopt, b,
+                                                std::nullopt, hierarchy);
+      const double opt_base = lab.corun_self_cycles(a, kFuncAffinity, b,
+                                                    std::nullopt, hierarchy);
+      const double opt_opt = lab.corun_self_cycles(a, kFuncAffinity, b,
+                                                   kFuncAffinity, hierarchy);
       rows.push_back(Sec3FRow{.program = a,
                               .peer = b,
                               .opt_base_speedup = base / opt_base,

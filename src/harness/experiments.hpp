@@ -25,7 +25,8 @@ struct IntroTable {
   [[nodiscard]] double increase1() const { return avg_corun1 / avg_solo - 1; }
   [[nodiscard]] double increase2() const { return avg_corun2 / avg_solo - 1; }
 };
-IntroTable intro_table(Lab& lab, double nontrivial_threshold = 0.005);
+IntroTable intro_table(Lab& lab, double nontrivial_threshold = 0.005,
+                       const HierarchySpec& hierarchy = {});
 
 // ---- E1: Fig. 4 -------------------------------------------------------------
 struct Fig4Row {
@@ -34,7 +35,7 @@ struct Fig4Row {
   double probe_gcc;
   double probe_gamess;
 };
-std::vector<Fig4Row> fig4_rows(Lab& lab);
+std::vector<Fig4Row> fig4_rows(Lab& lab, const HierarchySpec& hierarchy = {});
 
 // ---- E2: Table I -------------------------------------------------------------
 struct Table1Row {
@@ -45,7 +46,8 @@ struct Table1Row {
   double corun_gcc;
   double corun_gamess;
 };
-std::vector<Table1Row> table1_rows(Lab& lab);
+std::vector<Table1Row> table1_rows(Lab& lab,
+                                   const HierarchySpec& hierarchy = {});
 
 // ---- E3: Fig. 5 (solo effect of the affinity optimizers) -------------------
 struct Fig5Row {
@@ -56,7 +58,7 @@ struct Fig5Row {
   double bb_speedup;           ///< 0 when !bb_supported
   double bb_miss_reduction;
 };
-std::vector<Fig5Row> fig5_rows(Lab& lab);
+std::vector<Fig5Row> fig5_rows(Lab& lab, const HierarchySpec& hierarchy = {});
 
 // ---- E4: Table II (average co-run effect of three optimizers) --------------
 struct Table2Cell {
@@ -71,7 +73,8 @@ struct Table2Row {
   Table2Cell bb_affinity;
   Table2Cell func_trg;
 };
-std::vector<Table2Row> table2_rows(Lab& lab);
+std::vector<Table2Row> table2_rows(Lab& lab,
+                                   const HierarchySpec& hierarchy = {});
 
 // ---- E5: Fig. 6 (per-pairing co-run speedups) -------------------------------
 struct Fig6Cell {
@@ -79,7 +82,8 @@ struct Fig6Cell {
   std::string probe;
   double speedup;
 };
-std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer);
+std::vector<Fig6Cell> fig6_cells(Lab& lab, Optimizer optimizer,
+                                 const HierarchySpec& hierarchy = {});
 
 // ---- E6: Fig. 7 (hyper-threading throughput) --------------------------------
 struct Fig7Pair {
@@ -94,7 +98,8 @@ struct Fig7Pair {
                : 0.0;
   }
 };
-std::vector<Fig7Pair> fig7_pairs(Lab& lab);
+std::vector<Fig7Pair> fig7_pairs(Lab& lab,
+                                 const HierarchySpec& hierarchy = {});
 /// The 7 programs of Fig. 7 (the selected 8 minus gobmk).
 const std::vector<std::string>& fig7_programs();
 
@@ -105,9 +110,11 @@ struct Sec3FRow {
   double opt_base_speedup;  ///< optimized+baseline vs baseline+baseline
   double opt_opt_speedup;   ///< optimized+optimized vs baseline+baseline
 };
-std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n = 3);
+std::vector<Sec3FRow> sec3f_rows(Lab& lab, std::size_t top_n = 3,
+                                 const HierarchySpec& hierarchy = {});
 
 /// Top-N programs by average function-affinity co-run speedup.
-std::vector<std::string> top_improving_programs(Lab& lab, std::size_t n);
+std::vector<std::string> top_improving_programs(
+    Lab& lab, std::size_t n, const HierarchySpec& hierarchy = {});
 
 }  // namespace codelayout

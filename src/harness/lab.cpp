@@ -83,9 +83,12 @@ StageCounters* Lab::counters(Stage stage) {
   return nullptr;
 }
 
-SimOptions Lab::sim_options(Measure measure) const {
-  return measure == Measure::kHardware ? hardware_proxy_options()
-                                       : SimOptions{};
+SimOptions Lab::sim_options(Measure measure,
+                            const HierarchySpec& hierarchy) const {
+  SimOptions options = measure == Measure::kHardware ? hardware_proxy_options()
+                                                     : SimOptions{};
+  options.hierarchy = hierarchy;
+  return options;
 }
 
 void Lab::execute(const EvalRequest& request) {
@@ -98,13 +101,13 @@ void Lab::execute(const EvalRequest& request) {
       (void)layout(key.workload, key.optimizer);
       return;
     case Stage::kSolo:
-      (void)solo(key.workload, key.optimizer, key.measure);
+      (void)solo(key.workload, key.optimizer, key.measure, key.hierarchy);
       return;
     case Stage::kCorun:
       CL_CHECK_MSG(key.peer.has_value(),
                    "co-run request without a peer: " << key.to_string());
       (void)corun(key.workload, key.optimizer, *key.peer, key.peer_optimizer,
-                  key.measure);
+                  key.measure, key.hierarchy);
       return;
   }
   CL_CHECK_MSG(false, "unknown evaluation stage");
@@ -215,16 +218,26 @@ const CodeLayout& Lab::layout(const std::string& name,
 
 const FetchPlan& Lab::fetch_plan(const std::string& name,
                                  std::optional<Optimizer> optimizer) {
-  // Keyed like the layout stage: the plan is a pure function of the layout
-  // (plus the line size, constant across both measurement flavours).
-  const EvalKey key = EvalRequest::layout(name, optimizer).key;
+  return fetch_plan(name, optimizer, kL1I.line_bytes);
+}
+
+const FetchPlan& Lab::fetch_plan(const std::string& name,
+                                 std::optional<Optimizer> optimizer,
+                                 std::uint32_t line_bytes) {
+  // Keyed like the layout stage plus the line size the plan was built for
+  // (recorded via the key's hierarchy slot): the plan is a pure function of
+  // (layout, line size), constant across both measurement flavours, and a
+  // geometry sweep at a different line size gets its own cell instead of a
+  // stale plan.
+  EvalKey key = EvalRequest::layout(name, optimizer).key;
+  key.hierarchy.l1.line_bytes = line_bytes;
   bool computed = false;
   const FetchPlan& plan =
       plans_.get_or_compute(key, /*counters=*/nullptr, [&] {
         computed = true;
         const PreparedWorkload& prepared = workload(name);
         const CodeLayout& lay = layout(name, optimizer);
-        return FetchPlan(prepared.module, lay, kL1I.line_bytes);
+        return FetchPlan(prepared.module, lay, line_bytes);
       });
   MetricsRegistry& registry = MetricsRegistry::global();
   if (registry.enabled()) {
@@ -236,16 +249,19 @@ const FetchPlan& Lab::fetch_plan(const std::string& name,
 }
 
 const SimResult& Lab::solo(const std::string& name,
-                           std::optional<Optimizer> optimizer,
-                           Measure measure) {
-  const EvalKey key = EvalRequest::solo(name, optimizer, measure).key;
+                           std::optional<Optimizer> optimizer, Measure measure,
+                           const HierarchySpec& hierarchy) {
+  const EvalKey key =
+      EvalRequest::solo(name, optimizer, measure, hierarchy).key;
   return solos_.get_or_compute(key, counters(Stage::kSolo), [&] {
     CODELAYOUT_PHASE("solo", "lab", "lab.solo.wall_ns", {"workload", name},
                      {"optimizer", opt_label(optimizer)},
                      {"measure", measure_label(measure)});
     const PreparedWorkload& prepared = workload(name);
-    const FetchPlan& plan = fetch_plan(name, optimizer);
-    return simulate_solo(plan, prepared.eval_blocks, sim_options(measure));
+    const FetchPlan& plan =
+        fetch_plan(name, optimizer, key.hierarchy.l1.line_bytes);
+    return simulate_solo(plan, prepared.eval_blocks,
+                         sim_options(measure, key.hierarchy));
   });
 }
 
@@ -253,9 +269,11 @@ const CorunResult& Lab::corun(const std::string& self_name,
                               std::optional<Optimizer> self_opt,
                               const std::string& peer_name,
                               std::optional<Optimizer> peer_opt,
-                              Measure measure) {
-  const EvalKey key =
-      EvalRequest::corun(self_name, self_opt, peer_name, peer_opt, measure).key;
+                              Measure measure,
+                              const HierarchySpec& hierarchy) {
+  const EvalKey key = EvalRequest::corun(self_name, self_opt, peer_name,
+                                         peer_opt, measure, hierarchy)
+                          .key;
   return coruns_.get_or_compute(key, counters(Stage::kCorun), [&] {
     CODELAYOUT_PHASE("corun", "lab", "lab.corun.wall_ns",
                      {"workload", self_name},
@@ -264,8 +282,10 @@ const CorunResult& Lab::corun(const std::string& self_name,
                      {"measure", measure_label(measure)});
     const PreparedWorkload& self = workload(self_name);
     const PreparedWorkload& peer = workload(peer_name);
-    const FetchPlan& self_plan = fetch_plan(self_name, self_opt);
-    const FetchPlan& peer_plan = fetch_plan(peer_name, peer_opt);
+    const FetchPlan& self_plan =
+        fetch_plan(self_name, self_opt, key.hierarchy.l1.line_bytes);
+    const FetchPlan& peer_plan =
+        fetch_plan(peer_name, peer_opt, key.hierarchy.l1.line_bytes);
     // SMT threads progress inversely to their CPIs: a data-stalled self sees
     // a proportionally faster peer fetch stream.
     const double self_cpi =
@@ -273,9 +293,9 @@ const CorunResult& Lab::corun(const std::string& self_name,
     const double peer_cpi =
         options_.perf().base_cpi + peer.spec.data_stall_cpi;
     const double peer_speed = std::clamp(self_cpi / peer_cpi, 0.25, 4.0);
-    CorunResult result =
-        simulate_corun(self_plan, self.eval_blocks, peer_plan,
-                       peer.eval_blocks, sim_options(measure), peer_speed);
+    CorunResult result = simulate_corun(
+        self_plan, self.eval_blocks, peer_plan, peer.eval_blocks,
+        sim_options(measure, key.hierarchy), peer_speed);
     MetricsRegistry& registry = MetricsRegistry::global();
     if (registry.enabled()) {
       // Per-pair collapse coverage, so bench --metrics-out dumps show which
@@ -291,21 +311,23 @@ const CorunResult& Lab::corun(const std::string& self_name,
 }
 
 double Lab::solo_cycles(const std::string& name,
-                        std::optional<Optimizer> optimizer) {
-  const SimResult& sim = solo(name, optimizer, Measure::kHardware);
+                        std::optional<Optimizer> optimizer,
+                        const HierarchySpec& hierarchy) {
+  const SimResult& sim = solo(name, optimizer, Measure::kHardware, hierarchy);
   return codelayout::solo_cycles(sim, workload(name).spec.data_stall_cpi,
-                                 options_.perf());
+                                 options_.perf(), hierarchy);
 }
 
 double Lab::corun_self_cycles(const std::string& self_name,
                               std::optional<Optimizer> self_opt,
                               const std::string& peer_name,
-                              std::optional<Optimizer> peer_opt) {
-  const CorunResult& result =
-      corun(self_name, self_opt, peer_name, peer_opt, Measure::kHardware);
+                              std::optional<Optimizer> peer_opt,
+                              const HierarchySpec& hierarchy) {
+  const CorunResult& result = corun(self_name, self_opt, peer_name, peer_opt,
+                                    Measure::kHardware, hierarchy);
   return corun_cycles(result.self, result.self.instructions,
                       workload(self_name).spec.data_stall_cpi,
-                      options_.perf());
+                      options_.perf(), hierarchy);
 }
 
 bool Lab::bb_reordering_supported(const std::string& name) {

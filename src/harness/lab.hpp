@@ -94,30 +94,43 @@ class Lab {
   const CodeLayout& layout(const std::string& name,
                            std::optional<Optimizer> optimizer);
 
-  /// The memoized fetch plan for (workload, optimizer) — both measurement
-  /// flavours run the same line size, so one plan serves every solo and
-  /// co-run simulation of that layout. Hit/compute counts are exported as
-  /// `cache.fetch_plan.hits` / `cache.fetch_plan.misses`.
+  /// The memoized fetch plan for (workload, optimizer) at the paper's line
+  /// size — both measurement flavours run the same line size, so one plan
+  /// serves every solo and co-run simulation of that layout. Hit/compute
+  /// counts are exported as `cache.fetch_plan.hits` /
+  /// `cache.fetch_plan.misses`.
   const FetchPlan& fetch_plan(const std::string& name,
                               std::optional<Optimizer> optimizer);
+  /// Same, for an explicit line size: plans are memoized per (workload,
+  /// optimizer, line size), so a geometry sweep shares plans per line size
+  /// instead of rebuilding them per cell.
+  const FetchPlan& fetch_plan(const std::string& name,
+                              std::optional<Optimizer> optimizer,
+                              std::uint32_t line_bytes);
 
   const SimResult& solo(const std::string& name,
-                        std::optional<Optimizer> optimizer, Measure measure);
+                        std::optional<Optimizer> optimizer, Measure measure,
+                        const HierarchySpec& hierarchy = {});
 
   /// Co-run of `self` (full trace, measured) against wrapping `peer`.
   const CorunResult& corun(const std::string& self_name,
                            std::optional<Optimizer> self_opt,
                            const std::string& peer_name,
                            std::optional<Optimizer> peer_opt,
-                           Measure measure);
+                           Measure measure,
+                           const HierarchySpec& hierarchy = {});
 
   /// Modeled runtimes (hardware flavour, per the paper's wall-clock timing).
+  /// A multi-level hierarchy adds the memory-gap term for demand misses that
+  /// fell through the shared L2 (perfmodel Eq. 1/2 composition).
   double solo_cycles(const std::string& name,
-                     std::optional<Optimizer> optimizer);
+                     std::optional<Optimizer> optimizer,
+                     const HierarchySpec& hierarchy = {});
   double corun_self_cycles(const std::string& self_name,
                            std::optional<Optimizer> self_opt,
                            const std::string& peer_name,
-                           std::optional<Optimizer> peer_opt);
+                           std::optional<Optimizer> peer_opt,
+                           const HierarchySpec& hierarchy = {});
 
   /// Whether the paper's BB-reordering compiler handled this program
   /// (it failed on perlbench and povray; reproduced as N/A).
@@ -132,7 +145,7 @@ class Lab {
       std::span<const EvalRequest> requests);
   ThreadPool& pool();
   StageCounters* counters(Stage stage);
-  SimOptions sim_options(Measure measure) const;
+  SimOptions sim_options(Measure measure, const HierarchySpec& hierarchy) const;
 
   LabOptions options_;
   unsigned threads_ = 1;

@@ -34,6 +34,33 @@ double corun_cycles(const SimResult& sim, std::uint64_t full_instructions,
          instructions * miss_per_instr * params.corun_miss_penalty;
 }
 
+double solo_cycles(const SimResult& sim, double data_stall_cpi,
+                   const PerfParams& params, const HierarchySpec& hierarchy) {
+  double cycles = solo_cycles(sim, data_stall_cpi, params);
+  if (hierarchy.multi_level()) {
+    // Demand misses that fell through the L2 pay the memory gap on top of
+    // the L2-hit penalty the base model already charged.
+    cycles += static_cast<double>(sim.l2_misses) *
+              (hierarchy.memory_cycles - hierarchy.l2_hit_cycles);
+  }
+  return cycles;
+}
+
+double corun_cycles(const SimResult& sim, std::uint64_t full_instructions,
+                    double data_stall_cpi, const PerfParams& params,
+                    const HierarchySpec& hierarchy) {
+  double cycles = corun_cycles(sim, full_instructions, data_stall_cpi, params);
+  if (hierarchy.multi_level()) {
+    // Same per-instruction scaling as the base model: the measured L2 miss
+    // rate extrapolates to the full trace.
+    const double mem_per_instr = static_cast<double>(sim.l2_misses) /
+                                 static_cast<double>(sim.instructions);
+    cycles += static_cast<double>(full_instructions) * mem_per_instr *
+              (hierarchy.memory_cycles - hierarchy.l2_hit_cycles);
+  }
+  return cycles;
+}
+
 double speedup(double baseline_cycles, double improved_cycles) {
   CL_CHECK(baseline_cycles > 0.0 && improved_cycles > 0.0);
   return baseline_cycles / improved_cycles;

@@ -44,6 +44,20 @@ double solo_cycles(const SimResult& sim, double data_stall_cpi,
 double corun_cycles(const SimResult& sim, std::uint64_t full_instructions,
                     double data_stall_cpi, const PerfParams& params = {});
 
+/// Hierarchy-aware composition of the same models. Under a flat spec these
+/// are numerically identical to the overloads above (every L1I miss costs
+/// the familiar penalty). With an L2 in the spec, the SimResult's per-level
+/// counters split the demand misses: an L2 hit costs the familiar penalty,
+/// while a miss that went on to memory additionally pays the spec's
+/// `memory_cycles - l2_hit_cycles` gap. Wrong-path misses are charged at the
+/// front-level penalty either way (they never carry a demand fetch to
+/// completion).
+double solo_cycles(const SimResult& sim, double data_stall_cpi,
+                   const PerfParams& params, const HierarchySpec& hierarchy);
+double corun_cycles(const SimResult& sim, std::uint64_t full_instructions,
+                    double data_stall_cpi, const PerfParams& params,
+                    const HierarchySpec& hierarchy);
+
 /// speedup = baseline / improved (1.04 = 4% faster).
 double speedup(double baseline_cycles, double improved_cycles);
 

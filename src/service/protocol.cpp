@@ -60,6 +60,9 @@ void put_sim_result(std::string& out, const SimResult& r) {
   put_varint(out, r.demand_misses);
   put_varint(out, r.wrong_path_misses);
   put_varint(out, r.blocks);
+  // v2 trailing fields (zero under a flat hierarchy).
+  put_varint(out, r.l2_probes);
+  put_varint(out, r.l2_misses);
 }
 
 // ---- Primitive readers ------------------------------------------------------
@@ -146,7 +149,7 @@ Trace get_trace(Reader& in) {
   return trace;
 }
 
-SimResult get_sim_result(Reader& in) {
+SimResult get_sim_result(Reader& in, std::uint16_t version) {
   SimResult r;
   r.instructions = in.varint();
   r.overhead_instructions = in.varint();
@@ -154,6 +157,10 @@ SimResult get_sim_result(Reader& in) {
   r.demand_misses = in.varint();
   r.wrong_path_misses = in.varint();
   r.blocks = in.varint();
+  if (version >= 2) {
+    r.l2_probes = in.varint();
+    r.l2_misses = in.varint();
+  }
   return r;
 }
 
@@ -176,6 +183,8 @@ std::string encode_request_body(const JobRequest& request, std::uint64_t id,
   }
   put_u8(out, request.cpi_speeds ? 1 : 0);
   put_trace(out, request.trace);
+  // v2 trailing field: the spec's canonical encoding, length-prefixed.
+  put_string(out, request.hierarchy.encode());
   return out;
 }
 
@@ -234,6 +243,7 @@ std::string JobRequest::to_string() const {
   }
   if (kind == JobKind::kSolo || kind == JobKind::kCorun) {
     os << '|' << (measure == Measure::kHardware ? "hw" : "sim");
+    if (hierarchy != HierarchySpec{}) os << "|g=" << hierarchy.to_string();
   }
   return os.str();
 }
@@ -261,7 +271,8 @@ std::string encode_response_payload(const JobResponse& response) {
   return out;
 }
 
-JobRequest decode_request_payload(std::string_view payload) {
+JobRequest decode_request_payload(std::string_view payload,
+                                  std::uint16_t version) {
   Reader in(payload);
   JobRequest request;
   request.id = in.varint();
@@ -293,11 +304,16 @@ JobRequest decode_request_payload(std::string_view payload) {
   CL_CHECK_MSG(cpi <= 1, "service payload: bad cpi_speeds flag");
   request.cpi_speeds = cpi != 0;
   request.trace = get_trace(in);
+  if (version >= 2) {
+    request.hierarchy = HierarchySpec::decode(in.str());
+    request.hierarchy.validate();
+  }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after request");
   return request;
 }
 
-JobResponse decode_response_payload(std::string_view payload) {
+JobResponse decode_response_payload(std::string_view payload,
+                                    std::uint16_t version) {
   Reader in(payload);
   JobResponse response;
   response.id = in.varint();
@@ -310,7 +326,7 @@ JobResponse decode_response_payload(std::string_view payload) {
   CL_CHECK_MSG(result_count <= 64, "service payload: too many results");
   response.results.reserve(result_count);
   for (std::uint64_t i = 0; i < result_count; ++i) {
-    response.results.push_back(get_sim_result(in));
+    response.results.push_back(get_sim_result(in, version));
   }
   response.layout.blocks = in.varint();
   response.layout.total_bytes = in.varint();
@@ -357,10 +373,11 @@ FrameHeader decode_frame_header(const char in[kFrameHeaderBytes]) {
   header.version = static_cast<std::uint16_t>(
       static_cast<std::uint8_t>(in[4]) |
       (static_cast<std::uint16_t>(static_cast<std::uint8_t>(in[5])) << 8));
-  CL_CHECK_MSG(header.version == kWireVersion,
-               "service frame: unsupported wire version "
-                   << header.version << " (this build speaks "
-                   << kWireVersion << ")");
+  CL_CHECK_MSG(
+      header.version >= kMinWireVersion && header.version <= kWireVersion,
+      "service frame: unsupported wire version "
+          << header.version << " (this build speaks " << kMinWireVersion
+          << ".." << kWireVersion << ")");
   const std::uint8_t type = static_cast<std::uint8_t>(in[6]);
   CL_CHECK_MSG(type <= static_cast<std::uint8_t>(FrameType::kResponse),
                "service frame: bad frame type");

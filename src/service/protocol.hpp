@@ -18,7 +18,14 @@
 //
 // Versioning: kWireVersion stamps every frame; a server rejects frames it
 // does not speak with JobStatus::kError naming both versions. Fields are
-// only ever appended to the payloads, so a vN+1 decoder reads vN payloads.
+// only ever appended to the payloads, so a vN+1 decoder reads vN payloads:
+// the payload decoders take the frame's version and stop before the fields
+// that version did not carry (absent fields decode to their defaults).
+// Frames inside [kMinWireVersion, kWireVersion] are accepted.
+//
+// v1 -> v2: the request grew a trailing hierarchy field (the canonical
+// HierarchySpec encoding, length-prefixed; absent = the paper's flat L1I)
+// and each SimResult grew trailing l2_probes/l2_misses varints.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +42,9 @@
 namespace codelayout::service {
 
 inline constexpr std::uint32_t kWireMagic = 0x434c5356;  // "CLSV"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest version this build still decodes (append-only payload evolution).
+inline constexpr std::uint16_t kMinWireVersion = 1;
 /// Admission-time cap on one frame's payload (a full varint trace fits
 /// comfortably; a hostile length field does not get to allocate gigabytes).
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
@@ -93,13 +102,17 @@ struct JobRequest {
   bool cpi_speeds = true;
   /// kTraceStats payload (embedded as a trace/io varint stream).
   Trace trace{Trace::Granularity::kBlock};
+  /// Cache shape for kSolo / kCorun jobs (v2+). The default is the paper's
+  /// flat L1I, which is also what a v1 request decodes to.
+  HierarchySpec hierarchy{};
 
   friend bool operator==(const JobRequest&, const JobRequest&) = default;
 
   /// Serialized body with id zeroed and priority normalized — what two
   /// requests for the same work share; the response cache keys on it.
   [[nodiscard]] std::string canonical_key() const;
-  /// "solo 403.gcc|BB Affinity|hw" — for logs and errors.
+  /// "solo 403.gcc|BB Affinity|hw" — for logs and errors. A non-default
+  /// hierarchy appends "|g=<spec>".
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -146,8 +159,13 @@ struct JobResponse {
 
 /// Throw ContractError on any malformed payload (truncation, varint
 /// overflow, enum out of range, embedded-trace corruption, trailing bytes).
-[[nodiscard]] JobRequest decode_request_payload(std::string_view payload);
-[[nodiscard]] JobResponse decode_response_payload(std::string_view payload);
+/// `version` is the frame header's wire version: decoders stop before the
+/// fields that version did not carry, so v1 payloads decode with the new
+/// fields at their defaults.
+[[nodiscard]] JobRequest decode_request_payload(
+    std::string_view payload, std::uint16_t version = kWireVersion);
+[[nodiscard]] JobResponse decode_response_payload(
+    std::string_view payload, std::uint16_t version = kWireVersion);
 
 // ---- Framing ----------------------------------------------------------------
 

@@ -105,13 +105,15 @@ JobResponse LabExecutor::run(const JobRequest& request) {
       if (request.workload.empty()) {
         return error_response(request, "solo job needs a workload");
       }
-      const EvalRequest cell = EvalRequest::solo(
-          request.workload, request.optimizer, request.measure);
+      const EvalRequest cell =
+          EvalRequest::solo(request.workload, request.optimizer,
+                            request.measure, request.hierarchy);
       const std::vector<EvalOutcome> outcomes =
           lab_.evaluate_all_checked({&cell, 1});
       if (!outcomes[0].ok()) return error_response(request, outcomes[0].error);
-      response.results.push_back(
-          lab_.solo(request.workload, request.optimizer, request.measure));
+      response.results.push_back(lab_.solo(request.workload, request.optimizer,
+                                           request.measure,
+                                           request.hierarchy));
       return response;
     }
 
@@ -164,7 +166,7 @@ JobResponse LabExecutor::run(const JobRequest& request) {
         const EvalRequest cell = EvalRequest::corun(
             request.parties[0].workload, request.parties[0].optimizer,
             request.parties[1].workload, request.parties[1].optimizer,
-            request.measure);
+            request.measure, request.hierarchy);
         const std::vector<EvalOutcome> outcomes =
             lab_.evaluate_all_checked({&cell, 1});
         if (!outcomes[0].ok()) {
@@ -173,7 +175,7 @@ JobResponse LabExecutor::run(const JobRequest& request) {
         const CorunResult& result = lab_.corun(
             request.parties[0].workload, request.parties[0].optimizer,
             request.parties[1].workload, request.parties[1].optimizer,
-            request.measure);
+            request.measure, request.hierarchy);
         response.results = {result.self, result.peer};
         return response;
       }
@@ -193,6 +195,7 @@ JobResponse LabExecutor::run(const JobRequest& request) {
       spec.options = request.measure == Measure::kHardware
                          ? hardware_proxy_options()
                          : SimOptions{};
+      spec.options.hierarchy = request.hierarchy;
       spec.parties.reserve(request.parties.size());
       const double self_cpi =
           lab_.perf().base_cpi +
@@ -200,7 +203,8 @@ JobResponse LabExecutor::run(const JobRequest& request) {
       for (std::size_t i = 0; i < request.parties.size(); ++i) {
         const CorunPartyRequest& party = request.parties[i];
         CorunSpec::Party p;
-        p.plan = &lab_.fetch_plan(party.workload, party.optimizer);
+        p.plan = &lab_.fetch_plan(party.workload, party.optimizer,
+                                  request.hierarchy.l1.line_bytes);
         p.trace = &lab_.workload(party.workload).eval_blocks;
         if (i == 0) {
           p.speed = 1.0;
@@ -530,7 +534,7 @@ void ServiceServer::connection_loop(int fd) {
           !read_exact(fd, payload.data(), payload.size())) {
         break;
       }
-      request = decode_request_payload(payload);
+      request = decode_request_payload(payload, header.version);
     } catch (const std::exception& e) {
       // The stream is desynchronized; report and hang up.
       JobResponse response;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "cache/icache_sim.hpp"
@@ -25,6 +26,21 @@ TEST(CacheGeometry, DerivedQuantities) {
 TEST(CacheGeometry, RejectsIndivisibleSize) {
   CacheGeometry g{1000, 4, 64};
   EXPECT_THROW(g.validate(), ContractError);
+}
+
+TEST(CacheGeometry, RejectsNonPowerOfTwoSetCount) {
+  // 1536B / (64B x 4 ways) = 6 sets: divisible, but not a power of two.
+  // The check lives in validate() so every consumer of a geometry rejects
+  // it with the same message, not just SetAssocCache's constructor.
+  CacheGeometry g{1536, 4, 64};
+  try {
+    g.validate();
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(SetAssocCache cache(g), ContractError);
 }
 
 TEST(SetAssoc, ColdMissThenHit) {
@@ -116,9 +132,9 @@ TEST(SetAssoc, ContainsProbesWithoutPerturbing) {
   EXPECT_TRUE(c.contains(4));
 }
 
-TEST(SetAssoc, GenericPathMatchesPackedSemantics) {
-  // Associativity 8 exceeds the packed representation; exercises the
-  // recency-array path with the same true-LRU behaviour.
+TEST(SetAssoc, WidePathMatchesPackedSemantics) {
+  // Associativity 8 exceeds the 4-way packed representation; exercises the
+  // byte-tag wide path with the same true-LRU behaviour.
   SetAssocCache c(CacheGeometry{/*size_bytes=*/1024, /*associativity=*/8,
                                 /*line_bytes=*/64});
   // 2 sets x 8 ways. Fill set 0 with 8 lines, touch the oldest, add one.
@@ -152,6 +168,99 @@ TEST(SetAssoc, PackedAndGenericAgreeOnRandomStream) {
     if (ways.size() > 2) ways.pop_back();
     ASSERT_EQ(c.access(line), model_hit) << "event " << i << " line " << line;
   }
+}
+
+/// Drives a SetAssocCache against a reference true-LRU model (per-set vectors
+/// kept in recency order) on a pseudo-random line stream. Hit/miss equality
+/// on every event under thrashing pins the eviction sequence exactly, so one
+/// helper validates all three internal representations.
+void drive_against_model(const CacheGeometry& geom,
+                         std::uint64_t distinct_lines, int events) {
+  SetAssocCache c(geom);
+  const std::size_t sets = geom.sets();
+  std::vector<std::vector<std::uint64_t>> model(sets);
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < events; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t line = x % distinct_lines;
+    auto& ways = model[static_cast<std::size_t>(line % sets)];
+    const auto it = std::find(ways.begin(), ways.end(), line);
+    const bool model_hit = it != ways.end();
+    if (model_hit) ways.erase(it);
+    ways.insert(ways.begin(), line);
+    if (ways.size() > geom.associativity) ways.pop_back();
+    ASSERT_EQ(c.access(line), model_hit)
+        << geom.to_string() << " event " << i << " line " << line;
+  }
+}
+
+TEST(SetAssoc, PackedWide8WayAgreesWithModelLru) {
+  // 8 ways -> the byte-tag SWAR representation (one u64 word per set).
+  drive_against_model(CacheGeometry{4096, 8, 64}, 97, 8000);
+}
+
+TEST(SetAssoc, PackedWide16WayAgreesWithModelLru) {
+  // 16 ways -> two tag words per set, full nibble permutation.
+  drive_against_model(CacheGeometry{16384, 16, 64}, 331, 12000);
+}
+
+TEST(SetAssoc, PackedWideSingleSetFullAssocAgreesWithModelLru) {
+  // One fully-associative 16-way set: every access churns the same
+  // permutation word, the hardest case for the nibble promote.
+  drive_against_model(CacheGeometry{1024, 16, 64}, 23, 8000);
+}
+
+TEST(SetAssoc, PackedWidePartialWordAssocAgreesWithModelLru) {
+  // Associativity 5: lanes 5..7 of the tag word stay empty forever and the
+  // victim is read from nibble position assoc-1 = 4, not 7.
+  drive_against_model(CacheGeometry{1280, 5, 64}, 61, 8000);
+}
+
+TEST(SetAssoc, GenericAbovePackedWideAgreesWithModelLru) {
+  // 17 ways exceeds the widest packed representation.
+  drive_against_model(CacheGeometry{2176, 17, 64}, 61, 8000);
+}
+
+TEST(SetAssoc, NonDefaultLineSizesAgreeWithModelLru) {
+  // The set count derives from line_bytes; 32B and 128B lines shift it.
+  drive_against_model(CacheGeometry{2048, 8, 32}, 97, 8000);    // 8 sets
+  drive_against_model(CacheGeometry{8192, 4, 128}, 97, 8000);   // 16 sets
+  drive_against_model(CacheGeometry{4096, 16, 32}, 131, 8000);  // 8 sets
+}
+
+TEST(SetAssoc, PackedWideContainsAndPrefillDoNotPerturb) {
+  SetAssocCache c(CacheGeometry{1024, 16, 64});  // one 16-way set
+  for (std::uint64_t line = 0; line < 16; ++line) c.access(line);
+  EXPECT_TRUE(c.prefill(3));  // resident: pure recency touch, no counters
+  EXPECT_TRUE(c.contains(0));
+  c.access(16);                // evicts the true LRU
+  EXPECT_FALSE(c.contains(0));  // line 0 was LRU (prefill promoted 3, not 0)
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(SetAssoc, EvictionsCountReplacedLinesOnly) {
+  SetAssocCache c(tiny_cache());
+  // 3 lines cycling a 2-way set: the first two installs fill empty ways,
+  // every later miss replaces a victim.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t line : {0ull, 4ull, 8ull}) c.access(line);
+  }
+  EXPECT_EQ(c.misses(), 30u);
+  EXPECT_EQ(c.evictions(), 28u);
+
+  // Same invariant on the wide and generic representations.
+  SetAssocCache wide(CacheGeometry{512, 8, 64});  // one 8-way set
+  for (std::uint64_t line = 0; line < 9; ++line) wide.access(line);
+  EXPECT_EQ(wide.misses(), 9u);
+  EXPECT_EQ(wide.evictions(), 1u);
+
+  SetAssocCache generic(CacheGeometry{1088, 17, 64});  // one 17-way set
+  for (std::uint64_t line = 0; line < 18; ++line) generic.access(line);
+  EXPECT_EQ(generic.misses(), 18u);
+  EXPECT_EQ(generic.evictions(), 1u);
 }
 
 TEST(SetAssoc, CyclicThrashInOneSet) {
@@ -204,7 +313,7 @@ TEST(IcacheSim, SmallCacheThrashesWhereBigDoesNot) {
   const Module m = loop_module(32, 64);  // 2KB loop
   const ProfileResult r = profile(m, 1, {.max_events = 20'000});
   SimOptions small;
-  small.geometry = CacheGeometry{1024, 2, 64};
+  small.hierarchy.l1 = CacheGeometry{1024, 2, 64};
   const SimResult tight = simulate_solo(m, original_layout(m), r.block_trace,
                                         small);
   const SimResult roomy = simulate_solo(m, original_layout(m), r.block_trace);

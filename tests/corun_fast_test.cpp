@@ -78,7 +78,7 @@ class RefStream {
     }
     const BlockId b(symbols_[pos_]);
     const BasicBlock& bb = module_->block(b);
-    const auto span = layout_->lines_of(b, options_.geometry.line_bytes);
+    const auto span = layout_->lines_of(b, options_.geometry().line_bytes);
     const auto& place = layout_->placement(b);
     ++stats_.blocks;
     stats_.instructions += place.bytes / kInstrBytes;
@@ -127,7 +127,7 @@ struct RefParty {
 
 std::vector<SimResult> reference_corun(const std::vector<RefParty>& parties,
                                        const SimOptions& options) {
-  RefCache cache(options.geometry);
+  RefCache cache(options.geometry());
   std::vector<RefStream> streams;
   streams.reserve(parties.size());
   std::vector<double> credit(parties.size(), 0.0);
@@ -332,8 +332,8 @@ TEST(CorunFast, DegenerateGeometriesMatchPerEventReplay) {
   for (const CacheGeometry& geom : geometries) {
     for (const bool hw : {false, true}) {
       SimOptions options = hw ? hardware_proxy_options() : SimOptions{};
-      options.geometry = geom;
-      options.geometry.validate();
+      options.hierarchy.l1 = geom;
+      options.hierarchy.l1.validate();
       SCOPED_TRACE(std::string(hw ? "[hw]" : "[sim]") + " sets=" +
                    std::to_string(geom.sets()) +
                    " assoc=" + std::to_string(geom.associativity));
@@ -354,8 +354,8 @@ TEST(CorunFast, PlannedPartiesMatchModuleLayoutParties) {
   const Prepared a(spin_variant("470.lbm", 0.7, 48.0), 51, 20'000, 5'000);
   const Prepared b(spin_variant("403.gcc", 0.7, 48.0), 52, 20'000, 8'000);
   const SimOptions options = hardware_proxy_options();
-  const FetchPlan plan_a(a.module, a.layout, options.geometry.line_bytes);
-  const FetchPlan plan_b(b.module, b.layout, options.geometry.line_bytes);
+  const FetchPlan plan_a(a.module, a.layout, options.geometry().line_bytes);
+  const FetchPlan plan_b(b.module, b.layout, options.geometry().line_bytes);
 
   std::vector<CorunParty> legacy = {a.party(), b.party(1.3)};
   std::vector<PlannedParty> planned = {PlannedParty{&plan_a, &a.trace, 1.0},

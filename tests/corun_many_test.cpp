@@ -119,9 +119,9 @@ TEST(CorunSpec, ShimsAreBitIdenticalToSpec) {
   const SimOptions options = hardware_proxy_options();
 
   // Reference: the consolidated entry point with caller-built plans.
-  const FetchPlan plan_a(a.module, a.layout, options.geometry.line_bytes);
-  const FetchPlan plan_b(b.module, b.layout, options.geometry.line_bytes);
-  const FetchPlan plan_c(c.module, c.layout, options.geometry.line_bytes);
+  const FetchPlan plan_a(a.module, a.layout, options.geometry().line_bytes);
+  const FetchPlan plan_b(b.module, b.layout, options.geometry().line_bytes);
+  const FetchPlan plan_c(c.module, c.layout, options.geometry().line_bytes);
   CorunSpec spec;
   spec.options = options;
   spec.parties = {{&plan_a, &a.trace, 1.0},
@@ -151,7 +151,7 @@ TEST(CorunSpec, ShimsAreBitIdenticalToSpec) {
 TEST(CorunSpec, ValidatesMeasuredPartySpeed) {
   const Prepared a(16, 1);
   const SimOptions options;
-  const FetchPlan plan(a.module, a.layout, options.geometry.line_bytes);
+  const FetchPlan plan(a.module, a.layout, options.geometry().line_bytes);
   CorunSpec spec;
   spec.parties = {{&plan, &a.trace, 2.0}, {&plan, &a.trace, 1.0}};
   EXPECT_THROW(simulate_corun(spec), ContractError);

@@ -1,0 +1,148 @@
+// Golden guard for the hierarchy refactor (DESIGN.md §13): the
+// default-constructed HierarchySpec IS the legacy flat private L1I. Three
+// locks, from the bytes up:
+//   1. The canonical encoding of the default spec is pinned literally, so an
+//      accidental change to the paper defaults (geometry or latency ladder)
+//      fails here before it silently re-keys every cache and golden hash.
+//   2. Explicitly threading the default spec through SimOptions reproduces
+//      the pre-hierarchy solo checksums (golden_suite.inc) bit for bit over
+//      the full 29-workload suite, in both measurement flavours.
+//   3. The default spec is invisible in EvalKey identity: no "|g=" suffix,
+//      same to_string() as the legacy key.
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "cache/icache_sim.hpp"
+#include "exec/interpreter.hpp"
+#include "harness/eval.hpp"
+#include "harness/pipeline.hpp"
+#include "helpers.hpp"
+#include "layout/layout.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/spec.hpp"
+
+namespace codelayout {
+namespace {
+
+using testing::hash_sim;
+
+struct GoldenWorkload {
+  const char* name;
+  std::uint64_t profile_hash;
+  std::uint64_t functions_hash;
+  std::uint64_t eval_hash;
+  std::uint64_t pruned_hash;
+  std::uint64_t kept_events;
+  std::uint64_t reuse_hash;
+  std::uint64_t footprint_hash;
+  std::uint64_t trg_hash;
+  std::uint64_t solo_sim_hash;
+  std::uint64_t solo_hw_hash;
+};
+
+struct GoldenPipeline {
+  const char* name;
+  std::uint64_t sequence_hash[4];
+  std::uint64_t sim_hash[4];
+};
+
+#include "golden_suite.inc"
+
+TEST(HierarchyGolden, DefaultSpecEncodingIsPinned) {
+  // varint L1 triple (32768, 4, 64) + absent-L2 byte + three LE doubles
+  // (1.0, 7.0, 35.0). If this changes, every memo key, response-cache key,
+  // and wire payload changes identity with it — that must be deliberate.
+  static const unsigned char kExpected[] = {
+      0x80, 0x80, 0x02, 0x04, 0x40,                    // 32768 / 4 / 64
+      0x00,                                            // no L2
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f,  // l1_hit = 1.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x1c, 0x40,  // l2_hit = 7.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x80, 0x41, 0x40,  // memory = 35.0
+  };
+  const std::string encoded = HierarchySpec{}.encode();
+  ASSERT_EQ(encoded.size(), sizeof(kExpected));
+  for (std::size_t i = 0; i < sizeof(kExpected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(encoded[i]), kExpected[i])
+        << "byte " << i;
+  }
+  EXPECT_EQ(HierarchySpec::decode(encoded), HierarchySpec{});
+  EXPECT_EQ(HierarchySpec{}, kPaperHierarchy);
+}
+
+TEST(HierarchyGolden, DefaultSpecIsInvisibleInEvalKeys) {
+  const EvalRequest legacy =
+      EvalRequest::solo("429.mcf", kBBAffinity, Measure::kHardware);
+  const EvalRequest threaded = EvalRequest::solo(
+      "429.mcf", kBBAffinity, Measure::kHardware, HierarchySpec{});
+  EXPECT_EQ(legacy.key.to_string(), threaded.key.to_string());
+  EXPECT_EQ(legacy.key.to_string().find("|g="), std::string::npos);
+
+  HierarchySpec l2;
+  l2.l2 = CacheGeometry{256 * 1024, 8, 64};
+  const EvalRequest shared =
+      EvalRequest::solo("429.mcf", kBBAffinity, Measure::kHardware, l2);
+  EXPECT_NE(shared.key.to_string().find("|g=32K/4/64+l2=256K/8/64"),
+            std::string::npos)
+      << shared.key.to_string();
+}
+
+TEST(HierarchyGolden, ExplicitDefaultSpecMatchesLegacyChecksums) {
+  const PipelineConfig config;
+  ThreadPool pool(ThreadPool::default_threads());
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::vector<std::future<void>> pending;
+
+  for (const GoldenWorkload& row : kGoldenWorkloads) {
+    pending.push_back(pool.submit([&row, &config, &mu, &failures] {
+      std::vector<std::string> local;
+      const WorkloadSpec& spec = find_spec(row.name);
+      const Module module = build_workload(spec);
+      const ProfileResult eval =
+          profile(module, config.eval_seed,
+                  {.max_events = spec.eval_events, .max_call_depth = 64});
+      const CodeLayout original = original_layout(module);
+
+      // The spec is set explicitly, not inherited from the default member
+      // initializer: the threading itself is what is under test.
+      SimOptions sim_options;
+      sim_options.hierarchy = HierarchySpec{};
+      SimOptions hw_options = hardware_proxy_options();
+      hw_options.hierarchy = kPaperHierarchy;
+
+      const SimResult sim =
+          simulate_solo(module, original, eval.block_trace, sim_options);
+      if (hash_sim(sim) != row.solo_sim_hash) {
+        local.push_back(std::string(row.name) +
+                        ": explicit default spec diverged from the legacy "
+                        "simulator checksum");
+      }
+      if (sim.l2_probes != 0 || sim.l2_misses != 0) {
+        local.push_back(std::string(row.name) +
+                        ": flat hierarchy reported L2 traffic");
+      }
+      const SimResult hw =
+          simulate_solo(module, original, eval.block_trace, hw_options);
+      if (hash_sim(hw) != row.solo_hw_hash) {
+        local.push_back(std::string(row.name) +
+                        ": explicit default spec diverged from the legacy "
+                        "hardware-proxy checksum");
+      }
+
+      if (!local.empty()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::string& f : local) failures.push_back(std::move(f));
+      }
+    }));
+  }
+  for (auto& p : pending) p.get();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+}
+
+}  // namespace
+}  // namespace codelayout

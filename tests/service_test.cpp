@@ -186,13 +186,84 @@ TEST(ServiceProtocol, RejectsHostilePayloads) {
   bad_kind[2] = 17;
   EXPECT_THROW((void)decode_request_payload(bad_kind), ContractError);
 
-  // A corrupt embedded trace blob must throw, not crash.
+  // A corrupt embedded trace blob must throw, not crash. Aim the bit flip
+  // at the middle of the trace region: the payload ends with the v2
+  // hierarchy blob (length prefix + encoding), which must be skipped or
+  // the flip may land in a latency double and still decode cleanly.
   JobRequest stats;
   stats.kind = JobKind::kTraceStats;
   stats.trace = synthetic_trace();
   std::string stats_payload = encode_request_payload(stats);
-  stats_payload[stats_payload.size() / 2] ^= 0x5a;
+  const std::size_t hierarchy_tail = stats.hierarchy.encode().size() + 1;
+  ASSERT_GT(stats_payload.size(), hierarchy_tail);
+  stats_payload[(stats_payload.size() - hierarchy_tail) / 2] ^= 0x5a;
   EXPECT_THROW((void)decode_request_payload(stats_payload), std::exception);
+}
+
+TEST(ServiceProtocol, HierarchyRoundTripsThroughRequestPayload) {
+  JobRequest request = solo_request("429.mcf", kBBAffinity, Measure::kHardware);
+  request.hierarchy.l1 = CacheGeometry{16 * 1024, 2, 64};
+  request.hierarchy.l2 = CacheGeometry{256 * 1024, 8, 64};
+  request.hierarchy.l2_hit_cycles = 9.0;
+  request.hierarchy.memory_cycles = 41.0;
+
+  const JobRequest decoded =
+      decode_request_payload(encode_request_payload(request));
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.hierarchy.to_string(), "16K/2/64+l2=256K/8/64");
+
+  // The hierarchy is part of the job identity: a cached flat-L1 answer must
+  // never be served for the same workload under a different geometry.
+  const JobRequest flat =
+      solo_request("429.mcf", kBBAffinity, Measure::kHardware);
+  EXPECT_NE(request.canonical_key(), flat.canonical_key());
+
+  // An invalid spec on the wire (L2 smaller than L1) must be rejected at
+  // decode time, before any job touches the engine.
+  JobRequest bad = request;
+  bad.hierarchy.l2 = CacheGeometry{8 * 1024, 8, 64};
+  EXPECT_THROW((void)decode_request_payload(encode_request_payload(bad)),
+               ContractError);
+}
+
+TEST(ServiceProtocol, Version1PayloadsStillDecode) {
+  // A v1 request is today's encoding minus the trailing length-prefixed
+  // hierarchy blob. Decoding it under version=1 must succeed and leave the
+  // paper-default spec in place.
+  const JobRequest request =
+      solo_request("429.mcf", kBBAffinity, Measure::kHardware, 11);
+  std::string payload = encode_request_payload(request);
+  const std::size_t hierarchy_tail = request.hierarchy.encode().size() + 1;
+  ASSERT_GT(payload.size(), hierarchy_tail);
+  payload.resize(payload.size() - hierarchy_tail);
+  const JobRequest decoded = decode_request_payload(payload, /*version=*/1);
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.hierarchy, HierarchySpec{});
+  // The same bytes under v2 framing are a truncated payload, not a request.
+  EXPECT_THROW((void)decode_request_payload(payload), ContractError);
+
+  // A v1 response lacks the two trailing per-result varints. Build one by
+  // erasing them from a v2 encoding whose fields are all single-byte
+  // varints: 4 header bytes + 6 result bytes put the l2 pair at offset 10.
+  JobResponse response;
+  response.id = 5;
+  response.status = JobStatus::kOk;
+  SimResult r;
+  r.instructions = 100;
+  r.overhead_instructions = 2;
+  r.line_probes = 90;
+  r.demand_misses = 7;
+  r.wrong_path_misses = 1;
+  r.blocks = 12;
+  response.results = {r};
+  std::string response_payload = encode_response_payload(response);
+  ASSERT_EQ(response_payload[10], '\0');  // l2_probes = 0
+  ASSERT_EQ(response_payload[11], '\0');  // l2_misses = 0
+  response_payload.erase(10, 2);
+  const JobResponse decoded_response =
+      decode_response_payload(response_payload, /*version=*/1);
+  EXPECT_EQ(decoded_response, response);
+  EXPECT_THROW((void)decode_response_payload(response_payload), ContractError);
 }
 
 // ---- Response cache ---------------------------------------------------------
@@ -488,10 +559,13 @@ TEST(ServiceServer, SubmitRacingShutdownAlwaysDelivers) {
     submitters.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t) {
       submitters.emplace_back([&, t] {
+        // Pre-built name: keeps GCC 12's -Wrestrict checker away from the
+        // inlined char*+string concatenation it misdiagnoses at -O2.
+        std::string workload = "w";
+        workload += std::to_string(t % 2);
         for (int j = 0; j < kJobsPerThread; ++j) {
           server.submit(
-              solo_request("w" + std::to_string(t % 2), std::nullopt,
-                           Measure::kHardware,
+              solo_request(workload, std::nullopt, Measure::kHardware,
                            static_cast<std::uint64_t>(t * 100 + j + 1)),
               delivered.sink());
         }
@@ -591,6 +665,57 @@ TEST(ServiceSocket, GoldenRoundTripIsByteIdenticalToInProcess) {
   ASSERT_EQ(corun_remote.results.size(), 2u);
   EXPECT_EQ(corun_remote.results[0], corun_direct.self);
   EXPECT_EQ(corun_remote.results[1], corun_direct.peer);
+
+  server.shutdown();
+}
+
+TEST(ServiceSocket, NonDefaultHierarchyRoundTripsOverTheWire) {
+  const LabOptions options = LabOptions{}.threads(2);
+  ServerConfig config;
+  config.workers = 2;
+  ServiceServer server(config, std::make_unique<LabExecutor>(options));
+  const std::string socket_path = "svc_hier.sock";
+  server.listen_unix(socket_path);
+  ServiceClient client = ServiceClient::connect_unix(socket_path);
+
+  // A small L1 so the workload spills: L2 then absorbs conflict misses and
+  // the per-level split is visible (strictly fewer L2 misses than probes).
+  HierarchySpec spec;
+  spec.l1 = CacheGeometry{4 * 1024, 2, 64};
+  spec.l2 = CacheGeometry{256 * 1024, 8, 64};
+
+  JobRequest solo = solo_request("429.mcf", kBBAffinity, Measure::kHardware);
+  solo.hierarchy = spec;
+  const JobResponse solo_remote = client.call(solo);
+  ASSERT_EQ(solo_remote.status, JobStatus::kOk) << solo_remote.error;
+  ASSERT_EQ(solo_remote.results.size(), 1u);
+  // The L2 actually engaged, and the per-level counters survived the wire.
+  EXPECT_GT(solo_remote.results[0].l2_probes, 0u);
+  EXPECT_EQ(solo_remote.results[0].l2_probes,
+            solo_remote.results[0].demand_misses);
+  EXPECT_LT(solo_remote.results[0].l2_misses,
+            solo_remote.results[0].l2_probes);
+
+  Lab direct(LabOptions{}.threads(2));
+  EXPECT_EQ(solo_remote.results[0],
+            direct.solo("429.mcf", kBBAffinity, Measure::kHardware, spec));
+
+  JobRequest corun;
+  corun.id = 2;
+  corun.kind = JobKind::kCorun;
+  corun.measure = Measure::kHardware;
+  corun.hierarchy = spec;
+  corun.parties.push_back({"429.mcf", kBBAffinity, 1.0});
+  corun.parties.push_back({"458.sjeng", std::nullopt, 1.0});
+  const JobResponse corun_remote = client.call(corun);
+  ASSERT_EQ(corun_remote.status, JobStatus::kOk) << corun_remote.error;
+  const CorunResult& corun_direct =
+      direct.corun("429.mcf", kBBAffinity, "458.sjeng", std::nullopt,
+                   Measure::kHardware, spec);
+  ASSERT_EQ(corun_remote.results.size(), 2u);
+  EXPECT_EQ(corun_remote.results[0], corun_direct.self);
+  EXPECT_EQ(corun_remote.results[1], corun_direct.peer);
+  EXPECT_GT(corun_remote.results[0].l2_probes, 0u);
 
   server.shutdown();
 }
