@@ -16,6 +16,7 @@
 // one giant first-compute outlier. --json output is validated with the test
 // suite's JSON linter (exit 3 on invalid).
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -106,6 +107,21 @@ std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
   json.field("p99", report.latency.p99 / 1e6);
   json.field("max", static_cast<double>(report.latency.max) / 1e6);
   json.end_object();
+  json.begin_object("cost");
+  json.field("events", report.cost.events);
+  json.field("rounds_fast", report.cost.rounds_fast);
+  json.field("rounds_fallback", report.cost.rounds_fallback);
+  json.field("cache_probes", report.cost.cache_probes);
+  json.field("l2_probes", report.cost.l2_probes);
+  json.field("memo_hits", report.cost.memo_hits);
+  json.field("memo_misses", report.cost.memo_misses);
+  json.field("bytes_decoded", report.cost.bytes_decoded);
+  json.field("queue_wait_ms",
+             static_cast<double>(report.cost.queue_wait_nanos) / 1e6);
+  json.field("exec_wall_ms",
+             static_cast<double>(report.cost.wall_nanos) / 1e6);
+  json.field("cached_jobs", report.cost.cached_jobs);
+  json.end_object();
   if (server != nullptr) {
     const ServiceServer::Stats stats = server->stats();
     const ResponseCache::Stats cache = server->cache_stats();
@@ -113,6 +129,7 @@ std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
     json.field("submitted", stats.submitted);
     json.field("completed", stats.completed);
     json.field("cache_hits", stats.cache_hits);
+    json.field("introspected", stats.introspected);
     json.field("queue_peak", static_cast<std::uint64_t>(stats.queue_peak));
     json.field("cache_entries", static_cast<std::uint64_t>(cache.entries));
     json.field("cache_evictions", cache.evictions);
@@ -190,6 +207,33 @@ int main(int argc, char** argv) {
                      " ms"});
   std::printf("%s", table.render().c_str());
 
+  // Where the daemon's time and simulated work went, summed over every kOk
+  // response's CostReceipt (all-zero against a pre-v3 daemon).
+  TextTable cost({"cost", "total"});
+  cost.add_row({"events simulated", fmt_count(report.cost.events)});
+  cost.add_row({"rounds fast / fallback",
+                fmt_count(report.cost.rounds_fast) + " / " +
+                    fmt_count(report.cost.rounds_fallback)});
+  cost.add_row({"cache probes", fmt_count(report.cost.cache_probes)});
+  cost.add_row({"l2 probes", fmt_count(report.cost.l2_probes)});
+  cost.add_row({"memo hits / misses",
+                fmt_count(report.cost.memo_hits) + " / " +
+                    fmt_count(report.cost.memo_misses)});
+  cost.add_row({"request bytes decoded",
+                fmt_bytes(report.cost.bytes_decoded)});
+  cost.add_row({"queue wait",
+                fmt_fixed(static_cast<double>(report.cost.queue_wait_nanos) /
+                              1e6,
+                          3) +
+                    " ms"});
+  cost.add_row({"execute wall",
+                fmt_fixed(static_cast<double>(report.cost.wall_nanos) / 1e6,
+                          3) +
+                    " ms"});
+  cost.add_row({"jobs served from cache",
+                fmt_count(report.cost.cached_jobs)});
+  std::printf("%s", cost.render().c_str());
+
   const std::string json =
       json_report(load, report, server ? &*server : nullptr,
                   bench.hierarchy());
@@ -201,6 +245,43 @@ int main(int argc, char** argv) {
   }
 
   if (server) server->shutdown();
+
+  // Two-process trace: against an external daemon, fetch its absolute-
+  // timestamp export over the wire and splice it with our own so one
+  // Perfetto file shows the whole job — client service_call spans (pid 1)
+  // and daemon cache-lookup/queue-wait/execute spans (pid 2) joined by
+  // trace id. Self-hosted runs share one recorder, so the plain export
+  // already holds both sides.
+  if (!connect.empty() && !bench.trace_out.empty()) {
+    ServiceClient stat_client = ServiceClient::connect_unix(connect);
+    const std::string daemon_trace =
+        stat_client.introspect(IntrospectKind::kTraceExport);
+    TraceExportOptions local_options;
+    local_options.pid = 1;
+    local_options.process_name = "bench_service";
+    local_options.absolute_timestamps = true;
+    const std::string local_trace =
+        TraceRecorder::instance().export_chrome_trace(local_options);
+    const std::string merged =
+        merge_chrome_traces(local_trace, daemon_trace);
+    std::string merged_error;
+    if (!codelayout::testing::json_is_valid(merged, &merged_error)) {
+      std::fprintf(stderr, "invalid merged trace: %s\n",
+                   merged_error.c_str());
+      return 3;
+    }
+    std::ofstream out(bench.trace_out, std::ios::binary);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   bench.trace_out.c_str());
+      return 3;
+    }
+    out << merged;
+    std::fprintf(stderr, "merged two-process trace written to %s\n",
+                 bench.trace_out.c_str());
+    bench.trace_out.clear();  // finish_observability must not overwrite it
+  }
+
   finish_observability(bench, "bench_service");
   if (report.errors != 0) {
     std::fprintf(stderr, "%llu jobs reported errors\n",

@@ -19,6 +19,7 @@
 
 #include "harness/eval.hpp"
 #include "support/metrics.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout {
 
@@ -44,7 +45,11 @@ class MemoTable {
       }
       entry = it->second;
     }
+    // Per-job cost attribution: the ambient job's accumulator (when one is
+    // installed) counts owner-computes as misses and hit/wait as hits.
+    CostCounters* cost = current_job_context().cost;
     if (owner) {
+      if (cost) cost->memo_misses.fetch_add(1, std::memory_order_relaxed);
       const std::uint64_t wall0 = counters ? wall_nanos_now() : 0;
       const std::uint64_t cpu0 = counters ? thread_cpu_nanos_now() : 0;
       try {
@@ -59,6 +64,7 @@ class MemoTable {
       entry->done.store(true, std::memory_order_release);
       entry->latch.set_value();
     } else {
+      if (cost) cost->memo_hits.fetch_add(1, std::memory_order_relaxed);
       if (entry->done.load(std::memory_order_acquire)) {
         if (counters) counters->record_hit();
       } else {

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout::service {
 namespace {
@@ -21,6 +22,22 @@ std::uint64_t now_nanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Process-unique nonzero trace ids: a SplitMix64 stream seeded from the
+/// wall clock so two concurrently-started clients do not collide.
+std::uint64_t next_trace_id() {
+  static const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x =
+      seed + 0x9e3779b97f4a7c15ull * (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
 }
 
 void read_exact(int fd, char* buf, std::size_t n) {
@@ -86,6 +103,34 @@ ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
 }
 
 JobResponse ServiceClient::call(const JobRequest& request) {
+  if (TraceRecorder::instance().enabled() && request.trace_id == 0) {
+    // Assign a trace context and record the round trip under it: the daemon
+    // tags its spans with the same id, so a merged export joins on it.
+    JobRequest traced = request;
+    traced.trace_id = next_trace_id();
+    traced.span_id = 1;
+    ScopedJobContext scope(
+        JobContext{traced.trace_id, traced.span_id, nullptr});
+    CODELAYOUT_SPAN("service_call", "service",
+                    {"kind", job_kind_name(traced.kind)}, {"id", traced.id});
+    return roundtrip(traced);
+  }
+  return roundtrip(request);
+}
+
+std::string ServiceClient::introspect(IntrospectKind kind) {
+  JobRequest request;
+  request.kind = JobKind::kIntrospect;
+  request.introspect = kind;
+  request.priority = JobPriority::kInteractive;
+  JobResponse response = call(request);
+  CL_CHECK_MSG(response.status == JobStatus::kOk,
+               "introspect(" << introspect_kind_name(kind)
+                             << ") failed: " << response.error);
+  return std::move(response.introspect);
+}
+
+JobResponse ServiceClient::roundtrip(const JobRequest& request) {
   CL_CHECK_MSG(fd_ >= 0, "service client is not connected");
   const std::string frame = encode_request_frame(request);
   write_all(fd_, frame.data(), frame.size());
@@ -120,6 +165,8 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
   LatencyHistogram latency;  // atomics: shared across client threads
   std::atomic<std::uint64_t> ok{0}, errors{0}, rejected{0};
   MetricsRegistry& registry = MetricsRegistry::global();
+  // Per-client receipt partials, merged after the join (no contention).
+  std::vector<LoadGenReport::Cost> costs(options.clients);
 
   const std::uint64_t start = now_nanos();
   std::vector<std::thread> threads;
@@ -127,6 +174,7 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
   for (unsigned c = 0; c < options.clients; ++c) {
     threads.emplace_back([&, c] {
       ServiceClient& client = clients[c];
+      LoadGenReport::Cost& cost = costs[c];
       for (unsigned j = 0; j < options.jobs_per_client; ++j) {
         JobRequest request = options.mix[j % options.mix.size()];
         request.id = (static_cast<std::uint64_t>(c + 1) << 32) | (j + 1);
@@ -142,6 +190,20 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
           case JobStatus::kError: errors.fetch_add(1); break;
           case JobStatus::kRejected:
           case JobStatus::kShuttingDown: rejected.fetch_add(1); break;
+        }
+        if (response.status == JobStatus::kOk) {
+          const CostReceipt& receipt = response.receipt;
+          cost.events += receipt.events;
+          cost.rounds_fast += receipt.rounds_fast;
+          cost.rounds_fallback += receipt.rounds_fallback;
+          cost.cache_probes += receipt.cache_probes;
+          cost.l2_probes += receipt.l2_probes;
+          cost.memo_hits += receipt.memo_hits;
+          cost.memo_misses += receipt.memo_misses;
+          cost.bytes_decoded += receipt.bytes_decoded;
+          cost.queue_wait_nanos += receipt.queue_wait_nanos;
+          cost.wall_nanos += receipt.wall_nanos;
+          if (receipt.cached) ++cost.cached_jobs;
         }
       }
     });
@@ -160,6 +222,19 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
   report.jobs_per_sec =
       wall > 0.0 ? static_cast<double>(report.jobs) / wall : 0.0;
   report.latency = latency.summary();
+  for (const LoadGenReport::Cost& cost : costs) {
+    report.cost.events += cost.events;
+    report.cost.rounds_fast += cost.rounds_fast;
+    report.cost.rounds_fallback += cost.rounds_fallback;
+    report.cost.cache_probes += cost.cache_probes;
+    report.cost.l2_probes += cost.l2_probes;
+    report.cost.memo_hits += cost.memo_hits;
+    report.cost.memo_misses += cost.memo_misses;
+    report.cost.bytes_decoded += cost.bytes_decoded;
+    report.cost.queue_wait_nanos += cost.queue_wait_nanos;
+    report.cost.wall_nanos += cost.wall_nanos;
+    report.cost.cached_jobs += cost.cached_jobs;
+  }
   return report;
 }
 

@@ -30,9 +30,22 @@ class ServiceClient {
 
   /// Round-trips one job. Throws ContractError on a broken connection or a
   /// malformed/mismatched response frame.
+  ///
+  /// Trace propagation: when the local flight recorder is enabled and the
+  /// request carries no trace context, call() assigns a fresh trace id,
+  /// records a client-side "service_call" span tagged with it, and sends the
+  /// id to the daemon — so a merged client+daemon Perfetto export shows the
+  /// whole job joined on one trace id.
   [[nodiscard]] JobResponse call(const JobRequest& request);
 
+  /// Convenience kIntrospect round-trip (interactive priority, served inline
+  /// by the daemon). Returns the introspection document; throws
+  /// ContractError when the daemon answers with an error.
+  [[nodiscard]] std::string introspect(IntrospectKind kind);
+
  private:
+  [[nodiscard]] JobResponse roundtrip(const JobRequest& request);
+
   int fd_ = -1;
 };
 
@@ -57,6 +70,21 @@ struct LoadGenReport {
   double jobs_per_sec = 0.0;
   /// Client-observed per-job round-trip latency (includes queueing).
   LatencyHistogram::Summary latency;
+  /// CostReceipts summed over every kOk response: where the daemon's time
+  /// and simulated work went. All-zero against a pre-v3 daemon.
+  struct Cost {
+    std::uint64_t events = 0;
+    std::uint64_t rounds_fast = 0;
+    std::uint64_t rounds_fallback = 0;
+    std::uint64_t cache_probes = 0;
+    std::uint64_t l2_probes = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t bytes_decoded = 0;
+    std::uint64_t queue_wait_nanos = 0;
+    std::uint64_t wall_nanos = 0;
+    std::uint64_t cached_jobs = 0;  ///< responses served from the cache
+  } cost;
 };
 
 /// Drives the daemon with `clients` concurrent connections and returns the

@@ -165,9 +165,11 @@ SimResult get_sim_result(Reader& in, std::uint16_t version) {
 }
 
 /// One encoder for both the wire payload and the cache key: the key is the
-/// same body with the per-call fields (id, priority) normalized away.
+/// same body with the per-call fields (id, priority, trace context)
+/// normalized away.
 std::string encode_request_body(const JobRequest& request, std::uint64_t id,
-                                JobPriority priority) {
+                                JobPriority priority, std::uint64_t trace_id,
+                                std::uint64_t span_id, std::uint16_t version) {
   std::string out;
   put_varint(out, id);
   put_u8(out, static_cast<std::uint8_t>(priority));
@@ -183,16 +185,26 @@ std::string encode_request_body(const JobRequest& request, std::uint64_t id,
   }
   put_u8(out, request.cpi_speeds ? 1 : 0);
   put_trace(out, request.trace);
-  // v2 trailing field: the spec's canonical encoding, length-prefixed.
-  put_string(out, request.hierarchy.encode());
+  if (version >= 2) {
+    // v2 trailing field: the spec's canonical encoding, length-prefixed.
+    put_string(out, request.hierarchy.encode());
+  }
+  if (version >= 3) {
+    // v3 trailing fields: trace context + introspection selector.
+    put_varint(out, trace_id);
+    put_varint(out, span_id);
+    put_u8(out, static_cast<std::uint8_t>(request.introspect));
+  }
   return out;
 }
 
-std::string frame(FrameType type, const std::string& payload) {
+std::string frame(FrameType type, const std::string& payload,
+                  std::uint16_t version) {
   CL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                "service frame payload too large: " << payload.size()
                                                    << " bytes");
   FrameHeader header;
+  header.version = version;
   header.type = type;
   header.payload_len = static_cast<std::uint32_t>(payload.size());
   std::string out(kFrameHeaderBytes, '\0');
@@ -209,6 +221,19 @@ const char* job_kind_name(JobKind kind) {
     case JobKind::kLayout: return "layout";
     case JobKind::kCorun: return "corun";
     case JobKind::kTraceStats: return "trace-stats";
+    case JobKind::kIntrospect: return "introspect";
+  }
+  return "?";
+}
+
+const char* introspect_kind_name(IntrospectKind kind) {
+  switch (kind) {
+    case IntrospectKind::kStats: return "stats";
+    case IntrospectKind::kHealth: return "health";
+    case IntrospectKind::kMetricsJson: return "metrics-json";
+    case IntrospectKind::kPrometheus: return "prometheus";
+    case IntrospectKind::kRecentJobs: return "recent-jobs";
+    case IntrospectKind::kTraceExport: return "trace-export";
   }
   return "?";
 }
@@ -224,7 +249,8 @@ const char* job_status_name(JobStatus status) {
 }
 
 std::string JobRequest::canonical_key() const {
-  return encode_request_body(*this, 0, JobPriority::kNormal);
+  return encode_request_body(*this, 0, JobPriority::kNormal, 0, 0,
+                             kWireVersion);
 }
 
 std::string JobRequest::to_string() const {
@@ -235,6 +261,9 @@ std::string JobRequest::to_string() const {
       os << (i == 0 ? " " : " x ") << parties[i].workload << '|'
          << (parties[i].optimizer ? parties[i].optimizer->name() : "Original");
     }
+  } else if (kind == JobKind::kIntrospect) {
+    os << ' ' << introspect_kind_name(introspect);
+    return os.str();
   } else if (kind == JobKind::kTraceStats) {
     os << ' ' << trace.size() << " events";
   } else {
@@ -248,11 +277,14 @@ std::string JobRequest::to_string() const {
   return os.str();
 }
 
-std::string encode_request_payload(const JobRequest& request) {
-  return encode_request_body(request, request.id, request.priority);
+std::string encode_request_payload(const JobRequest& request,
+                                   std::uint16_t version) {
+  return encode_request_body(request, request.id, request.priority,
+                             request.trace_id, request.span_id, version);
 }
 
-std::string encode_response_payload(const JobResponse& response) {
+std::string encode_response_payload(const JobResponse& response,
+                                    std::uint16_t version) {
   std::string out;
   put_varint(out, response.id);
   put_u8(out, static_cast<std::uint8_t>(response.status));
@@ -268,6 +300,21 @@ std::string encode_response_payload(const JobResponse& response) {
   put_varint(out, response.trace_stats.runs);
   put_varint(out, response.trace_stats.distinct_symbols);
   put_varint(out, response.trace_stats.checksum);
+  if (version >= 3) {
+    // v3 trailing fields: the cost receipt + introspection document.
+    put_varint(out, response.receipt.events);
+    put_varint(out, response.receipt.rounds_fast);
+    put_varint(out, response.receipt.rounds_fallback);
+    put_varint(out, response.receipt.cache_probes);
+    put_varint(out, response.receipt.l2_probes);
+    put_varint(out, response.receipt.memo_hits);
+    put_varint(out, response.receipt.memo_misses);
+    put_varint(out, response.receipt.bytes_decoded);
+    put_varint(out, response.receipt.queue_wait_nanos);
+    put_varint(out, response.receipt.wall_nanos);
+    put_u8(out, response.receipt.cached ? 1 : 0);
+    put_string(out, response.introspect);
+  }
   return out;
 }
 
@@ -281,7 +328,11 @@ JobRequest decode_request_payload(std::string_view payload,
                "service payload: priority out of range");
   request.priority = static_cast<JobPriority>(priority);
   const std::uint8_t kind = in.u8();
-  CL_CHECK_MSG(kind <= static_cast<std::uint8_t>(JobKind::kTraceStats),
+  // kIntrospect exists only in v3: older frames carrying the byte are
+  // corrupt, not forward-compatible.
+  CL_CHECK_MSG(kind <= static_cast<std::uint8_t>(JobKind::kTraceStats) ||
+                   (version >= 3 &&
+                    kind <= static_cast<std::uint8_t>(JobKind::kIntrospect)),
                "service payload: job kind out of range");
   request.kind = static_cast<JobKind>(kind);
   const std::uint8_t measure = in.u8();
@@ -307,6 +358,15 @@ JobRequest decode_request_payload(std::string_view payload,
   if (version >= 2) {
     request.hierarchy = HierarchySpec::decode(in.str());
     request.hierarchy.validate();
+  }
+  if (version >= 3) {
+    request.trace_id = in.varint();
+    request.span_id = in.varint();
+    const std::uint8_t introspect = in.u8();
+    CL_CHECK_MSG(
+        introspect <= static_cast<std::uint8_t>(IntrospectKind::kTraceExport),
+        "service payload: introspect kind out of range");
+    request.introspect = static_cast<IntrospectKind>(introspect);
   }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after request");
   return request;
@@ -340,6 +400,22 @@ JobResponse decode_response_payload(std::string_view payload,
   response.trace_stats.runs = in.varint();
   response.trace_stats.distinct_symbols = in.varint();
   response.trace_stats.checksum = in.varint();
+  if (version >= 3) {
+    response.receipt.events = in.varint();
+    response.receipt.rounds_fast = in.varint();
+    response.receipt.rounds_fallback = in.varint();
+    response.receipt.cache_probes = in.varint();
+    response.receipt.l2_probes = in.varint();
+    response.receipt.memo_hits = in.varint();
+    response.receipt.memo_misses = in.varint();
+    response.receipt.bytes_decoded = in.varint();
+    response.receipt.queue_wait_nanos = in.varint();
+    response.receipt.wall_nanos = in.varint();
+    const std::uint8_t cached = in.u8();
+    CL_CHECK_MSG(cached <= 1, "service payload: bad receipt cached flag");
+    response.receipt.cached = cached != 0;
+    response.introspect = in.str();
+  }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after response");
   return response;
 }
@@ -389,12 +465,16 @@ FrameHeader decode_frame_header(const char in[kFrameHeaderBytes]) {
   return header;
 }
 
-std::string encode_request_frame(const JobRequest& request) {
-  return frame(FrameType::kRequest, encode_request_payload(request));
+std::string encode_request_frame(const JobRequest& request,
+                                 std::uint16_t version) {
+  return frame(FrameType::kRequest, encode_request_payload(request, version),
+               version);
 }
 
-std::string encode_response_frame(const JobResponse& response) {
-  return frame(FrameType::kResponse, encode_response_payload(response));
+std::string encode_response_frame(const JobResponse& response,
+                                  std::uint16_t version) {
+  return frame(FrameType::kResponse,
+               encode_response_payload(response, version), version);
 }
 
 }  // namespace codelayout::service

@@ -26,6 +26,14 @@
 // v1 -> v2: the request grew a trailing hierarchy field (the canonical
 // HierarchySpec encoding, length-prefixed; absent = the paper's flat L1I)
 // and each SimResult grew trailing l2_probes/l2_misses varints.
+//
+// v2 -> v3 (observability): the request grew trailing trace_id/span_id
+// varints (client-assigned trace context, 0 = none) plus an IntrospectKind
+// byte, and a new JobKind::kIntrospect reads the daemon's live state without
+// touching the worker queues. The response grew a trailing CostReceipt (per
+// -job cost attribution) and a length-prefixed introspection document.
+// Responses to v1/v2 requests are still stamped with the *request's* wire
+// version and omit every v3 field, so old clients see byte-identical frames.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +50,7 @@
 namespace codelayout::service {
 
 inline constexpr std::uint32_t kWireMagic = 0x434c5356;  // "CLSV"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Oldest version this build still decodes (append-only payload evolution).
 inline constexpr std::uint16_t kMinWireVersion = 1;
 /// Admission-time cap on one frame's payload (a full varint trace fits
@@ -56,6 +64,19 @@ enum class JobKind : std::uint8_t {
   kLayout = 1,      ///< optimized-layout summary of (workload, optimizer)
   kCorun = 2,       ///< N-party shared-cache co-run over `parties`
   kTraceStats = 3,  ///< statistics of the uploaded varint trace
+  kIntrospect = 4,  ///< v3: live daemon state; never queued, never cached
+};
+
+/// What a kIntrospect job reads. Served inline on the submitting thread —
+/// snapshots work even while every worker is saturated or the daemon is
+/// draining.
+enum class IntrospectKind : std::uint8_t {
+  kStats = 0,        ///< JSON: queue/cache/job counters + uptime
+  kHealth = 1,       ///< JSON: {"status":"ok"|"draining",...} liveness probe
+  kMetricsJson = 2,  ///< MetricsRegistry::to_json() (empty when disabled)
+  kPrometheus = 3,   ///< MetricsRegistry::dump_prometheus() text exposition
+  kRecentJobs = 4,   ///< JSON: {"recent":[...]} last completed, newest first
+  kTraceExport = 5,  ///< daemon-side Chrome trace JSON (absolute timestamps)
 };
 
 /// Queue class, highest first; FIFO within a class.
@@ -74,6 +95,7 @@ enum class JobStatus : std::uint8_t {
 
 [[nodiscard]] const char* job_kind_name(JobKind kind);
 [[nodiscard]] const char* job_status_name(JobStatus status);
+[[nodiscard]] const char* introspect_kind_name(IntrospectKind kind);
 
 /// One co-runner of a kCorun job — the wire shape of a CorunSpec party:
 /// the (workload, optimizer) pair resolves to a memoized fetch plan
@@ -105,6 +127,14 @@ struct JobRequest {
   /// Cache shape for kSolo / kCorun jobs (v2+). The default is the paper's
   /// flat L1I, which is also what a v1 request decodes to.
   HierarchySpec hierarchy{};
+  /// v3 trace context: a client-assigned correlation pair. 0 = no context.
+  /// The daemon tags every span it records for this job with the trace id,
+  /// so a merged client+daemon Perfetto export joins on it. Normalized away
+  /// in canonical_key(): tracing never perturbs response caching.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  /// v3: what a kIntrospect job reads (ignored for other kinds).
+  IntrospectKind introspect = IntrospectKind::kStats;
 
   friend bool operator==(const JobRequest&, const JobRequest&) = default;
 
@@ -140,6 +170,27 @@ struct TraceStatsResult {
                          const TraceStatsResult&) = default;
 };
 
+/// v3 per-job cost attribution, stamped on every response the daemon sends
+/// to a v3 client: where the job's time and simulated work went. For a
+/// response served from the daemon's cache, `cached` is true, the counts are
+/// the original computation's, and the timing fields are zero (the cache
+/// lookup itself is effectively free).
+struct CostReceipt {
+  std::uint64_t events = 0;           ///< instructions + overhead simulated
+  std::uint64_t rounds_fast = 0;      ///< co-run rounds collapsed arithmetically
+  std::uint64_t rounds_fallback = 0;  ///< co-run rounds replayed per event
+  std::uint64_t cache_probes = 0;     ///< L1I line probes across all results
+  std::uint64_t l2_probes = 0;        ///< shared-L2 demand probes
+  std::uint64_t memo_hits = 0;        ///< Lab memo cells served cached
+  std::uint64_t memo_misses = 0;      ///< Lab memo cells computed for this job
+  std::uint64_t bytes_decoded = 0;    ///< request payload bytes
+  std::uint64_t queue_wait_nanos = 0;
+  std::uint64_t wall_nanos = 0;       ///< execute wall time (0 when cached)
+  bool cached = false;
+
+  friend bool operator==(const CostReceipt&, const CostReceipt&) = default;
+};
+
 struct JobResponse {
   std::uint64_t id = 0;
   JobStatus status = JobStatus::kOk;
@@ -148,14 +199,21 @@ struct JobResponse {
   std::vector<SimResult> results;
   LayoutSummary layout;          ///< kLayout
   TraceStatsResult trace_stats;  ///< kTraceStats
+  CostReceipt receipt;           ///< v3: cost attribution (all-zero on v1/v2)
+  std::string introspect;        ///< v3: kIntrospect document (JSON or text)
 
   friend bool operator==(const JobResponse&, const JobResponse&) = default;
 };
 
 // ---- Payload codecs ---------------------------------------------------------
 
-[[nodiscard]] std::string encode_request_payload(const JobRequest& request);
-[[nodiscard]] std::string encode_response_payload(const JobResponse& response);
+/// `version` selects the payload schema: fields introduced after it are not
+/// written, so a v2-encoded response is byte-identical to what a v2 build
+/// produced. The server answers every request in the request's own version.
+[[nodiscard]] std::string encode_request_payload(
+    const JobRequest& request, std::uint16_t version = kWireVersion);
+[[nodiscard]] std::string encode_response_payload(
+    const JobResponse& response, std::uint16_t version = kWireVersion);
 
 /// Throw ContractError on any malformed payload (truncation, varint
 /// overflow, enum out of range, embedded-trace corruption, trailing bytes).
@@ -182,8 +240,11 @@ struct FrameHeader {
 void encode_frame_header(const FrameHeader& header, char out[kFrameHeaderBytes]);
 [[nodiscard]] FrameHeader decode_frame_header(const char in[kFrameHeaderBytes]);
 
-/// Header + payload in one buffer, ready for a socket write.
-[[nodiscard]] std::string encode_request_frame(const JobRequest& request);
-[[nodiscard]] std::string encode_response_frame(const JobResponse& response);
+/// Header + payload in one buffer, ready for a socket write. `version`
+/// stamps the header and selects the payload schema.
+[[nodiscard]] std::string encode_request_frame(
+    const JobRequest& request, std::uint16_t version = kWireVersion);
+[[nodiscard]] std::string encode_response_frame(
+    const JobResponse& response, std::uint16_t version = kWireVersion);
 
 }  // namespace codelayout::service

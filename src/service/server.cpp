@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/registry.hpp"
 #include "support/trace_recorder.hpp"
 
@@ -177,6 +178,8 @@ JobResponse LabExecutor::run(const JobRequest& request) {
             request.parties[1].workload, request.parties[1].optimizer,
             request.measure, request.hierarchy);
         response.results = {result.self, result.peer};
+        response.receipt.rounds_fast = result.stats.rounds_fast;
+        response.receipt.rounds_fallback = result.stats.rounds_fallback;
         return response;
       }
 
@@ -220,7 +223,10 @@ JobResponse LabExecutor::run(const JobRequest& request) {
         }
         spec.parties.push_back(p);
       }
-      response.results = simulate_corun(spec);
+      CorunStats corun_stats;
+      response.results = simulate_corun(spec, &corun_stats);
+      response.receipt.rounds_fast = corun_stats.rounds_fast;
+      response.receipt.rounds_fallback = corun_stats.rounds_fallback;
       return response;
     }
 
@@ -238,6 +244,14 @@ JobResponse LabExecutor::run(const JobRequest& request) {
       response.trace_stats.checksum = h;
       return response;
     }
+
+    case JobKind::kIntrospect:
+      // Introspection is answered inline by ServiceServer::submit and never
+      // reaches an executor; reaching here means a caller bypassed the
+      // server.
+      return error_response(request,
+                            "introspect jobs are served by the daemon, not "
+                            "the executor");
   }
   return error_response(request, "unknown job kind");
 }
@@ -246,7 +260,10 @@ JobResponse LabExecutor::run(const JobRequest& request) {
 
 ServiceServer::ServiceServer(ServerConfig config,
                              std::unique_ptr<JobExecutor> executor)
-    : config_(config), executor_(std::move(executor)), cache_(config.cache) {
+    : config_(config),
+      executor_(std::move(executor)),
+      cache_(config.cache),
+      start_nanos_(now_nanos()) {
   CL_CHECK_MSG(executor_ != nullptr, "service server needs an executor");
   CL_CHECK_MSG(config_.workers >= 1, "service server needs >= 1 worker");
   CL_CHECK_MSG(config_.queue_depth >= 1,
@@ -260,9 +277,25 @@ ServiceServer::ServiceServer(ServerConfig config,
 ServiceServer::~ServiceServer() { shutdown(); }
 
 void ServiceServer::submit(JobRequest request,
-                           std::function<void(JobResponse)> deliver) {
+                           std::function<void(JobResponse)> deliver,
+                           std::uint64_t request_bytes) {
   CL_CHECK_MSG(deliver != nullptr, "submit needs a deliver callback");
   bump("service.jobs.submitted");
+
+  if (request.kind == JobKind::kIntrospect) {
+    // Served inline on the submitting thread: no queue, no cache, works
+    // while every worker is saturated and while the server is draining.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.introspected;
+    }
+    bump("service.jobs.introspected");
+    JobResponse response = introspect_response(request);
+    response.receipt.bytes_decoded = request_bytes;
+    deliver(std::move(response));
+    return;
+  }
 
   // Admission control under the lock; every deliver call outside it.
   JobResponse inline_response;
@@ -280,12 +313,29 @@ void ServiceServer::submit(JobRequest request,
     }
   }
   if (!respond_inline && config_.cache_enabled) {
-    if (std::optional<JobResponse> hit = cache_.lookup(key)) {
+    std::optional<JobResponse> hit;
+    {
+      // The lookup runs under the request's trace context so its span joins
+      // the client's trace in a merged export.
+      ScopedJobContext scope(
+          JobContext{request.trace_id, request.span_id, nullptr});
+      CODELAYOUT_SPAN("cache_lookup", "service", {"id", request.id});
+      hit = cache_.lookup(key);
+    }
+    if (hit) {
       hit->id = request.id;
+      // The receipt keeps the original computation's counts; the cache
+      // lookup itself consumed no queue time or execute wall time.
+      hit->receipt.cached = true;
+      hit->receipt.queue_wait_nanos = 0;
+      hit->receipt.wall_nanos = 0;
+      hit->receipt.bytes_decoded = request_bytes;
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.cache_hits;
       }
+      push_recent(RecentJob{request.id, request.kind, hit->status,
+                            request.trace_id, 0, 0, true});
       deliver(std::move(*hit));
       return;
     }
@@ -311,8 +361,9 @@ void ServiceServer::submit(JobRequest request,
       bump("service.jobs.rejected");
     } else {
       const auto priority = static_cast<std::size_t>(request.priority);
-      queues_[priority].push_back(
-          QueuedJob{std::move(request), std::move(deliver), now_nanos()});
+      queues_[priority].push_back(QueuedJob{std::move(request),
+                                            std::move(deliver), now_nanos(),
+                                            request_bytes});
       ++queued_;
       stats_.queue_peak = std::max(stats_.queue_peak, queued_);
       lock.unlock();
@@ -354,7 +405,6 @@ void ServiceServer::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_;
-      ++stats_.completed;
     }
     idle_cv_.notify_all();
   }
@@ -362,29 +412,189 @@ void ServiceServer::worker_loop() {
 
 void ServiceServer::finish_job(QueuedJob job) {
   const std::uint64_t start = now_nanos();
+  const std::uint64_t queue_wait = start - job.enqueue_nanos;
   MetricsRegistry& registry = MetricsRegistry::global();
   if (registry.enabled()) {
-    registry.histogram("service.queue.wait_ns")
-        .record(start - job.enqueue_nanos);
+    registry.histogram("service.queue.wait_ns").record(queue_wait);
   }
+  CostCounters cost;
   JobResponse response;
   {
+    // Execute under the request's trace context: every span the job records
+    // — down through the Lab's stages and the kernels' fast paths — carries
+    // the client-assigned trace id, and the Lab's memo lookups report into
+    // `cost`. The accumulator outlives all of the job's pool tasks because
+    // the Lab's batch calls block until their tasks finish.
+    ScopedJobContext scope(
+        JobContext{job.request.trace_id, job.request.span_id, &cost});
+    if (TraceRecorder::instance().enabled()) {
+      TraceRecorder::instance().record_span("queue-wait", "service",
+                                            job.enqueue_nanos, queue_wait,
+                                            {SpanArg{"id", job.request.id}});
+    }
     CODELAYOUT_SPAN("service_job", "service",
-                    {"kind", job_kind_name(job.request.kind)});
+                    {"kind", job_kind_name(job.request.kind)},
+                    {"id", job.request.id});
     response = executor_->execute(job.request);
   }
+  const std::uint64_t wall = now_nanos() - start;
   if (registry.enabled()) {
-    registry.histogram("service.job.wall_ns").record(now_nanos() - start);
+    registry.histogram("service.job.wall_ns").record(wall);
     registry.counter("service.jobs.completed").add(1);
   }
+
+  // Cost attribution: simulated-work counts fall out of the results (so the
+  // receipt provably matches the SimResults it rides with), memo traffic out
+  // of the ambient accumulator, timing out of this function's own clocks.
+  // The executor already stamped rounds_fast/rounds_fallback.
+  CostReceipt& receipt = response.receipt;
+  for (const SimResult& r : response.results) {
+    receipt.events += r.instructions + r.overhead_instructions;
+    receipt.cache_probes += r.line_probes;
+    receipt.l2_probes += r.l2_probes;
+  }
+  receipt.memo_hits = cost.memo_hits.load(std::memory_order_relaxed);
+  receipt.memo_misses = cost.memo_misses.load(std::memory_order_relaxed);
+  receipt.bytes_decoded = job.request_bytes;
+  receipt.queue_wait_nanos = queue_wait;
+  receipt.wall_nanos = wall;
+
   if (config_.cache_enabled && response.status == JobStatus::kOk) {
     // Stored entries carry id 0 (the cache's documented contract); lookup
-    // callers re-stamp the requester's id on a hit.
+    // callers re-stamp the requester's id on a hit. The cached receipt keeps
+    // this computation's counts; hits overwrite the per-call fields.
     response.id = 0;
     cache_.insert(job.request.canonical_key(), response);
   }
   response.id = job.request.id;
+  push_recent(RecentJob{job.request.id, job.request.kind, response.status,
+                        job.request.trace_id, queue_wait, wall, false});
+  {
+    // Count the completion before the response leaves the building: a
+    // client that has its answer must see it reflected in a stats snapshot
+    // (service_stat polls a live daemon and benches read stats() right
+    // after their last response).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+  }
   job.deliver(std::move(response));
+}
+
+void ServiceServer::push_recent(const RecentJob& job) {
+  std::lock_guard<std::mutex> lock(recent_mu_);
+  recent_.push_front(job);
+  if (recent_.size() > kRecentJobsCapacity) recent_.pop_back();
+}
+
+std::vector<ServiceServer::RecentJob> ServiceServer::recent_jobs() const {
+  std::lock_guard<std::mutex> lock(recent_mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+JobResponse ServiceServer::introspect_response(const JobRequest& request) {
+  JobResponse response;
+  response.id = request.id;
+  switch (request.introspect) {
+    case IntrospectKind::kStats: {
+      Stats snapshot;
+      std::size_t queued = 0;
+      std::size_t inflight = 0;
+      bool draining = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        snapshot = stats_;
+        queued = queued_;
+        inflight = inflight_;
+        draining = draining_;
+      }
+      const ResponseCache::Stats cache = cache_.stats();
+      JsonWriter json;
+      json.field("status", draining ? "draining" : "ok")
+          .field("uptime_ns", now_nanos() - start_nanos_)
+          .field("workers", static_cast<std::uint64_t>(config_.workers))
+          .field("queue_depth",
+                 static_cast<std::uint64_t>(config_.queue_depth))
+          .field("queued", static_cast<std::uint64_t>(queued))
+          .field("inflight", static_cast<std::uint64_t>(inflight));
+      json.begin_object("jobs")
+          .field("submitted", snapshot.submitted)
+          .field("completed", snapshot.completed)
+          .field("cache_hits", snapshot.cache_hits)
+          .field("rejected", snapshot.rejected)
+          .field("shutdown_rejected", snapshot.shutdown_rejected)
+          .field("introspected", snapshot.introspected)
+          .field("queue_peak",
+                 static_cast<std::uint64_t>(snapshot.queue_peak))
+          .end_object();
+      json.begin_object("cache")
+          .field("enabled", config_.cache_enabled)
+          .field("hits", cache.hits)
+          .field("misses", cache.misses)
+          .field("insertions", cache.insertions)
+          .field("evictions", cache.evictions)
+          .field("entries", static_cast<std::uint64_t>(cache.entries))
+          .field("bytes", static_cast<std::uint64_t>(cache.bytes))
+          .end_object();
+      response.introspect = json.finish();
+      return response;
+    }
+
+    case IntrospectKind::kHealth: {
+      bool draining = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        draining = draining_;
+      }
+      JsonWriter json;
+      json.field("status", draining ? "draining" : "ok")
+          .field("uptime_ns", now_nanos() - start_nanos_);
+      response.introspect = json.finish();
+      return response;
+    }
+
+    case IntrospectKind::kMetricsJson:
+      response.introspect = MetricsRegistry::global().to_json();
+      return response;
+
+    case IntrospectKind::kPrometheus:
+      response.introspect = MetricsRegistry::global().dump_prometheus();
+      return response;
+
+    case IntrospectKind::kRecentJobs: {
+      const std::vector<RecentJob> recent = recent_jobs();
+      JsonWriter json;
+      json.field("count", static_cast<std::uint64_t>(recent.size()));
+      json.begin_array("recent");
+      for (const RecentJob& job : recent) {
+        json.begin_object()
+            .field("id", job.id)
+            .field("kind", job_kind_name(job.kind))
+            .field("status", job_status_name(job.status))
+            .field("trace_id", job.trace_id)
+            .field("queue_wait_ns", job.queue_wait_nanos)
+            .field("wall_ns", job.wall_nanos)
+            .field("cached", job.cached)
+            .end_object();
+      }
+      json.end_array();
+      response.introspect = json.finish();
+      return response;
+    }
+
+    case IntrospectKind::kTraceExport: {
+      // Absolute timestamps + a distinct pid: ready to merge with a client
+      // -side export into one two-process Perfetto file (the steady clock is
+      // shared machine-wide, so the tracks line up).
+      TraceExportOptions options;
+      options.pid = 2;
+      options.process_name = "service-daemon";
+      options.absolute_timestamps = true;
+      response.introspect =
+          TraceRecorder::instance().export_chrome_trace(options);
+      return response;
+    }
+  }
+  return error_response(request, "unknown introspect kind");
 }
 
 void ServiceServer::shutdown() {
@@ -525,8 +735,15 @@ void ServiceServer::connection_loop(int fd) {
     char header_bytes[kFrameHeaderBytes];
     if (!read_exact(fd, header_bytes, kFrameHeaderBytes)) break;
     JobRequest request;
+    // Answer in the client's dialect: pre-v3 requests get responses stamped
+    // wire version 2 with no v3 trailing fields — byte-identical to what a
+    // v2 build sent (which already stamped v2 on v1 requests). Unreadable
+    // headers fall back to our own version; that stream is garbage anyway.
+    std::uint16_t response_version = kWireVersion;
+    std::uint64_t request_bytes = 0;
     try {
       const FrameHeader header = decode_frame_header(header_bytes);
+      response_version = header.version >= 3 ? header.version : 2;
       CL_CHECK_MSG(header.type == FrameType::kRequest,
                    "service frame: expected a request frame");
       std::string payload(header.payload_len, '\0');
@@ -534,23 +751,28 @@ void ServiceServer::connection_loop(int fd) {
           !read_exact(fd, payload.data(), payload.size())) {
         break;
       }
+      request_bytes = header.payload_len;
       request = decode_request_payload(payload, header.version);
     } catch (const std::exception& e) {
       // The stream is desynchronized; report and hang up.
       JobResponse response;
       response.status = JobStatus::kError;
       response.error = e.what();
-      write_end->send_frame(encode_response_frame(response));
+      write_end->send_frame(encode_response_frame(response, response_version));
       break;
     }
     {
       std::lock_guard<std::mutex> lock(write_end->mu);
       ++write_end->pending;
     }
-    submit(std::move(request), [write_end](JobResponse response) {
-      write_end->send_frame(encode_response_frame(response));
-      write_end->job_done();
-    });
+    submit(
+        std::move(request),
+        [write_end, response_version](JobResponse response) {
+          write_end->send_frame(
+              encode_response_frame(response, response_version));
+          write_end->job_done();
+        },
+        request_bytes);
   }
 
   // EOF (or protocol error): flush in-flight responses, then hang up.

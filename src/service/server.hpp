@@ -92,10 +92,15 @@ class ServiceServer {
   ServiceServer& operator=(const ServiceServer&) = delete;
 
   /// Submits one job. `deliver` is invoked exactly once with the response:
-  /// inline for cache hits and admission failures (kRejected /
-  /// kShuttingDown), from a worker thread otherwise. `deliver` must be
+  /// inline for cache hits, admission failures (kRejected / kShuttingDown),
+  /// and kIntrospect jobs (served on the submitting thread, never queued or
+  /// cached — snapshots work even while every worker is saturated or the
+  /// server is draining), from a worker thread otherwise. `deliver` must be
   /// callable from any thread and must not re-enter the server.
-  void submit(JobRequest request, std::function<void(JobResponse)> deliver);
+  /// `request_bytes` is the wire payload size (stamped into the response's
+  /// CostReceipt; 0 for in-process callers).
+  void submit(JobRequest request, std::function<void(JobResponse)> deliver,
+              std::uint64_t request_bytes = 0);
 
   /// Blocking submit-and-wait.
   JobResponse call(const JobRequest& request);
@@ -118,6 +123,7 @@ class ServiceServer {
     std::uint64_t cache_hits = 0;     ///< answered from the response cache
     std::uint64_t rejected = 0;       ///< bounded-queue admission failures
     std::uint64_t shutdown_rejected = 0;  ///< arrived while draining
+    std::uint64_t introspected = 0;   ///< kIntrospect jobs served inline
     std::size_t queue_peak = 0;       ///< high-water queued depth
   };
   [[nodiscard]] Stats stats() const;
@@ -125,11 +131,26 @@ class ServiceServer {
     return cache_.stats();
   }
 
+  /// One completed (or cache-answered) job in the recent-jobs ring.
+  struct RecentJob {
+    std::uint64_t id = 0;
+    JobKind kind = JobKind::kSolo;
+    JobStatus status = JobStatus::kOk;
+    std::uint64_t trace_id = 0;
+    std::uint64_t queue_wait_nanos = 0;
+    std::uint64_t wall_nanos = 0;
+    bool cached = false;
+  };
+  /// Newest first; bounded at kRecentJobsCapacity.
+  static constexpr std::size_t kRecentJobsCapacity = 32;
+  [[nodiscard]] std::vector<RecentJob> recent_jobs() const;
+
  private:
   struct QueuedJob {
     JobRequest request;
     std::function<void(JobResponse)> deliver;
     std::uint64_t enqueue_nanos = 0;
+    std::uint64_t request_bytes = 0;
   };
 
   void worker_loop();
@@ -137,6 +158,8 @@ class ServiceServer {
   void accept_loop();
   void connection_loop(int fd);
   void close_socket();
+  [[nodiscard]] JobResponse introspect_response(const JobRequest& request);
+  void push_recent(const RecentJob& job);
 
   ServerConfig config_;
   std::unique_ptr<JobExecutor> executor_;
@@ -151,6 +174,12 @@ class ServiceServer {
   std::size_t inflight_ = 0;
   bool draining_ = false;
   Stats stats_;
+  const std::uint64_t start_nanos_;
+
+  /// Recent-jobs flight ring, guarded by its own mutex so introspection
+  /// never contends with admission control on mu_.
+  mutable std::mutex recent_mu_;
+  std::deque<RecentJob> recent_;
 
   std::vector<std::thread> workers_;
 

@@ -1,6 +1,7 @@
 #include "support/registry.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -63,6 +64,15 @@ LatencyHistogram::Summary LatencyHistogram::summary() const {
   out.p90 = quantile_from(snap, total, 0.90);
   out.p99 = quantile_from(snap, total, 0.99);
   return out;
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::bucket_counts() const {
+  std::array<std::uint64_t, kBuckets> snap{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -132,11 +142,79 @@ std::string MetricsRegistry::to_json(std::string_view name) const {
         .field("p50_ns", s.p50)
         .field("p90_ns", s.p90)
         .field("p99_ns", s.p99)
+        .field("sum_ns", s.sum)
         .field("sum_ms", static_cast<double>(s.sum) / 1e6)
         .end_object();
   }
   json.end_object();
   return json.finish();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; anything else maps to '_'.
+std::string prom_name(std::string_view prefix, std::string_view name,
+                      std::string_view suffix = {}) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size() + suffix.size());
+  out.append(prefix);
+  out.push_back('_');
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  out.append(suffix);
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out.append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::dump_prometheus(std::string_view prefix) const {
+  std::scoped_lock lock(mutex_);
+  std::string out;
+  for (const auto& [key, counter] : counters_) {
+    const std::string name = prom_name(prefix, key, "_total");
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    const std::string name = prom_name(prefix, key);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const std::string name = prom_name(prefix, key);
+    out += "# TYPE " + name + " histogram\n";
+    const auto buckets = histogram->bucket_counts();
+    std::size_t highest = 0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      total += buckets[i];
+      if (buckets[i] != 0) highest = i;
+    }
+    std::uint64_t cumulative = 0;
+    // Cumulative le boundaries at bucket upper edges: bucket i covers
+    // [2^i, 2^{i+1}), so its le is 2^{i+1}. Emit up to the highest populated
+    // bucket; +Inf carries the grand total.
+    for (std::size_t i = 0; total != 0 && i <= highest; ++i) {
+      cumulative += buckets[i];
+      out += name + "_bucket{le=\"";
+      append_double(out, std::ldexp(1.0, static_cast<int>(i) + 1));
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+    const LatencyHistogram::Summary s = histogram->summary();
+    out += name + "_sum " + std::to_string(s.sum) + "\n";
+    out += name + "_count " + std::to_string(total) + "\n";
+  }
+  return out;
 }
 
 void MetricsRegistry::write_json(const std::string& path,

@@ -76,6 +76,11 @@ class LatencyHistogram {
   /// mid-update can be off by in-flight samples (never torn per bucket).
   [[nodiscard]] Summary summary() const;
 
+  /// Relaxed snapshot of the raw per-bucket counts (bucket i counts samples
+  /// in [2^i, 2^{i+1}), bucket 0 in [0, 2)). Feeds the Prometheus cumulative
+  /// bucket exposition.
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
  private:
   [[nodiscard]] double quantile_from(
       const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t total,
@@ -114,13 +119,22 @@ class MetricsRegistry {
   void reset();
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
-  /// {count,min,max,mean,p50,p90,p99,*_ms...}}}. Histogram times are dumped
-  /// in both raw nanoseconds and milliseconds.
+  /// {count,min,max,mean,p50,p90,p99,sum_ns,*_ms...}}}. Histogram times are
+  /// dumped in both raw nanoseconds and milliseconds.
   [[nodiscard]] std::string to_json(std::string_view name = {}) const;
 
   /// to_json() + trailing newline written to `path`; throws ContractError on
   /// IO failure.
   void write_json(const std::string& path, std::string_view name = {}) const;
+
+  /// Prometheus text exposition (format version 0.0.4). Counters become
+  /// `<prefix>_<name>_total`, gauges `<prefix>_<name>`, histograms the
+  /// standard cumulative-bucket triplet (`_bucket{le="..."}` at power-of-two
+  /// boundaries up to the highest populated bucket plus `+Inf`, `_sum`,
+  /// `_count`), all in nanoseconds. Instrument names are sanitized to the
+  /// Prometheus charset (every other byte becomes '_').
+  [[nodiscard]] std::string dump_prometheus(
+      std::string_view prefix = "codelayout") const;
 
  private:
   std::atomic<bool> enabled_{false};

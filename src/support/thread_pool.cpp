@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "support/metrics.hpp"
@@ -27,7 +28,8 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  Item item{std::packaged_task<void()>(std::move(task)), 0};
+  Item item{std::packaged_task<void()>(std::move(task)), 0,
+            current_job_context()};
   if (TraceRecorder::instance().enabled() ||
       MetricsRegistry::global().enabled()) {
     item.enqueue_nanos = wall_nanos_now();
@@ -55,11 +57,20 @@ void ThreadPool::worker_loop(unsigned index) {
     }
 
     if (item.enqueue_nanos == 0) {
-      item.task();  // exceptions land in the task's future
+      if (item.context.active()) {
+        ScopedJobContext scope(item.context);
+        item.task();  // exceptions land in the task's future
+      } else {
+        item.task();
+      }
       continue;
     }
 
-    // Instrumented path: the enqueue stamp rode in with the task.
+    // Instrumented path: the enqueue stamp rode in with the task. The
+    // submitter's context is installed before the spans are recorded so that
+    // queue-wait/task spans carry the originating job's trace id too.
+    std::optional<ScopedJobContext> scope;
+    if (item.context.active()) scope.emplace(item.context);
     TraceRecorder& recorder = TraceRecorder::instance();
     MetricsRegistry& registry = MetricsRegistry::global();
     if (recorder.enabled() && !track_named) {

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/trace_recorder.hpp"
+
 namespace codelayout {
 
 class ThreadPool {
@@ -50,6 +52,10 @@ class ThreadPool {
     std::packaged_task<void()> task;
     /// Wall clock at submit; 0 when observability was off at enqueue.
     std::uint64_t enqueue_nanos = 0;
+    /// The submitter's ambient JobContext, re-installed around the task so
+    /// trace ids and cost accumulators survive the hop onto a pool thread.
+    /// Captured unconditionally: cost attribution works with tracing off.
+    JobContext context;
   };
 
   void worker_loop(unsigned index);

@@ -19,7 +19,18 @@ TraceRecorder& TraceRecorder::instance() {
 
 namespace {
 std::atomic<std::uint64_t> next_recorder_id{1};
+
+thread_local JobContext g_job_context;
 }  // namespace
+
+JobContext current_job_context() { return g_job_context; }
+
+ScopedJobContext::ScopedJobContext(JobContext context)
+    : saved_(g_job_context) {
+  g_job_context = context;
+}
+
+ScopedJobContext::~ScopedJobContext() { g_job_context = saved_; }
 
 TraceRecorder::TraceRecorder()
     : recorder_id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
@@ -56,6 +67,15 @@ void TraceRecorder::record_span(const char* name, const char* category,
                                 std::uint64_t start_nanos,
                                 std::uint64_t duration_nanos,
                                 std::vector<SpanArg> args) {
+  // Cross-process correlation: spans recorded under an ambient job context
+  // carry the propagated trace id, so a merged two-process export joins on
+  // it.
+  if (g_job_context.trace_id != 0) {
+    args.emplace_back("trace_id", std::to_string(g_job_context.trace_id));
+    if (g_job_context.span_id != 0) {
+      args.emplace_back("span_id", std::to_string(g_job_context.span_id));
+    }
+  }
   ThreadBuffer& buf = local_buffer();
   std::scoped_lock lock(buf.mutex);
   Span span{name, category, start_nanos, duration_nanos, std::move(args)};
@@ -103,13 +123,26 @@ void TraceRecorder::clear() {
   }
 }
 
-std::string TraceRecorder::export_chrome_trace() const {
+std::string TraceRecorder::export_chrome_trace(
+    const TraceExportOptions& options) const {
   std::scoped_lock registry_lock(registry_mutex_);
+  const std::uint64_t pid = options.pid;
+  const std::uint64_t base = options.absolute_timestamps ? 0 : base_nanos_;
   JsonWriter json;
   json.field("displayTimeUnit", "ns");
 
   std::uint64_t dropped = 0;
   json.begin_array("traceEvents");
+  if (!options.process_name.empty()) {
+    json.begin_object()
+        .field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", pid)
+        .begin_object("args")
+        .field("name", options.process_name)
+        .end_object()
+        .end_object();
+  }
   for (const auto& buf : buffers_) {
     std::scoped_lock lock(buf->mutex);
     dropped += buf->pushed - buf->ring.size();
@@ -119,7 +152,7 @@ std::string TraceRecorder::export_chrome_trace() const {
     json.begin_object()
         .field("name", "thread_name")
         .field("ph", "M")
-        .field("pid", std::uint64_t{1})
+        .field("pid", pid)
         .field("tid", std::uint64_t{buf->tid})
         .begin_object("args")
         .field("name", track_name)
@@ -136,10 +169,9 @@ std::string TraceRecorder::export_chrome_trace() const {
           .field("name", span.name)
           .field("cat", span.category)
           .field("ph", "X")
-          .field("ts",
-                 static_cast<double>(span.start_nanos - base_nanos_) / 1e3)
+          .field("ts", static_cast<double>(span.start_nanos - base) / 1e3)
           .field("dur", static_cast<double>(span.duration_nanos) / 1e3)
-          .field("pid", std::uint64_t{1})
+          .field("pid", pid)
           .field("tid", std::uint64_t{buf->tid});
       if (!span.args.empty()) {
         json.begin_object("args");
@@ -156,8 +188,86 @@ std::string TraceRecorder::export_chrome_trace() const {
   return json.finish();
 }
 
-void TraceRecorder::write_chrome_trace(const std::string& path) const {
-  const std::string doc = export_chrome_trace();
+namespace {
+
+/// Locates the contents of `"traceEvents":[ ... ]` inside a self-produced
+/// Chrome trace document: a string- and escape-aware scan, not a JSON
+/// parser, but exact on anything JsonWriter (or any standards-compliant
+/// serializer) emits.
+std::string_view trace_events_slice(std::string_view doc) {
+  static constexpr std::string_view kKey = "\"traceEvents\":";
+  std::size_t at = doc.find(kKey);
+  CL_CHECK_MSG(at != std::string_view::npos,
+               "merge_chrome_traces: no traceEvents array");
+  at += kKey.size();
+  while (at < doc.size() &&
+         (doc[at] == ' ' || doc[at] == '\t' || doc[at] == '\n')) {
+    ++at;
+  }
+  CL_CHECK_MSG(at < doc.size() && doc[at] == '[',
+               "merge_chrome_traces: traceEvents is not an array");
+  const std::size_t open = at;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        CL_CHECK_MSG(c == ']',
+                     "merge_chrome_traces: unbalanced traceEvents array");
+        return doc.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  CL_CHECK_MSG(false, "merge_chrome_traces: unterminated traceEvents array");
+  return {};  // unreachable
+}
+
+std::uint64_t dropped_spans_of(std::string_view doc) {
+  static constexpr std::string_view kKey = "\"dropped_spans\":";
+  const std::size_t at = doc.find(kKey);
+  if (at == std::string_view::npos) return 0;
+  std::uint64_t value = 0;
+  for (std::size_t i = at + kKey.size();
+       i < doc.size() && doc[i] >= '0' && doc[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(doc[i] - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(std::string_view a, std::string_view b) {
+  const std::string_view events_a = trace_events_slice(a);
+  const std::string_view events_b = trace_events_slice(b);
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out += R"({"displayTimeUnit":"ns","traceEvents":[)";
+  out += events_a;
+  if (!events_a.empty() && !events_b.empty()) out += ',';
+  out += events_b;
+  out += R"(],"otherData":{"dropped_spans":)";
+  out += std::to_string(dropped_spans_of(a) + dropped_spans_of(b));
+  out += "}}";
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path,
+                                       const TraceExportOptions& options) const {
+  const std::string doc = export_chrome_trace(options);
   std::FILE* file = std::fopen(path.c_str(), "w");
   CL_CHECK_MSG(file != nullptr, "cannot open trace output " << path);
   const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), file);

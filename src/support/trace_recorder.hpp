@@ -19,6 +19,15 @@
 // Export serializes every buffered span as Chrome trace-event JSON
 // ("traceEvents" complete events, ph:"X", microsecond timestamps) with one
 // track per recorded thread, plus thread_name metadata.
+//
+// Cross-process stitching (ISSUE 8): a thread can carry an ambient
+// JobContext — a client-assigned trace id / span id plus an optional
+// per-job cost accumulator. record_span tags every span recorded while a
+// context is active with its trace id, the thread pool re-installs the
+// submitter's context inside its workers, and exports can be parameterized
+// with a pid / process name / absolute timestamps so two processes' traces
+// merge (merge_chrome_traces) into one Perfetto file whose spans line up on
+// the shared steady clock and join on the propagated trace id.
 #pragma once
 
 #include <atomic>
@@ -50,6 +59,60 @@ struct SpanArg {
   std::string value;
 };
 
+/// Per-job cost accumulator. Atomic because one job's work fans out over
+/// pool threads that all report into the same accumulator; the owner must
+/// outlive every task submitted while it was ambient (the Lab's batch calls
+/// block until their tasks finish, so a stack-allocated accumulator around
+/// an executor call is safe).
+struct CostCounters {
+  std::atomic<std::uint64_t> memo_hits{0};    ///< memo lookups served cached
+  std::atomic<std::uint64_t> memo_misses{0};  ///< memo cells computed
+};
+
+/// Ambient per-thread job identity: the trace id / span id a client stamped
+/// on the request, plus an optional cost accumulator. Installed with
+/// ScopedJobContext; the thread pool captures the submitter's context at
+/// submit() and re-installs it around the task, so spans recorded deep in
+/// the Lab's fan-out still carry the originating job's trace id.
+struct JobContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no trace context
+  std::uint64_t span_id = 0;
+  CostCounters* cost = nullptr;
+
+  [[nodiscard]] bool active() const {
+    return trace_id != 0 || cost != nullptr;
+  }
+};
+
+/// The calling thread's ambient context (all-defaults when none installed).
+[[nodiscard]] JobContext current_job_context();
+
+/// RAII install/restore of the ambient JobContext (nests).
+class ScopedJobContext {
+ public:
+  explicit ScopedJobContext(JobContext context);
+  ~ScopedJobContext();
+
+  ScopedJobContext(const ScopedJobContext&) = delete;
+  ScopedJobContext& operator=(const ScopedJobContext&) = delete;
+
+ private:
+  JobContext saved_;
+};
+
+/// Knobs for export_chrome_trace. The defaults reproduce the classic
+/// single-process export byte for byte.
+struct TraceExportOptions {
+  /// The pid stamped on every event (Perfetto groups tracks by process).
+  std::uint32_t pid = 1;
+  /// Emitted as a process_name metadata event when non-empty.
+  std::string process_name;
+  /// false: ts is relative to this recorder's construction. true: ts is the
+  /// raw steady-clock reading — two processes on one machine share that
+  /// clock, so their absolute-timestamp exports align when merged.
+  bool absolute_timestamps = false;
+};
+
 class TraceRecorder {
  public:
   /// Default ring capacity per thread, in spans.
@@ -73,7 +136,9 @@ class TraceRecorder {
   /// exercise the wrap path).
   void set_ring_capacity(std::size_t spans);
 
-  /// Records one completed span on the calling thread's ring.
+  /// Records one completed span on the calling thread's ring. When the
+  /// calling thread carries an ambient JobContext with a trace id, the span
+  /// gains "trace_id" (and, when nonzero, "span_id") args automatically.
   void record_span(const char* name, const char* category,
                    std::uint64_t start_nanos, std::uint64_t duration_nanos,
                    std::vector<SpanArg> args);
@@ -90,11 +155,13 @@ class TraceRecorder {
   void clear();
 
   /// The full Chrome trace-event / Perfetto JSON document.
-  [[nodiscard]] std::string export_chrome_trace() const;
+  [[nodiscard]] std::string export_chrome_trace(
+      const TraceExportOptions& options = {}) const;
 
   /// export_chrome_trace() written to `path`; throws ContractError on IO
   /// failure.
-  void write_chrome_trace(const std::string& path) const;
+  void write_chrome_trace(const std::string& path,
+                          const TraceExportOptions& options = {}) const;
 
  private:
   struct Span {
@@ -127,6 +194,15 @@ class TraceRecorder {
   std::uint32_t next_tid_ = 1;
   std::size_t ring_capacity_ = kDefaultRingCapacity;
 };
+
+/// Splices the "traceEvents" arrays of two exported Chrome trace documents
+/// into one (e.g. a client-side export and a daemon-side export fetched over
+/// the introspection surface) and sums their dropped-span counts. Export
+/// both sides with distinct pids and absolute timestamps so the merged file
+/// shows two aligned process tracks. Throws ContractError when either
+/// document lacks a well-formed traceEvents array.
+[[nodiscard]] std::string merge_chrome_traces(std::string_view a,
+                                              std::string_view b);
 
 /// RAII span: captures the start time at construction and records the
 /// completed span at destruction. Inactive (one boolean test) when the

@@ -6,6 +6,8 @@
 #include <limits>
 #include <ostream>
 
+#include "support/registry.hpp"
+
 namespace codelayout {
 namespace {
 
@@ -110,6 +112,7 @@ void write_trace(std::ostream& os, const Trace& trace) {
 }
 
 Trace read_trace(std::istream& is) {
+  const std::istream::pos_type begin = is.tellg();
   CL_CHECK_MSG(get_u32(is) == kMagic, "bad trace magic");
   const std::uint32_t version = get_u32(is);
   CL_CHECK_MSG(version == kVersion || version == kVersionFixedPairs,
@@ -142,6 +145,18 @@ Trace read_trace(std::istream& is) {
     decoded += length;
   }
   CL_CHECK_MSG(decoded == events, "trace event count mismatch");
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("trace.io.traces_decoded").add(1);
+    // Seekable streams (files, stringstreams — every embedder we have)
+    // report exact decoded bytes; tellg() failing just skips the counter.
+    const std::istream::pos_type end = is.tellg();
+    if (begin != std::istream::pos_type(-1) &&
+        end != std::istream::pos_type(-1) && end > begin) {
+      registry.counter("trace.io.bytes_decoded")
+          .add(static_cast<std::uint64_t>(end - begin));
+    }
+  }
   return out;
 }
 

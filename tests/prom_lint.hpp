@@ -1,0 +1,224 @@
+// Minimal Prometheus text-exposition linter for tests: checks that a dump is
+// a sequence of well-formed comment / sample lines, and that every histogram
+// family's cumulative buckets are monotone, end in le="+Inf", and agree with
+// the family's _count sample. It validates the subset of the format that
+// MetricsRegistry::dump_prometheus emits (no HELP text required, no
+// timestamps, no exemplars) while rejecting anything structurally wrong.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace codelayout::testing {
+
+class PromLinter {
+ public:
+  explicit PromLinter(std::string_view text) : text_(text) {}
+
+  /// True when every line is well-formed and every histogram family is
+  /// internally consistent.
+  bool valid() {
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < text_.size()) {
+      std::size_t eol = text_.find('\n', pos);
+      if (eol == std::string_view::npos) {
+        return fail(line_no + 1, "missing trailing newline");
+      }
+      ++line_no;
+      const std::string_view line = text_.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        if (!comment_line(line_no, line)) return false;
+      } else {
+        if (!sample_line(line_no, line)) return false;
+      }
+    }
+    return histograms_consistent();
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Bucket {
+    std::string le;  ///< the raw le label value ("+Inf" or a number)
+    double count = 0.0;
+  };
+  struct Family {
+    std::vector<Bucket> buckets;
+    bool has_count = false;
+    double count = 0.0;
+    bool has_sum = false;
+  };
+
+  bool fail(std::size_t line_no, const std::string& what) {
+    if (error_.empty()) {
+      error_ = line_no == 0
+                   ? what
+                   : "line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  }
+
+  static bool name_ok(std::string_view name) {
+    if (name.empty()) return false;
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+    for (const char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool parse_value(std::string_view token, double* out) {
+    if (token.empty()) return false;
+    if (token == "+Inf" || token == "-Inf" || token == "NaN") {
+      *out = 0.0;  // accepted; magnitude irrelevant to the lint
+      return true;
+    }
+    const std::string copy(token);
+    char* end = nullptr;
+    const double v = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return false;
+    *out = v;
+    return true;
+  }
+
+  bool comment_line(std::size_t line_no, std::string_view line) {
+    // "# TYPE <name> <kind>" or "# HELP <name> <text>".
+    if (line.substr(0, 7) == "# TYPE ") {
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return fail(line_no, "TYPE line needs a metric kind");
+      }
+      const std::string_view name = rest.substr(0, space);
+      const std::string_view kind = rest.substr(space + 1);
+      if (!name_ok(name)) return fail(line_no, "bad metric name in TYPE");
+      if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+          kind != "summary" && kind != "untyped") {
+        return fail(line_no, "unknown metric kind '" + std::string(kind) + "'");
+      }
+      return true;
+    }
+    if (line.substr(0, 7) == "# HELP ") return true;
+    // Bare comments are legal in the exposition format.
+    if (line.size() >= 2 && line[1] == ' ') return true;
+    return line.size() == 1 || fail(line_no, "malformed comment line");
+  }
+
+  bool sample_line(std::size_t line_no, std::string_view line) {
+    // <name>[{label="value",...}] <value>
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string_view name = line.substr(0, i);
+    if (!name_ok(name)) {
+      return fail(line_no, "bad metric name '" + std::string(name) + "'");
+    }
+    std::string le;
+    bool has_le = false;
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        return fail(line_no, "unterminated label set");
+      }
+      std::string_view labels = line.substr(i + 1, close - i - 1);
+      while (!labels.empty()) {
+        const std::size_t eq = labels.find('=');
+        if (eq == std::string_view::npos) {
+          return fail(line_no, "label without '='");
+        }
+        const std::string_view key = labels.substr(0, eq);
+        if (!name_ok(key)) return fail(line_no, "bad label name");
+        labels.remove_prefix(eq + 1);
+        if (labels.size() < 2 || labels[0] != '"') {
+          return fail(line_no, "label value must be quoted");
+        }
+        const std::size_t endq = labels.find('"', 1);
+        if (endq == std::string_view::npos) {
+          return fail(line_no, "unterminated label value");
+        }
+        const std::string_view value = labels.substr(1, endq - 1);
+        if (key == "le") {
+          le = std::string(value);
+          has_le = true;
+        }
+        labels.remove_prefix(endq + 1);
+        if (!labels.empty()) {
+          if (labels[0] != ',') return fail(line_no, "expected ',' in labels");
+          labels.remove_prefix(1);
+        }
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(line_no, "expected ' ' before sample value");
+    }
+    double value = 0.0;
+    if (!parse_value(line.substr(i + 1), &value)) {
+      return fail(line_no, "bad sample value '" +
+                               std::string(line.substr(i + 1)) + "'");
+    }
+
+    // Histogram bookkeeping keyed by the family (name minus the suffix).
+    const std::string n(name);
+    if (n.size() > 7 && n.substr(n.size() - 7) == "_bucket") {
+      if (!has_le) return fail(line_no, "_bucket sample without an le label");
+      families_[n.substr(0, n.size() - 7)].buckets.push_back(
+          Bucket{le, value});
+    } else if (n.size() > 6 && n.substr(n.size() - 6) == "_count") {
+      Family& family = families_[n.substr(0, n.size() - 6)];
+      family.has_count = true;
+      family.count = value;
+    } else if (n.size() > 4 && n.substr(n.size() - 4) == "_sum") {
+      families_[n.substr(0, n.size() - 4)].has_sum = true;
+    }
+    return true;
+  }
+
+  bool histograms_consistent() {
+    for (const auto& [name, family] : families_) {
+      if (family.buckets.empty()) continue;  // _count/_sum without buckets:
+                                             // not a histogram family
+      double prev = -1.0;
+      for (const Bucket& bucket : family.buckets) {
+        if (bucket.count < prev) {
+          return fail(0, "histogram " + name + " buckets are not cumulative");
+        }
+        prev = bucket.count;
+      }
+      if (family.buckets.back().le != "+Inf") {
+        return fail(0, "histogram " + name + " is missing an le=\"+Inf\" "
+                                             "bucket");
+      }
+      if (!family.has_count) {
+        return fail(0, "histogram " + name + " has buckets but no _count");
+      }
+      if (family.count != family.buckets.back().count) {
+        return fail(0, "histogram " + name +
+                           " _count disagrees with the +Inf bucket");
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string error_;
+  std::map<std::string, Family> families_;
+};
+
+inline bool prom_is_valid(std::string_view text, std::string* error = nullptr) {
+  PromLinter lint(text);
+  const bool ok = lint.valid();
+  if (error != nullptr) *error = lint.error();
+  return ok;
+}
+
+}  // namespace codelayout::testing

@@ -20,11 +20,14 @@
 #include <gtest/gtest.h>
 
 #include "harness/options.hpp"
+#include "json_lint.hpp"
+#include "prom_lint.hpp"
 #include "service/cache.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "support/check.hpp"
+#include "support/trace_recorder.hpp"
 
 namespace codelayout::service {
 namespace {
@@ -188,15 +191,16 @@ TEST(ServiceProtocol, RejectsHostilePayloads) {
 
   // A corrupt embedded trace blob must throw, not crash. Aim the bit flip
   // at the middle of the trace region: the payload ends with the v2
-  // hierarchy blob (length prefix + encoding), which must be skipped or
-  // the flip may land in a latency double and still decode cleanly.
+  // hierarchy blob (length prefix + encoding) and the three v3 trailing
+  // bytes (trace_id, span_id, introspect), which must be skipped or the
+  // flip may land in a latency double and still decode cleanly.
   JobRequest stats;
   stats.kind = JobKind::kTraceStats;
   stats.trace = synthetic_trace();
   std::string stats_payload = encode_request_payload(stats);
-  const std::size_t hierarchy_tail = stats.hierarchy.encode().size() + 1;
-  ASSERT_GT(stats_payload.size(), hierarchy_tail);
-  stats_payload[(stats_payload.size() - hierarchy_tail) / 2] ^= 0x5a;
+  const std::size_t tail = stats.hierarchy.encode().size() + 1 + 3;
+  ASSERT_GT(stats_payload.size(), tail);
+  stats_payload[(stats_payload.size() - tail) / 2] ^= 0x5a;
   EXPECT_THROW((void)decode_request_payload(stats_payload), std::exception);
 }
 
@@ -227,19 +231,22 @@ TEST(ServiceProtocol, HierarchyRoundTripsThroughRequestPayload) {
 }
 
 TEST(ServiceProtocol, Version1PayloadsStillDecode) {
-  // A v1 request is today's encoding minus the trailing length-prefixed
-  // hierarchy blob. Decoding it under version=1 must succeed and leave the
-  // paper-default spec in place.
+  // A v1 request lacks the trailing length-prefixed hierarchy blob (v2) and
+  // the trace-context tail (v3). Decoding it under version=1 must succeed
+  // and leave the paper-default spec in place.
   const JobRequest request =
       solo_request("429.mcf", kBBAffinity, Measure::kHardware, 11);
-  std::string payload = encode_request_payload(request);
-  const std::size_t hierarchy_tail = request.hierarchy.encode().size() + 1;
-  ASSERT_GT(payload.size(), hierarchy_tail);
-  payload.resize(payload.size() - hierarchy_tail);
+  std::string payload = encode_request_payload(request, /*version=*/1);
+  // The versioned encoder and hand-truncation of the full encoding agree.
+  std::string truncated = encode_request_payload(request);
+  const std::size_t tail = request.hierarchy.encode().size() + 1 + 3;
+  ASSERT_GT(truncated.size(), tail);
+  truncated.resize(truncated.size() - tail);
+  EXPECT_EQ(payload, truncated);
   const JobRequest decoded = decode_request_payload(payload, /*version=*/1);
   EXPECT_EQ(decoded, request);
   EXPECT_EQ(decoded.hierarchy, HierarchySpec{});
-  // The same bytes under v2 framing are a truncated payload, not a request.
+  // The same bytes under current framing are a truncated payload.
   EXPECT_THROW((void)decode_request_payload(payload), ContractError);
 
   // A v1 response lacks the two trailing per-result varints. Build one by
@@ -256,7 +263,7 @@ TEST(ServiceProtocol, Version1PayloadsStillDecode) {
   r.wrong_path_misses = 1;
   r.blocks = 12;
   response.results = {r};
-  std::string response_payload = encode_response_payload(response);
+  std::string response_payload = encode_response_payload(response, 2);
   ASSERT_EQ(response_payload[10], '\0');  // l2_probes = 0
   ASSERT_EQ(response_payload[11], '\0');  // l2_misses = 0
   response_payload.erase(10, 2);
@@ -643,13 +650,41 @@ TEST(ServiceSocket, GoldenRoundTripIsByteIdenticalToInProcess) {
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].id = i + 1;
+    // Pin the trace context so the receipt's byte count stays deterministic
+    // under CODELAYOUT_TRACE=1 (the client assigns ids only when unset).
+    jobs[i].trace_id = i + 1;
+    jobs[i].span_id = 1;
     const JobResponse remote = client.call(jobs[i]);
     const JobResponse expected = local.execute(jobs[i]);
-    // Byte-identical on the wire, not merely approximately equal.
-    EXPECT_EQ(encode_response_payload(remote),
-              encode_response_payload(expected))
+    // Byte-identical on the wire, not merely approximately equal. Compared
+    // in the v2 encoding: the v3 CostReceipt carries wall-clock timings,
+    // which are real per-call data, not determinism violations.
+    EXPECT_EQ(encode_response_payload(remote, 2),
+              encode_response_payload(expected, 2))
         << jobs[i].to_string();
-    EXPECT_EQ(remote, expected) << jobs[i].to_string();
+    JobResponse remote_core = remote;
+    JobResponse expected_core = expected;
+    remote_core.receipt = CostReceipt{};
+    expected_core.receipt = CostReceipt{};
+    EXPECT_EQ(remote_core, expected_core) << jobs[i].to_string();
+    // The receipt's simulated-work counts must match the SimResults they
+    // ride with (the acceptance contract for per-job cost attribution).
+    if (remote.status == JobStatus::kOk) {
+      std::uint64_t events = 0;
+      std::uint64_t probes = 0;
+      std::uint64_t l2 = 0;
+      for (const SimResult& r : remote.results) {
+        events += r.instructions + r.overhead_instructions;
+        probes += r.line_probes;
+        l2 += r.l2_probes;
+      }
+      EXPECT_EQ(remote.receipt.events, events) << jobs[i].to_string();
+      EXPECT_EQ(remote.receipt.cache_probes, probes) << jobs[i].to_string();
+      EXPECT_EQ(remote.receipt.l2_probes, l2) << jobs[i].to_string();
+      EXPECT_EQ(remote.receipt.bytes_decoded,
+                encode_request_payload(jobs[i]).size())
+          << jobs[i].to_string();
+    }
   }
 
   // Spot-check against the Lab directly: the service path reports exactly
@@ -766,6 +801,356 @@ TEST(ServiceSocket, GarbageFramesGetAnErrorResponseAndHangup) {
   EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
   ::close(fd);
   server.shutdown();
+}
+
+// ---- Observability: v3 tail hardening, introspection, trace context ---------
+
+TEST(ServiceProtocol, TraceContextDoesNotPerturbTheCanonicalKey) {
+  JobRequest plain = solo_request("429.mcf", kBBAffinity, Measure::kHardware);
+  JobRequest traced = plain;
+  traced.trace_id = 0xdeadbeefcafef00dull;
+  traced.span_id = 17;
+  // Tracing is observability, never identity: a traced request must hit the
+  // same cache entry as an untraced one.
+  EXPECT_EQ(plain.canonical_key(), traced.canonical_key());
+}
+
+TEST(ServiceProtocol, IntrospectRequestsRoundTripEveryKind) {
+  for (const IntrospectKind kind :
+       {IntrospectKind::kStats, IntrospectKind::kHealth,
+        IntrospectKind::kMetricsJson, IntrospectKind::kPrometheus,
+        IntrospectKind::kRecentJobs, IntrospectKind::kTraceExport}) {
+    JobRequest request;
+    request.id = 77;
+    request.kind = JobKind::kIntrospect;
+    request.introspect = kind;
+    request.trace_id = 5;
+    request.span_id = 2;
+    const JobRequest decoded =
+        decode_request_payload(encode_request_payload(request));
+    EXPECT_EQ(decoded, request) << introspect_kind_name(kind);
+  }
+}
+
+TEST(ServiceProtocol, RejectsHostileV3Tails) {
+  JobRequest request = solo_request("429.mcf", kBBAffinity,
+                                    Measure::kHardware, 9);
+  request.trace_id = 1234567;
+  request.span_id = 3;
+  const std::string payload = encode_request_payload(request);
+
+  // Truncating anywhere inside the v3 tail (trace varint, span varint,
+  // introspect byte) must throw, never decode half a context.
+  for (std::size_t cut = 1; cut <= 5 && cut < payload.size(); ++cut) {
+    EXPECT_THROW(static_cast<void>(decode_request_payload(
+                     std::string_view(payload).substr(0, payload.size() - cut))),
+                 ContractError)
+        << "cut " << cut;
+  }
+
+  // Introspect byte out of range.
+  std::string bad_introspect = payload;
+  bad_introspect.back() = '\x66';
+  EXPECT_THROW(static_cast<void>(decode_request_payload(bad_introspect)),
+               ContractError);
+
+  // kIntrospect is a v3 kind: the same bytes under a v2 header are hostile.
+  JobRequest introspect;
+  introspect.kind = JobKind::kIntrospect;
+  const std::string v3_only = encode_request_payload(introspect);
+  EXPECT_THROW(static_cast<void>(decode_request_payload(v3_only, 2)),
+               ContractError);
+
+  // Response side: truncated receipt and a cached flag that is not 0/1.
+  JobResponse response;
+  response.id = 9;
+  response.receipt.events = 1000;
+  response.receipt.wall_nanos = 500;
+  const std::string rpayload = encode_response_payload(response);
+  for (std::size_t cut = 1; cut <= 4; ++cut) {
+    EXPECT_THROW(
+        static_cast<void>(decode_response_payload(
+            std::string_view(rpayload).substr(0, rpayload.size() - cut))),
+        ContractError)
+        << "cut " << cut;
+  }
+  JobResponse flagged;
+  flagged.receipt.cached = true;
+  std::string bad_cached = encode_response_payload(flagged);
+  // The cached byte sits right before the (empty varint-length) introspect
+  // string at the payload's end.
+  bad_cached[bad_cached.size() - 2] = '\x02';
+  EXPECT_THROW(static_cast<void>(decode_response_payload(bad_cached)),
+               ContractError);
+}
+
+/// Connects a raw AF_UNIX stream to `path` (test-side plumbing for speaking
+/// old wire dialects on purpose).
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+/// Sends one pre-encoded frame and reads back one whole response frame.
+/// Returns (header, payload).
+std::pair<FrameHeader, std::string> raw_roundtrip(int fd,
+                                                  const std::string& frame) {
+  EXPECT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  char header_bytes[kFrameHeaderBytes];
+  std::size_t got = 0;
+  while (got < sizeof(header_bytes)) {
+    const ssize_t r =
+        ::recv(fd, header_bytes + got, sizeof(header_bytes) - got, 0);
+    EXPECT_GT(r, 0);
+    if (r <= 0) return {};
+    got += static_cast<std::size_t>(r);
+  }
+  const FrameHeader header = decode_frame_header(header_bytes);
+  std::string payload(header.payload_len, '\0');
+  got = 0;
+  while (got < payload.size()) {
+    const ssize_t r = ::recv(fd, payload.data() + got, payload.size() - got, 0);
+    EXPECT_GT(r, 0);
+    if (r <= 0) return {};
+    got += static_cast<std::size_t>(r);
+  }
+  return {header, std::move(payload)};
+}
+
+TEST(ServiceSocket, OlderClientsGetByteIdenticalV2Responses) {
+  ServerConfig config;
+  config.workers = 1;
+  config.cache_enabled = false;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_versions.sock";
+  server.listen_unix(socket_path);
+
+  JobRequest job =
+      solo_request("429.mcf", std::nullopt, Measure::kHardware, 21);
+  // Pin the trace context: with CODELAYOUT_TRACE=1 the client would assign
+  // random ids, and the receipt's byte count must stay deterministic.
+  job.trace_id = 0xfeed;
+  job.span_id = 1;
+
+  // A v3 client sees a receipt stamped with real timings.
+  ServiceClient v3_client = ServiceClient::connect_unix(socket_path);
+  const JobResponse v3 = v3_client.call(job);
+  ASSERT_EQ(v3.status, JobStatus::kOk);
+  EXPECT_GT(v3.receipt.wall_nanos, 0u);
+  EXPECT_EQ(v3.receipt.bytes_decoded, encode_request_payload(job).size());
+
+  // v1 and v2 clients get answers stamped v2 with no receipt bytes — and
+  // byte-identical to each other (the daemon answers in the caller's
+  // dialect, so old clients see exactly what a v2 build sent).
+  const int v1_fd = raw_connect(socket_path);
+  const auto [v1_header, v1_payload] =
+      raw_roundtrip(v1_fd, encode_request_frame(job, 1));
+  const int v2_fd = raw_connect(socket_path);
+  const auto [v2_header, v2_payload] =
+      raw_roundtrip(v2_fd, encode_request_frame(job, 2));
+  EXPECT_EQ(v1_header.version, 2u);
+  EXPECT_EQ(v2_header.version, 2u);
+  EXPECT_EQ(v1_payload, v2_payload);
+
+  // The v2 payload is exactly the v3 response minus its receipt tail.
+  JobResponse expected = v3;
+  expected.receipt = CostReceipt{};
+  expected.introspect.clear();
+  EXPECT_EQ(v2_payload, encode_response_payload(expected, 2));
+  const JobResponse decoded = decode_response_payload(v2_payload, 2);
+  EXPECT_EQ(decoded.receipt, CostReceipt{});
+
+  ::close(v1_fd);
+  ::close(v2_fd);
+  server.shutdown();
+}
+
+TEST(ServiceSocket, TruncatedFrameDoesNotWedgeTheServer) {
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_trunc.sock";
+  server.listen_unix(socket_path);
+
+  // A v3 header promising more payload than ever arrives: the connection
+  // dies, the server does not.
+  const std::string frame = encode_request_frame(
+      solo_request("429.mcf", std::nullopt, Measure::kHardware, 2));
+  const int fd = raw_connect(socket_path);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size() - 3, 0),
+            static_cast<ssize_t>(frame.size() - 3));
+  ::shutdown(fd, SHUT_WR);
+  char byte;
+  while (::recv(fd, &byte, 1, 0) > 0) {
+  }
+  ::close(fd);
+
+  // Fresh clients still get service afterwards.
+  ServiceClient client = ServiceClient::connect_unix(socket_path);
+  const JobResponse response =
+      client.call(solo_request("w", std::nullopt, Measure::kHardware, 3));
+  EXPECT_EQ(response.status, JobStatus::kOk);
+  server.shutdown();
+}
+
+TEST(ServiceServer, IntrospectionServedWhileWorkersSaturated) {
+  auto owned = std::make_unique<GatedExecutor>();
+  GatedExecutor* gate = owned.get();
+  ServiceServer server(small_config(1, 8), std::move(owned));
+
+  // Saturate: one job in flight (blocked in the gate), one queued.
+  Deliveries deliveries;
+  server.submit(solo_request("a", std::nullopt, Measure::kHardware, 1),
+                deliveries.sink());
+  server.submit(solo_request("b", std::nullopt, Measure::kHardware, 2),
+                deliveries.sink());
+  gate->wait_started(1);
+
+  // Introspection bypasses the queue entirely: it answers inline while the
+  // only worker is wedged.
+  JobRequest stats_request;
+  stats_request.id = 90;
+  stats_request.kind = JobKind::kIntrospect;
+  stats_request.introspect = IntrospectKind::kStats;
+  const JobResponse stats = server.call(stats_request);
+  ASSERT_EQ(stats.status, JobStatus::kOk);
+  std::string error;
+  EXPECT_TRUE(testing::json_is_valid(stats.introspect, &error))
+      << error << "\n"
+      << stats.introspect;
+  EXPECT_NE(stats.introspect.find("\"inflight\":1"), std::string::npos)
+      << stats.introspect;
+  EXPECT_NE(stats.introspect.find("\"queued\":1"), std::string::npos);
+  EXPECT_NE(stats.introspect.find("\"status\":\"ok\""), std::string::npos);
+
+  JobRequest health_request;
+  health_request.kind = JobKind::kIntrospect;
+  health_request.introspect = IntrospectKind::kHealth;
+  const JobResponse health = server.call(health_request);
+  ASSERT_EQ(health.status, JobStatus::kOk);
+  EXPECT_NE(health.introspect.find("\"uptime_ns\""), std::string::npos);
+
+  // Introspect jobs count as introspected, never as completed work, and
+  // never enter the worker queues.
+  EXPECT_EQ(server.stats().introspected, 2u);
+  EXPECT_EQ(server.stats().completed, 0u);
+
+  gate->open();
+  server.shutdown();
+  EXPECT_EQ(deliveries.all().size(), 2u);
+}
+
+TEST(ServiceServer, RecentJobsRingKeepsNewestCapped) {
+  ServerConfig config;
+  config.workers = 1;
+  config.cache_enabled = true;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+
+  const std::size_t total = ServiceServer::kRecentJobsCapacity + 8;
+  for (std::size_t i = 1; i <= total; ++i) {
+    const JobResponse response = server.call(
+        solo_request("w" + std::to_string(i), std::nullopt,
+                     Measure::kHardware, i));
+    ASSERT_EQ(response.status, JobStatus::kOk);
+  }
+  // One repeat: served from the cache, still recorded in the ring.
+  const JobResponse repeat = server.call(solo_request(
+      "w" + std::to_string(total), std::nullopt, Measure::kHardware, 999));
+  ASSERT_EQ(repeat.status, JobStatus::kOk);
+  EXPECT_TRUE(repeat.receipt.cached);
+
+  const std::vector<ServiceServer::RecentJob> recent = server.recent_jobs();
+  ASSERT_EQ(recent.size(), ServiceServer::kRecentJobsCapacity);
+  EXPECT_EQ(recent.front().id, 999u);  // newest first
+  EXPECT_TRUE(recent.front().cached);
+  EXPECT_EQ(recent.front().wall_nanos, 0u);
+  EXPECT_EQ(recent[1].id, total);
+  EXPECT_FALSE(recent[1].cached);
+
+  // The same ring serves the kRecentJobs introspection document.
+  JobRequest request;
+  request.kind = JobKind::kIntrospect;
+  request.introspect = IntrospectKind::kRecentJobs;
+  const JobResponse doc = server.call(request);
+  ASSERT_EQ(doc.status, JobStatus::kOk);
+  std::string error;
+  EXPECT_TRUE(testing::json_is_valid(doc.introspect, &error)) << error;
+  EXPECT_NE(doc.introspect.find("\"count\":32"), std::string::npos)
+      << doc.introspect;
+  EXPECT_NE(doc.introspect.find("\"id\":999"), std::string::npos);
+  server.shutdown();
+}
+
+TEST(ServiceSocket, ClientIntrospectHelperFetchesLintCleanDocs) {
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_introspect.sock";
+  server.listen_unix(socket_path);
+  ServiceClient client = ServiceClient::connect_unix(socket_path);
+
+  const std::string stats = client.introspect(IntrospectKind::kStats);
+  std::string error;
+  EXPECT_TRUE(testing::json_is_valid(stats, &error)) << error << "\n" << stats;
+  EXPECT_NE(stats.find("\"workers\":1"), std::string::npos);
+
+  const std::string prom = client.introspect(IntrospectKind::kPrometheus);
+  EXPECT_TRUE(testing::prom_is_valid(prom, &error)) << error << "\n" << prom;
+
+  const std::string trace = client.introspect(IntrospectKind::kTraceExport);
+  EXPECT_TRUE(testing::json_is_valid(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  server.shutdown();
+}
+
+TEST(ServiceSocket, TracedCallTagsClientAndDaemonSpansWithOneId) {
+  TraceRecorder::instance().clear();
+  TraceRecorder::instance().enable();
+  ServerConfig config;
+  config.workers = 1;
+  ServiceServer server(config, std::make_unique<CountingExecutor>());
+  const std::string socket_path = "svc_traced.sock";
+  server.listen_unix(socket_path);
+  {
+    ServiceClient client = ServiceClient::connect_unix(socket_path);
+    const JobResponse response = client.call(
+        solo_request("429.mcf", std::nullopt, Measure::kHardware, 4));
+    ASSERT_EQ(response.status, JobStatus::kOk);
+  }
+  server.shutdown();
+  TraceRecorder::instance().disable();
+
+  // The daemon recorded the job with the client-assigned (nonzero) trace id.
+  const std::vector<ServiceServer::RecentJob> recent = server.recent_jobs();
+  ASSERT_FALSE(recent.empty());
+  const std::uint64_t trace_id = recent.front().trace_id;
+  EXPECT_NE(trace_id, 0u);
+
+  // In-process both sides share one recorder: the export must show the
+  // client-side service_call span AND the daemon-side service_job span
+  // tagged with the same trace id.
+  const std::string doc = TraceRecorder::instance().export_chrome_trace();
+  TraceRecorder::instance().clear();
+  std::string error;
+  ASSERT_TRUE(testing::json_is_valid(doc, &error)) << error;
+  const std::string tag = "\"trace_id\":\"" + std::to_string(trace_id) + "\"";
+  std::size_t tagged = 0;
+  for (std::size_t pos = doc.find(tag); pos != std::string::npos;
+       pos = doc.find(tag, pos + 1)) {
+    ++tagged;
+  }
+  EXPECT_GE(tagged, 2u) << doc;
+  EXPECT_NE(doc.find("\"name\":\"service_call\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"service_job\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"queue-wait\""), std::string::npos);
 }
 
 TEST(ServiceSocket, ConcurrentClientsAllGetTheirOwnAnswers) {

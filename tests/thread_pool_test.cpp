@@ -53,6 +53,33 @@ TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, SubmitCapturesJobContextIntoWorkers) {
+  ThreadPool pool(2);
+  CostCounters cost;
+  std::atomic<std::uint64_t> seen_trace{0};
+  std::atomic<CostCounters*> seen_cost{nullptr};
+  {
+    // The submitter's ambient context rides along with the task — with
+    // tracing off too, so cost attribution works in production paths.
+    ScopedJobContext scope(JobContext{777, 3, &cost});
+    pool.submit([&] {
+        const JobContext& context = current_job_context();
+        seen_trace.store(context.trace_id);
+        seen_cost.store(context.cost);
+      })
+        .get();
+  }
+  EXPECT_EQ(seen_trace.load(), 777u);
+  EXPECT_EQ(seen_cost.load(), &cost);
+
+  // A task submitted with no ambient context runs context-free: the worker
+  // must not leak the previous task's ids.
+  std::atomic<bool> context_free{false};
+  pool.submit([&] { context_free.store(!current_job_context().active()); })
+      .get();
+  EXPECT_TRUE(context_free.load());
+}
+
 TEST(StageCountersTest, SnapshotReflectsRecordedEvents) {
   StageCounters counters;
   counters.record_hit();

@@ -218,6 +218,125 @@ TEST(TraceRecorderTest, ConcurrentSpansExportValidJson) {
             count_occurrences(doc, R"("name":"outer")"));
 }
 
+TEST(JobContextTest, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(current_job_context().active());
+  {
+    ScopedJobContext outer(JobContext{42, 1, nullptr});
+    EXPECT_TRUE(current_job_context().active());
+    EXPECT_EQ(current_job_context().trace_id, 42u);
+    {
+      CostCounters cost;
+      ScopedJobContext inner(JobContext{99, 7, &cost});
+      EXPECT_EQ(current_job_context().trace_id, 99u);
+      EXPECT_EQ(current_job_context().span_id, 7u);
+      EXPECT_EQ(current_job_context().cost, &cost);
+    }
+    // The inner scope restores the outer context, not "no context".
+    EXPECT_EQ(current_job_context().trace_id, 42u);
+    EXPECT_EQ(current_job_context().cost, nullptr);
+  }
+  EXPECT_FALSE(current_job_context().active());
+}
+
+TEST(JobContextTest, SpansRecordedUnderContextCarryTraceId) {
+  ObservabilityOff guard;
+  TraceRecorder::instance().clear();
+  TraceRecorder::instance().enable();
+  {
+    ScopedJobContext scope(JobContext{12345, 6, nullptr});
+    CODELAYOUT_SPAN("traced", "test", {"extra", "arg"});
+  }
+  { CODELAYOUT_SPAN("untraced", "test"); }
+  const std::string doc = TraceRecorder::instance().export_chrome_trace();
+  std::string error;
+  ASSERT_TRUE(json_is_valid(doc, &error)) << error;
+  // The context-tagged span carries decimal trace/span ids alongside its own
+  // args; the context-free span carries neither.
+  const std::size_t traced = doc.find(R"("name":"traced")");
+  const std::size_t untraced = doc.find(R"("name":"untraced")");
+  ASSERT_NE(traced, std::string::npos);
+  ASSERT_NE(untraced, std::string::npos);
+  EXPECT_NE(doc.find(R"("trace_id":"12345")"), std::string::npos) << doc;
+  EXPECT_NE(doc.find(R"("span_id":"6")"), std::string::npos);
+  EXPECT_NE(doc.find(R"("extra":"arg")"), std::string::npos);
+  EXPECT_EQ(count_occurrences(doc, R"("trace_id")"), 1u);
+}
+
+TEST(TraceRecorderTest, ExportOptionsControlPidNameAndTimebase) {
+  TraceRecorder recorder;
+  recorder.enable();
+  recorder.record_span("s", "test", 5000, 100, {});
+  // Default export: pid 1, timestamps relative to the earliest span, no
+  // process_name metadata. Must be byte-identical to the no-options call.
+  const std::string plain = recorder.export_chrome_trace();
+  EXPECT_EQ(plain, recorder.export_chrome_trace(TraceExportOptions{}));
+  EXPECT_NE(plain.find(R"("pid":1)"), std::string::npos);
+  EXPECT_EQ(plain.find(R"("process_name")"), std::string::npos);
+
+  TraceExportOptions options;
+  options.pid = 2;
+  options.process_name = "daemon";
+  options.absolute_timestamps = true;
+  const std::string tagged = recorder.export_chrome_trace(options);
+  std::string error;
+  ASSERT_TRUE(json_is_valid(tagged, &error)) << error;
+  EXPECT_NE(tagged.find(R"("pid":2)"), std::string::npos);
+  EXPECT_EQ(tagged.find(R"("pid":1)"), std::string::npos);
+  EXPECT_NE(tagged.find(R"("name":"process_name")"), std::string::npos);
+  EXPECT_NE(tagged.find(R"("name":"daemon")"), std::string::npos);
+  // Absolute timestamps keep the raw steady-clock stamp (5000ns = 5us);
+  // the default export rebases against the enable() time instead.
+  EXPECT_NE(tagged.find(R"("ts":5,)"), std::string::npos) << tagged;
+  EXPECT_EQ(plain.find(R"("ts":5,)"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, MergeChromeTracesSplicesBothProcesses) {
+  TraceRecorder client;
+  client.enable();
+  client.record_span("service_call", "service", 1000, 900, {});
+  TraceRecorder daemon;
+  daemon.set_ring_capacity(2);
+  daemon.enable();
+  for (int i = 0; i < 5; ++i) {
+    daemon.record_span("service_job", "service", 1200 + i, 100, {});
+  }
+
+  TraceExportOptions client_options;
+  client_options.pid = 1;
+  client_options.process_name = "client";
+  client_options.absolute_timestamps = true;
+  TraceExportOptions daemon_options;
+  daemon_options.pid = 2;
+  daemon_options.process_name = "daemon";
+  daemon_options.absolute_timestamps = true;
+
+  const std::string merged =
+      merge_chrome_traces(client.export_chrome_trace(client_options),
+                          daemon.export_chrome_trace(daemon_options));
+  std::string error;
+  ASSERT_TRUE(json_is_valid(merged, &error)) << error << "\n" << merged;
+  EXPECT_NE(merged.find(R"("name":"service_call")"), std::string::npos);
+  EXPECT_NE(merged.find(R"("name":"service_job")"), std::string::npos);
+  EXPECT_NE(merged.find(R"("name":"client")"), std::string::npos);
+  EXPECT_NE(merged.find(R"("name":"daemon")"), std::string::npos);
+  EXPECT_EQ(count_occurrences(merged, R"("traceEvents")"), 1u);
+  // Drop counts sum across the inputs: the daemon ring dropped 3 of 5.
+  EXPECT_NE(merged.find(R"("dropped_spans":3)"), std::string::npos) << merged;
+}
+
+TEST(TraceRecorderTest, MergeToleratesAnEmptySide) {
+  TraceRecorder empty;
+  empty.enable();
+  TraceRecorder full;
+  full.enable();
+  full.record_span("only", "test", 10, 5, {});
+  const std::string merged = merge_chrome_traces(
+      empty.export_chrome_trace(), full.export_chrome_trace());
+  std::string error;
+  ASSERT_TRUE(json_is_valid(merged, &error)) << error << "\n" << merged;
+  EXPECT_NE(merged.find(R"("name":"only")"), std::string::npos);
+}
+
 // Observability must never perturb results: the analysis kernels return
 // bit-identical outputs with tracing + metrics on and off.
 TEST(TraceRecorderTest, KernelResultsIdenticalWithObservabilityOn) {

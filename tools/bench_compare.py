@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh bench JSON against a checked-in baseline.
+
+Usage:
+    bench_compare.py --baseline BENCH_x.json --fresh fresh_x.json \
+                     [--baseline ... --fresh ...] [--threshold 0.5]
+
+Walks the baseline document and, for every metric it recognizes, checks the
+fresh run against it:
+
+  * keys containing "checksum" must match exactly (simulation outputs are
+    deterministic: a mismatch is a correctness bug, never noise);
+  * throughput keys (events_per_sec, jobs_per_sec) must satisfy
+    fresh >= baseline * (1 - threshold);
+  * latency keys (mean, p50, p90, p99, max, wall_seconds) must satisfy
+    fresh <= baseline / (1 - threshold).
+
+Everything else (speedups, in-run baselines, nondeterministic cost wall
+times) is skipped — the walk is baseline-driven, so adding fields to fresh
+output never breaks the gate. Lists of objects are aligned by an identity
+key (workload / self+peer / name / threads) when one exists, by index
+otherwise. Exits 0 when every pair passes, 1 on any regression, 2 on bad
+input. Fresh files may carry leading non-JSON lines (bench table output);
+the last parseable JSON document wins.
+"""
+
+import argparse
+import json
+import sys
+
+THROUGHPUT_KEYS = {"events_per_sec", "jobs_per_sec"}
+LATENCY_KEYS = {"mean", "p50", "p90", "p99", "max", "wall_seconds"}
+IDENTITY_KEYS = ("workload", "self", "name", "threads", "bench")
+
+
+def load_json_lenient(path):
+    """Parse `path` as JSON, tolerating leading table output: falls back to
+    the last line that parses as a JSON document."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    for line in reversed(text.splitlines()):
+        line = line.strip()
+        if not line or line[0] not in "[{":
+            continue
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            continue
+    raise ValueError(f"{path}: no parseable JSON document found")
+
+
+def identity(item):
+    if not isinstance(item, dict):
+        return None
+    parts = [f"{k}={item[k]}" for k in IDENTITY_KEYS if k in item]
+    if "peer" in item:
+        parts.append(f"peer={item['peer']}")
+    return "/".join(parts) if parts else None
+
+
+def align(baseline_list, fresh_list):
+    """Pairs baseline entries with fresh entries by identity key, falling
+    back to positional alignment. Yields (label, baseline_item, fresh_item);
+    fresh_item is None when the fresh run is missing the entry."""
+    fresh_by_id = {}
+    for item in fresh_list:
+        key = identity(item)
+        if key is not None:
+            fresh_by_id.setdefault(key, item)
+    for index, base in enumerate(baseline_list):
+        key = identity(base)
+        if key is not None and key in fresh_by_id:
+            yield key, base, fresh_by_id[key]
+        elif key is None and index < len(fresh_list):
+            yield f"[{index}]", base, fresh_list[index]
+        else:
+            yield key or f"[{index}]", base, None
+
+
+class Gate:
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.failures = []
+        self.checked = 0
+        self.skipped = 0
+
+    def compare(self, path, base, fresh):
+        if isinstance(base, dict):
+            if not isinstance(fresh, dict):
+                self.failures.append(f"{path}: fresh is not an object")
+                return
+            for key, value in base.items():
+                if key in fresh:
+                    self.compare_leaf(f"{path}.{key}", key, value, fresh[key])
+                elif isinstance(value, (dict, list)) or self.gated(key):
+                    self.failures.append(f"{path}.{key}: missing from fresh run")
+            return
+        if isinstance(base, list):
+            if not isinstance(fresh, list):
+                self.failures.append(f"{path}: fresh is not a list")
+                return
+            for label, base_item, fresh_item in align(base, fresh):
+                if fresh_item is None:
+                    self.failures.append(f"{path}[{label}]: missing from fresh run")
+                else:
+                    self.compare(f"{path}[{label}]", base_item, fresh_item)
+
+    def gated(self, key):
+        return ("checksum" in key or key in THROUGHPUT_KEYS
+                or key in LATENCY_KEYS)
+
+    def compare_leaf(self, path, key, base, fresh):
+        if isinstance(base, (dict, list)):
+            self.compare(path, base, fresh)
+            return
+        if "checksum" in key:
+            self.checked += 1
+            if base != fresh:
+                self.failures.append(
+                    f"{path}: checksum mismatch (baseline {base}, fresh {fresh})")
+        elif key in THROUGHPUT_KEYS and isinstance(base, (int, float)):
+            self.checked += 1
+            floor = base * (1.0 - self.threshold)
+            if not isinstance(fresh, (int, float)) or fresh < floor:
+                self.failures.append(
+                    f"{path}: throughput regressed (baseline {base:.4g}, "
+                    f"fresh {fresh}, floor {floor:.4g})")
+        elif key in LATENCY_KEYS and isinstance(base, (int, float)):
+            self.checked += 1
+            ceiling = base / (1.0 - self.threshold)
+            if not isinstance(fresh, (int, float)) or fresh > ceiling:
+                self.failures.append(
+                    f"{path}: latency regressed (baseline {base:.4g}, "
+                    f"fresh {fresh}, ceiling {ceiling:.4g})")
+        else:
+            self.skipped += 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", action="append", default=[],
+                        help="checked-in baseline JSON (repeatable)")
+    parser.add_argument("--fresh", action="append", default=[],
+                        help="fresh bench output, paired with --baseline in order")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="allowed fractional regression in (0, 1); "
+                             "throughput floor = baseline*(1-t), latency "
+                             "ceiling = baseline/(1-t) (default 0.5)")
+    args = parser.parse_args()
+
+    if not args.baseline or len(args.baseline) != len(args.fresh):
+        print("bench_compare: need matching --baseline/--fresh pairs",
+              file=sys.stderr)
+        return 2
+    if not (0.0 < args.threshold < 1.0):
+        print("bench_compare: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    gate = Gate(args.threshold)
+    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+        try:
+            baseline = load_json_lenient(baseline_path)
+            fresh = load_json_lenient(fresh_path)
+        except (OSError, ValueError) as err:
+            print(f"bench_compare: {err}", file=sys.stderr)
+            return 2
+        gate.compare(baseline_path, baseline, fresh)
+
+    print(f"bench_compare: {gate.checked} metrics gated, "
+          f"{gate.skipped} informational fields skipped, "
+          f"threshold {args.threshold}")
+    for failure in gate.failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    if gate.failures:
+        print(f"bench_compare: {len(gate.failures)} regression(s)",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
