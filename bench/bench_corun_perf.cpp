@@ -40,6 +40,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/icache_sim.hpp"
@@ -538,7 +539,13 @@ void append_format(std::string& out, const char* fmt, ...) {
 }
 
 std::string json_report(const std::vector<PairReport>& pairs) {
-  std::string out = "[\n";
+  // host_cores gates cross-machine throughput comparison downstream
+  // (tools/bench_compare.py); checksums stay exact everywhere.
+  std::string out;
+  append_format(out,
+                "{\"bench\": \"corun_perf\", \"host_cores\": %u,"
+                " \"pairs\": [\n",
+                std::thread::hardware_concurrency());
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     const PairReport& r = pairs[p];
     append_format(out,
@@ -600,7 +607,7 @@ std::string json_report(const std::vector<PairReport>& pairs) {
     }
     append_format(out, "}");
   }
-  out += "\n]\n";
+  out += "\n]}\n";
   return out;
 }
 

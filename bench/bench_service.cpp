@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -91,6 +92,10 @@ std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
                         const HierarchySpec& hierarchy) {
   JsonWriter json;
   json.field("bench", "service");
+  // Cross-machine throughput comparison is refused downstream when core
+  // counts differ (tools/bench_compare.py).
+  json.field("host_cores",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.field("geometry", hierarchy.to_string());
   json.field("clients", load.clients);
   json.field("jobs_per_client", load.jobs_per_client);
@@ -121,6 +126,9 @@ std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
   json.field("exec_wall_ms",
              static_cast<double>(report.cost.wall_nanos) / 1e6);
   json.field("cached_jobs", report.cost.cached_jobs);
+  // v4 receipts: adaptive-dispatch decisions summed over every kOk response.
+  json.field("dispatch_run", report.cost.dispatch_run);
+  json.field("dispatch_flat", report.cost.dispatch_flat);
   json.end_object();
   if (server != nullptr) {
     const ServiceServer::Stats stats = server->stats();

@@ -90,15 +90,17 @@ class OccurrenceArena {
   std::vector<std::uint32_t> data_;
 };
 
-}  // namespace
-
-std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
-                                           std::uint32_t w) {
+/// The affinity pass body, templated on the event accessor (`at(t)` returns
+/// the symbol of trimmed event t). The two instantiations read the same
+/// events from different layouts: the Run array (8 bytes/event, symbol +
+/// length) or the packed flat view (4 bytes/event) — the credit updates and
+/// the result are identical.
+template <typename At>
+std::vector<std::uint64_t> affine_pairs_scan(const Trace& trimmed,
+                                             std::uint32_t w, At&& at) {
   CL_CHECK(trimmed.is_trimmed());
   CL_CHECK(w >= 2);
-  // A trimmed trace has all-length-1 runs, so runs()[i].symbol is O(1)
-  // random access to event i without materializing the flat view.
-  const std::span<const Run> events = trimmed.runs();
+  const std::size_t n = trimmed.size();
   const Symbol space = trimmed.symbol_space();
 
   // Two-pointer window [left, t]: the maximal range ending at t whose
@@ -111,11 +113,11 @@ std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
   OccurrenceArena positions(trimmed, space);
   FlatKeyMap<PairRec> pairs;
 
-  for (std::size_t t = 0; t < events.size(); ++t) {
-    const Symbol s = events[t].symbol;
+  for (std::size_t t = 0; t < n; ++t) {
+    const Symbol s = at(t);
     window.add(s);
     while (window.distinct() > w) {
-      window.remove(events[left].symbol);
+      window.remove(at(left));
       ++left;
     }
 
@@ -163,16 +165,44 @@ std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
   return out;
 }
 
+}  // namespace
+
+std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
+                                           std::uint32_t w) {
+  return affine_pairs_at(trimmed, w, KernelPath::kRunAware);
+}
+
+std::vector<std::uint64_t> affine_pairs_at(const Trace& trimmed,
+                                           std::uint32_t w, KernelPath path) {
+  if (path == KernelPath::kStraightLine) {
+    const std::span<const Symbol> symbols = trimmed.symbols();
+    return affine_pairs_scan(trimmed, w,
+                             [symbols](std::size_t t) { return symbols[t]; });
+  }
+  // A trimmed trace has all-length-1 runs, so runs()[t].symbol is O(1)
+  // random access to event t without materializing the flat view.
+  const std::span<const Run> events = trimmed.runs();
+  return affine_pairs_scan(
+      trimmed, w, [events](std::size_t t) { return events[t].symbol; });
+}
+
 AffinityHierarchy analyze_affinity(const Trace& trace,
                                    const AffinityConfig& config) {
   CL_CHECK_MSG(config.valid(), "invalid affinity w grid");
   const Trace trimmed = trace.is_trimmed() ? trace : trace.trimmed();
   const std::size_t grid = config.w_values.size();
 
+  // One dispatch decision covers the whole w grid; the flat view is
+  // materialized here, before the fan-out, so no worker pays for (or races
+  // on) the build inside a timed pass.
+  const KernelPath path =
+      choose_path(config.dispatch, DispatchKernel::kAffinity, trimmed);
+  if (path == KernelPath::kStraightLine) (void)trimmed.symbols();
+
   if (config.pool == nullptr || grid < 2) {
     return detail::build_hierarchy(
         trimmed, config.w_values,
-        [&](std::uint32_t w) { return affine_pairs_at(trimmed, w); });
+        [&](std::uint32_t w) { return affine_pairs_at(trimmed, w, path); });
   }
 
   // Fan the independent per-w passes out over the shared pool and fold the
@@ -188,7 +218,7 @@ AffinityHierarchy analyze_affinity(const Trace& trace,
     const std::uint32_t w = config.w_values[slot];
     CODELAYOUT_PHASE("affinity_w", "analysis", "analysis.affinity_w.wall_ns",
                      {"w", w});
-    results[slot] = affine_pairs_at(trimmed, w);
+    results[slot] = affine_pairs_at(trimmed, w, path);
   });
 
   MetricsRegistry& registry = MetricsRegistry::global();

@@ -455,7 +455,8 @@ std::vector<SimResult> run_corun_engine(std::span<const PlannedParty> parties,
 SimOptions hardware_proxy_options(std::uint64_t seed) {
   return SimOptions{.next_line_prefetch = true,
                     .wrong_path_rate = 0.08,
-                    .seed = seed};
+                    .seed = seed,
+                    .dispatch = {}};
 }
 
 std::vector<LevelStats> level_breakdown(const SimResult& sim,
@@ -483,11 +484,65 @@ double amat(const SimResult& sim, const HierarchySpec& hierarchy) {
          mr1 * (hierarchy.l2_hit_cycles + mr2 * hierarchy.memory_cycles);
 }
 
+namespace {
+
+/// Straight-line solo replay: the per-event loop of FetchStream::step()
+/// unrolled over the flat SoA view — no run-cursor bookkeeping, one plan
+/// load and a tight probe loop per event. The probe sequence, prefills, and
+/// wrong-path draws (Rng(seed).fork(1), namespace 0) are exactly step()'s,
+/// so the result is bit-identical to the run-collapse replay.
+SimResult solo_flat(const FetchPlan& plan, const Trace& trace,
+                    const SimOptions& options) {
+  CL_CHECK(trace.is_block());
+  CL_CHECK(!trace.empty());
+  CL_CHECK_MSG(plan.line_bytes() == options.hierarchy.l1.line_bytes,
+               "fetch plan was built for a different line size");
+  CL_CHECK_MSG(plan.block_count() >= trace.symbol_space(),
+               "fetch plan does not cover the trace's block space");
+  CacheHierarchy hier(options.hierarchy);
+  CacheLevel& front = hier.front(0);
+  const BlockPlan* plans = plan.blocks().data();
+  const bool track_l2 = options.hierarchy.multi_level();
+  const bool wrong_path = options.wrong_path_rate > 0.0;
+  Rng rng = Rng(options.seed).fork(1);
+  SimResult stats;
+  for (const Symbol s : trace.symbols()) {
+    const BlockPlan& bp = plans[s];
+    ++stats.blocks;
+    stats.instructions += bp.instr_count;
+    stats.overhead_instructions += bp.overhead_instrs;
+    for (std::uint32_t i = 0; i < bp.line_count; ++i) {
+      const std::uint64_t line = bp.first_line + i;
+      ++stats.line_probes;
+      const std::uint32_t depth = front.access(line);
+      if (depth != 0) {
+        ++stats.demand_misses;
+        if (track_l2) {
+          ++stats.l2_probes;
+          if (depth > 1) ++stats.l2_misses;
+        }
+        if (options.next_line_prefetch) front.prefill(line + 1);
+      }
+    }
+    if (wrong_path && bp.branchy != 0 && rng.chance(options.wrong_path_rate)) {
+      const std::uint64_t line = bp.first_line + bp.line_count;
+      if (front.access(line) != 0) ++stats.wrong_path_misses;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
 SimResult simulate_solo(const FetchPlan& plan, const Trace& trace,
                         const SimOptions& options) {
   CODELAYOUT_PHASE("icache_solo", "cache", "cache.icache_solo.wall_ns",
                    {"events", std::uint64_t{trace.size()}},
                    {"runs", std::uint64_t{trace.run_count()}});
+  if (choose_path(options.dispatch, DispatchKernel::kIcacheSolo, trace) ==
+      KernelPath::kStraightLine) {
+    return solo_flat(plan, trace, options);
+  }
   CacheHierarchy hier(options.hierarchy);
   FetchStream stream(plan, trace, /*line_namespace=*/0, options,
                      /*rng_stream=*/1);

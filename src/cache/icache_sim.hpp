@@ -35,6 +35,7 @@
 #include "cache/set_assoc.hpp"
 #include "ir/module.hpp"
 #include "layout/layout.hpp"
+#include "trace/dispatch.hpp"
 #include "trace/trace.hpp"
 
 namespace codelayout {
@@ -53,6 +54,11 @@ struct SimOptions {
   /// thread stalls and yields fetch slots, throttling its own pollution.
   double miss_stall_blocks = 2.0;
   std::uint64_t seed = 1;
+  /// Solo-path selection between the run-collapse FetchStream replay and a
+  /// straight-line flat-view loop (trace/dispatch.hpp). Results and RNG
+  /// streams are bit-identical; co-run always interleaves per round and is
+  /// unaffected.
+  AnalysisDispatch dispatch{};
 
   /// The front (L1) geometry — the level fetch plans are built for.
   [[nodiscard]] const CacheGeometry& geometry() const { return hierarchy.l1; }

@@ -9,7 +9,8 @@
 namespace codelayout {
 
 FootprintCurve FootprintCurve::compute(const Trace& trace,
-                                       std::span<const std::uint32_t> weights) {
+                                       std::span<const std::uint32_t> weights,
+                                       const AnalysisDispatch& dispatch) {
   const std::size_t n = trace.size();
   const Symbol space = trace.symbol_space();
   if (!weights.empty()) {
@@ -36,29 +37,47 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
   std::vector<std::uint64_t> first(space, ~std::uint64_t{0});
   double total_weight = 0.0;
 
-  // Run-aware pass: within a run every gap is 0 (the symbol occupies each
-  // consecutive position), so only the run's first event can contribute a
-  // gap, and the run collapses to one O(1) update. The gap_mass additions
-  // happen in the same order as the flat scan, so the double accumulation is
-  // bit-identical.
-  std::size_t t = 0;  // event index of the current run's first event
-  for (const Run& r : trace.runs()) {
-    const Symbol s = r.symbol;
-    if (last[s] == ~std::uint64_t{0}) {
-      first[s] = t;
-      total_weight += weight_of(s);
-    } else {
-      const std::uint64_t gap = t - last[s] - 1;  // positions without s
-      if (gap > 0) gap_mass[gap] += weight_of(s);
+  if (choose_path(dispatch, DispatchKernel::kFootprint, trace) ==
+      KernelPath::kStraightLine) {
+    // Straight-line pass over the flat SoA view: a repeat event's gap is 0
+    // (last[s] == t - 1), so the gap_mass/total_weight additions happen at
+    // exactly the positions — and in exactly the order — the run-aware pass
+    // produces; the double accumulation is bit-identical.
+    const std::span<const Symbol> symbols = trace.symbols();
+    for (std::size_t t = 0; t < symbols.size(); ++t) {
+      const Symbol s = symbols[t];
+      if (last[s] == ~std::uint64_t{0}) {
+        first[s] = t;
+        total_weight += weight_of(s);
+      } else {
+        const std::uint64_t gap = t - last[s] - 1;  // positions without s
+        if (gap > 0) gap_mass[gap] += weight_of(s);
+      }
+      last[s] = t;
     }
-    last[s] = t + r.length - 1;
-    t += r.length;
-  }
-  MetricsRegistry& registry = MetricsRegistry::global();
-  if (registry.enabled()) {
-    registry.counter("locality.footprint.runs").add(trace.run_count());
-    registry.counter("locality.footprint.collapsed_events")
-        .add(n - trace.run_count());
+  } else {
+    // Run-aware pass: within a run every gap is 0 (the symbol occupies each
+    // consecutive position), so only the run's first event can contribute a
+    // gap, and the run collapses to one O(1) update.
+    std::size_t t = 0;  // event index of the current run's first event
+    for (const Run& r : trace.runs()) {
+      const Symbol s = r.symbol;
+      if (last[s] == ~std::uint64_t{0}) {
+        first[s] = t;
+        total_weight += weight_of(s);
+      } else {
+        const std::uint64_t gap = t - last[s] - 1;  // positions without s
+        if (gap > 0) gap_mass[gap] += weight_of(s);
+      }
+      last[s] = t + r.length - 1;
+      t += r.length;
+    }
+    MetricsRegistry& registry = MetricsRegistry::global();
+    if (registry.enabled()) {
+      registry.counter("locality.footprint.runs").add(trace.run_count());
+      registry.counter("locality.footprint.collapsed_events")
+          .add(n - trace.run_count());
+    }
   }
   for (Symbol s = 0; s < space; ++s) {
     if (first[s] == ~std::uint64_t{0}) continue;  // never accessed

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "trace/dispatch.hpp"
 #include "trace/trace.hpp"
 
 namespace codelayout {
@@ -27,9 +28,13 @@ class FootprintCurve {
   /// Computes fp(w) for w = 0..trace length. `weights[s]` is the footprint
   /// contribution of symbol s (e.g. its size in cache lines or bytes);
   /// defaults to 1 (footprint in distinct symbols, as the paper
-  /// approximates).
+  /// approximates). The gap pass dispatches between the run-aware collapse
+  /// and a straight-line flat-view scan (trace/dispatch.hpp); the double
+  /// accumulation order is identical either way, so the curve is
+  /// bit-identical on both paths.
   static FootprintCurve compute(const Trace& trace,
-                                std::span<const std::uint32_t> weights = {});
+                                std::span<const std::uint32_t> weights = {},
+                                const AnalysisDispatch& dispatch = {});
 
   /// fp at (possibly fractional) window length, linearly interpolated and
   /// clamped to [0, n].

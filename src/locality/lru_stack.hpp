@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "trace/dispatch.hpp"
 #include "trace/trace.hpp"
 
 namespace codelayout {
@@ -106,5 +107,14 @@ class LruStack {
   std::size_t count_ = 0;
   std::uint64_t weight_sum_ = 0;
 };
+
+/// Replays the whole trace through `stack` and returns the number of touches
+/// that found their symbol resident. Dispatches between the run-aware
+/// touch_run collapse and a straight-line per-event loop over the flat view
+/// (trace/dispatch.hpp); touch_run(s, n) is defined as n consecutive
+/// touch(s) calls, so the hit count and final stack state are identical on
+/// both paths.
+std::uint64_t replay_lru_hits(const Trace& trace, LruStack& stack,
+                              const AnalysisDispatch& dispatch = {});
 
 }  // namespace codelayout

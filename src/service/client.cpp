@@ -203,6 +203,8 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
           cost.bytes_decoded += receipt.bytes_decoded;
           cost.queue_wait_nanos += receipt.queue_wait_nanos;
           cost.wall_nanos += receipt.wall_nanos;
+          cost.dispatch_run += receipt.dispatch_run;
+          cost.dispatch_flat += receipt.dispatch_flat;
           if (receipt.cached) ++cost.cached_jobs;
         }
       }

@@ -315,6 +315,12 @@ std::string encode_response_payload(const JobResponse& response,
     put_u8(out, response.receipt.cached ? 1 : 0);
     put_string(out, response.introspect);
   }
+  if (version >= 4) {
+    // v4 trailing fields: adaptive-dispatch attribution.
+    put_varint(out, response.receipt.dispatch_run);
+    put_varint(out, response.receipt.dispatch_flat);
+    put_double(out, response.receipt.run_compression);
+  }
   return out;
 }
 
@@ -415,6 +421,11 @@ JobResponse decode_response_payload(std::string_view payload,
     CL_CHECK_MSG(cached <= 1, "service payload: bad receipt cached flag");
     response.receipt.cached = cached != 0;
     response.introspect = in.str();
+  }
+  if (version >= 4) {
+    response.receipt.dispatch_run = in.varint();
+    response.receipt.dispatch_flat = in.varint();
+    response.receipt.run_compression = in.f64();
   }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after response");
   return response;

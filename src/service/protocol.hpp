@@ -34,6 +34,13 @@
 // -job cost attribution) and a length-prefixed introspection document.
 // Responses to v1/v2 requests are still stamped with the *request's* wire
 // version and omit every v3 field, so old clients see byte-identical frames.
+//
+// v3 -> v4 (adaptive dispatch): the CostReceipt grew trailing
+// dispatch_run/dispatch_flat varints (kernel-path decisions the job's
+// analyses made; see trace/dispatch.hpp) and a run_compression double (the
+// events-per-run ratio of the dispatched traces — what the decisions were
+// based on). The request payload is unchanged, so v4 cache keys equal v3
+// keys; responses to <= v3 requests omit the fields byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +57,7 @@
 namespace codelayout::service {
 
 inline constexpr std::uint32_t kWireMagic = 0x434c5356;  // "CLSV"
-inline constexpr std::uint16_t kWireVersion = 3;
+inline constexpr std::uint16_t kWireVersion = 4;
 /// Oldest version this build still decodes (append-only payload evolution).
 inline constexpr std::uint16_t kMinWireVersion = 1;
 /// Admission-time cap on one frame's payload (a full varint trace fits
@@ -187,6 +194,15 @@ struct CostReceipt {
   std::uint64_t queue_wait_nanos = 0;
   std::uint64_t wall_nanos = 0;       ///< execute wall time (0 when cached)
   bool cached = false;
+  /// v4: adaptive-dispatch decisions the job's analysis kernels made
+  /// (trace/dispatch.hpp) — how many chose the run-aware vs the
+  /// straight-line path.
+  std::uint64_t dispatch_run = 0;
+  std::uint64_t dispatch_flat = 0;
+  /// v4: events-per-run ratio aggregated over the dispatched traces (the
+  /// number the decisions compared against kernel thresholds); 0 when the
+  /// job dispatched nothing.
+  double run_compression = 0.0;
 
   friend bool operator==(const CostReceipt&, const CostReceipt&) = default;
 };

@@ -335,7 +335,10 @@ void ServiceServer::submit(JobRequest request,
         ++stats_.cache_hits;
       }
       push_recent(RecentJob{request.id, request.kind, hit->status,
-                            request.trace_id, 0, 0, true});
+                            request.trace_id, 0, 0, true,
+                            hit->receipt.dispatch_run,
+                            hit->receipt.dispatch_flat,
+                            hit->receipt.run_compression});
       deliver(std::move(*hit));
       return;
     }
@@ -458,6 +461,18 @@ void ServiceServer::finish_job(QueuedJob job) {
   receipt.bytes_decoded = job.request_bytes;
   receipt.queue_wait_nanos = queue_wait;
   receipt.wall_nanos = wall;
+  // v4: kernel-path decisions plus the events-per-run ratio they compared
+  // against the thresholds, aggregated over every trace the job dispatched.
+  receipt.dispatch_run = cost.dispatch_run.load(std::memory_order_relaxed);
+  receipt.dispatch_flat = cost.dispatch_flat.load(std::memory_order_relaxed);
+  const std::uint64_t dispatched_events =
+      cost.dispatch_events.load(std::memory_order_relaxed);
+  const std::uint64_t dispatched_runs =
+      cost.dispatch_runs.load(std::memory_order_relaxed);
+  receipt.run_compression =
+      dispatched_runs ? static_cast<double>(dispatched_events) /
+                            static_cast<double>(dispatched_runs)
+                      : 0.0;
 
   if (config_.cache_enabled && response.status == JobStatus::kOk) {
     // Stored entries carry id 0 (the cache's documented contract); lookup
@@ -468,7 +483,9 @@ void ServiceServer::finish_job(QueuedJob job) {
   }
   response.id = job.request.id;
   push_recent(RecentJob{job.request.id, job.request.kind, response.status,
-                        job.request.trace_id, queue_wait, wall, false});
+                        job.request.trace_id, queue_wait, wall, false,
+                        receipt.dispatch_run, receipt.dispatch_flat,
+                        receipt.run_compression});
   {
     // Count the completion before the response leaves the building: a
     // client that has its answer must see it reflected in a stats snapshot
@@ -574,6 +591,9 @@ JobResponse ServiceServer::introspect_response(const JobRequest& request) {
             .field("queue_wait_ns", job.queue_wait_nanos)
             .field("wall_ns", job.wall_nanos)
             .field("cached", job.cached)
+            .field("dispatch_run", job.dispatch_run)
+            .field("dispatch_flat", job.dispatch_flat)
+            .field("run_compression", job.run_compression)
             .end_object();
       }
       json.end_array();

@@ -140,6 +140,12 @@ class ServiceServer {
     std::uint64_t queue_wait_nanos = 0;
     std::uint64_t wall_nanos = 0;
     bool cached = false;
+    /// Adaptive-dispatch attribution (trace/dispatch.hpp): path decisions the
+    /// job's kernels made and the compression ratio they were based on. A
+    /// cache-answered job carries the original computation's values.
+    std::uint64_t dispatch_run = 0;
+    std::uint64_t dispatch_flat = 0;
+    double run_compression = 0.0;
   };
   /// Newest first; bounded at kRecentJobsCapacity.
   static constexpr std::size_t kRecentJobsCapacity = 32;

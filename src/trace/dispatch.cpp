@@ -1,0 +1,98 @@
+#include "trace/dispatch.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "support/registry.hpp"
+#include "support/trace_recorder.hpp"
+
+namespace codelayout {
+
+const char* kernel_path_name(KernelPath path) {
+  return path == KernelPath::kRunAware ? "run" : "flat";
+}
+
+std::optional<ForcedPath> parse_forced_path(std::string_view s) {
+  if (s == "auto") return ForcedPath::kAuto;
+  if (s == "run") return ForcedPath::kRun;
+  if (s == "flat") return ForcedPath::kFlat;
+  return std::nullopt;
+}
+
+ForcedPath forced_path_from_env() {
+  static const ForcedPath cached = [] {
+    const char* env = std::getenv("CODELAYOUT_FORCE_PATH");
+    if (env == nullptr) return ForcedPath::kAuto;
+    return parse_forced_path(env).value_or(ForcedPath::kAuto);
+  }();
+  return cached;
+}
+
+const char* dispatch_kernel_name(DispatchKernel kernel) {
+  switch (kernel) {
+    case DispatchKernel::kLruStack: return "lru_stack";
+    case DispatchKernel::kReuse: return "reuse";
+    case DispatchKernel::kFootprint: return "footprint";
+    case DispatchKernel::kAffinity: return "affinity";
+    case DispatchKernel::kTrg: return "trg";
+    case DispatchKernel::kIcacheSolo: return "icache_solo";
+  }
+  return "unknown";
+}
+
+double AnalysisDispatch::threshold(DispatchKernel kernel) const {
+  switch (kernel) {
+    case DispatchKernel::kLruStack: return lru_stack;
+    case DispatchKernel::kReuse: return reuse;
+    case DispatchKernel::kFootprint: return footprint;
+    case DispatchKernel::kAffinity: return affinity;
+    case DispatchKernel::kTrg: return trg;
+    case DispatchKernel::kIcacheSolo: return icache_solo;
+  }
+  return 1.0;
+}
+
+bool AnalysisDispatch::valid() const {
+  for (std::size_t k = 0; k < kDispatchKernelCount; ++k) {
+    const double t = threshold(static_cast<DispatchKernel>(k));
+    if (!std::isfinite(t) || t < 1.0) return false;
+  }
+  return true;
+}
+
+KernelPath choose_path(const AnalysisDispatch& dispatch, DispatchKernel kernel,
+                       const Trace& trace) {
+  KernelPath path;
+  switch (dispatch.force) {
+    case ForcedPath::kRun: path = KernelPath::kRunAware; break;
+    case ForcedPath::kFlat: path = KernelPath::kStraightLine; break;
+    case ForcedPath::kAuto:
+    default:
+      // Boundary semantics, pinned by tests: compression exactly at the
+      // threshold takes the run-aware path.
+      path = trace.run_compression() >= dispatch.threshold(kernel)
+                 ? KernelPath::kRunAware
+                 : KernelPath::kStraightLine;
+      break;
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    std::string name = "lab.dispatch.";
+    name += dispatch_kernel_name(kernel);
+    name += path == KernelPath::kRunAware ? ".run" : ".flat";
+    registry.counter(name).add(1);
+  }
+  if (CostCounters* cost = current_job_context().cost; cost != nullptr) {
+    auto& decisions = path == KernelPath::kRunAware ? cost->dispatch_run
+                                                    : cost->dispatch_flat;
+    decisions.fetch_add(1, std::memory_order_relaxed);
+    cost->dispatch_events.fetch_add(trace.size(), std::memory_order_relaxed);
+    cost->dispatch_runs.fetch_add(trace.run_count(),
+                                  std::memory_order_relaxed);
+  }
+  return path;
+}
+
+}  // namespace codelayout

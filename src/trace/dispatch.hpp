@@ -1,0 +1,117 @@
+// Adaptive kernel dispatch (DESIGN.md §15).
+//
+// Every analysis kernel exists in two exact forms: a run-aware pass over the
+// RLE run decomposition (O(runs) per-run work, a big win on loop-heavy
+// traces) and a straight-line pass over the flat SoA event buffer (smaller
+// per-event constants, a win on incompressible traces where runs == events
+// and the run machinery is pure overhead). The two forms are bit-identical
+// by construction — the run-aware passes were proven equal to per-event
+// replay when they were introduced, and the straight-line passes *are*
+// per-event replay restated over the cached flat view — so choosing between
+// them is purely a performance decision.
+//
+// The choice is a one-shot comparison against the trace's run-compression
+// ratio (events per run, O(1) to read): a kernel takes its run-aware path
+// when the trace compresses at least as well as the kernel's threshold,
+// and the straight-line path otherwise. Thresholds are per kernel because
+// the run collapse saves different amounts of work per kernel (an O(1)
+// collapsed Fenwick query is worth more than a skipped LRU touch).
+//
+// Observability: every decision bumps a lab.dispatch.<kernel>.{run,flat}
+// registry counter and, when a JobContext cost accumulator is ambient, the
+// per-job dispatch counters the service CostReceipt reports (including the
+// event/run totals its run_compression field derives from).
+//
+// CODELAYOUT_FORCE_PATH=run|flat overrides every default-constructed
+// AnalysisDispatch — the golden suite runs under both values in CI, which is
+// the standing cross-path bit-identity proof over real workloads.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace codelayout {
+
+/// Which implementation of a kernel runs.
+enum class KernelPath : std::uint8_t {
+  kRunAware = 0,      ///< RLE pass over Trace::runs()
+  kStraightLine = 1,  ///< pre-RLE pass over the flat Trace::symbols() buffer
+};
+
+[[nodiscard]] const char* kernel_path_name(KernelPath path);  // "run" / "flat"
+
+/// Dispatch override: kAuto compares compression against the kernel
+/// threshold; kRun / kFlat force one path everywhere (bench --force-path,
+/// CODELAYOUT_FORCE_PATH, cross-path tests).
+enum class ForcedPath : std::uint8_t { kAuto = 0, kRun = 1, kFlat = 2 };
+
+/// Parses "run" / "flat" / "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<ForcedPath> parse_forced_path(std::string_view s);
+
+/// The process-wide default force, read once from CODELAYOUT_FORCE_PATH
+/// (unset or unparseable = kAuto) and cached.
+[[nodiscard]] ForcedPath forced_path_from_env();
+
+/// The kernels that dispatch. Values index the threshold table.
+enum class DispatchKernel : std::uint8_t {
+  kLruStack = 0,
+  kReuse = 1,
+  kFootprint = 2,
+  kAffinity = 3,
+  kTrg = 4,
+  kIcacheSolo = 5,
+};
+inline constexpr std::size_t kDispatchKernelCount = 6;
+
+[[nodiscard]] const char* dispatch_kernel_name(DispatchKernel kernel);
+
+/// Per-kernel dispatch thresholds plus the force override. A kernel takes
+/// its run-aware path when trace.run_compression() >= its threshold. The
+/// defaults were measured on the 29-workload bench suite: each sits between
+/// the compression where the straight-line pass stops winning and the point
+/// where the run collapse clearly pays, with enough margin that dispatch
+/// stays within 0.95x of the better path on every workload (the floor
+/// bench_compare.py enforces in CI).
+struct AnalysisDispatch {
+  ForcedPath force = forced_path_from_env();
+
+  /// touch_run collapse vs per-event touch: both near-free, crossover low.
+  double lru_stack = 1.05;
+  /// The run-aware scan (collapsed Fenwick query + move_mark) measures at
+  /// or slightly above the flat restatement even at compression 1.0 across
+  /// the 29-workload suite, so reuse always takes the run path.
+  double reuse = 1.0;
+  /// One O(1) gap update per run vs per event.
+  double footprint = 1.10;
+  /// Affinity scans trimmed traces (compression exactly 1), yet the
+  /// run-aware loop paces at or slightly above the flat restatement on
+  /// every suite workload — the kernel is compute-bound per event (top-w
+  /// window updates), so the flat buffer's narrower loads never pay.
+  /// Threshold exactly 1: affinity is always run-aware.
+  double affinity = 1.0;
+  /// Repeat events are LRU no-ops either way; the run path only saves the
+  /// no-op touches, the flat path only the narrower loads.
+  double trg = 1.02;
+  /// The solo collapse bulk-counts a run's hits, worth ~20% per event in
+  /// overhead when nothing collapses.
+  double icache_solo = 1.25;
+
+  [[nodiscard]] double threshold(DispatchKernel kernel) const;
+
+  /// Every threshold finite and >= 1 (a trace never compresses below 1).
+  [[nodiscard]] bool valid() const;
+
+  friend bool operator==(const AnalysisDispatch&,
+                         const AnalysisDispatch&) = default;
+};
+
+/// The dispatch decision for one kernel invocation over `trace`. Bumps the
+/// lab.dispatch.<kernel>.{run,flat} counters and the ambient JobContext cost
+/// accumulator (when one is installed); pure otherwise.
+[[nodiscard]] KernelPath choose_path(const AnalysisDispatch& dispatch,
+                                     DispatchKernel kernel,
+                                     const Trace& trace);
+
+}  // namespace codelayout

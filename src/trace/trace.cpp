@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ir/module.hpp"
+#include "support/registry.hpp"
 
 namespace codelayout {
 
@@ -23,6 +24,10 @@ std::span<const Symbol> Trace::symbols() const {
     flat->reserve(size_);
     for (const Run& r : runs_) flat->insert(flat->end(), r.length, r.symbol);
     flat_ = std::move(flat);
+    // Each materialization is O(events); the bench asserts at most one per
+    // workload per run (hoisted out of every timed region).
+    MetricsRegistry& registry = MetricsRegistry::global();
+    if (registry.enabled()) registry.counter("trace.flat_view.builds").add(1);
   }
   return *flat_;
 }

@@ -26,15 +26,20 @@ struct BuildShard {
   std::uint64_t warmup_scanned_runs = 0;
 };
 
-/// Processes runs [lo, hi) against `stack` (already in the exact serial
+/// Processes events [lo, hi) against `stack` (already in the exact serial
 /// state at lo), recording nodes in first-appearance order and edge credits
-/// for events inside the chunk.
-void run_shard(std::span<const Run> runs, std::size_t lo, std::size_t hi,
-               LruStack& stack, std::uint32_t window_entries, Symbol space,
-               BuildShard& shard) {
+/// for events inside the chunk. Templated on the event accessor: the
+/// run-aware path feeds one event per run (repeats are stack no-ops — the
+/// symbol is already on top, so for_above yields nothing and touch
+/// early-returns), the straight-line path feeds every flat-view event; both
+/// drive the stack through the same transactions, so the shard is identical.
+template <typename At>
+void shard_scan(At&& at, std::size_t lo, std::size_t hi, LruStack& stack,
+                std::uint32_t window_entries, Symbol space,
+                BuildShard& shard) {
   std::vector<std::uint8_t> noted(space, 0);
   for (std::size_t j = lo; j < hi; ++j) {
-    const Symbol a = runs[j].symbol;
+    const Symbol a = at(j);
     if (!noted[a]) {
       noted[a] = 1;
       shard.nodes.push_back(a);
@@ -116,6 +121,13 @@ Trg Trg::build(const Trace& trace, const TrgConfig& config) {
   // identical graph without materializing a trimmed copy. Chunking the run
   // array also means a shard boundary can never split a run.
   const std::span<const Run> runs = trace.runs();
+  // Path decision and flat-view materialization happen once, before any
+  // shard fan-out, so workers never race on (or pay for) the build.
+  const KernelPath path =
+      choose_path(config.dispatch, DispatchKernel::kTrg, trace);
+  const std::span<const Symbol> symbols = path == KernelPath::kStraightLine
+                                              ? trace.symbols()
+                                              : std::span<const Symbol>{};
   std::size_t shard_count = config.shards;
   if (shard_count == 0) {
     shard_count = config.pool == nullptr ? 1 : config.pool->size() + 1;
@@ -126,8 +138,13 @@ Trg Trg::build(const Trace& trace, const TrgConfig& config) {
   if (shard_count <= 1) {
     LruStack stack(space);
     BuildShard whole;
-    run_shard(runs, 0, runs.size(), stack, config.window_entries, space,
-              whole);
+    if (path == KernelPath::kStraightLine) {
+      shard_scan([symbols](std::size_t j) { return symbols[j]; }, 0,
+                 symbols.size(), stack, config.window_entries, space, whole);
+    } else {
+      shard_scan([runs](std::size_t j) { return runs[j].symbol; }, 0,
+                 runs.size(), stack, config.window_entries, space, whole);
+    }
     for (const Symbol s : whole.nodes) graph.note_node(s);
     whole.edges.for_each([&](std::uint64_t key, const Weight& w) {
       graph.edges_[key] = w;
@@ -137,15 +154,42 @@ Trg Trg::build(const Trace& trace, const TrgConfig& config) {
     const auto chunk_begin = [&](std::size_t k) {
       return runs.size() * k / shard_count;
     };
+    // Chunk boundaries live in run space on both paths (a boundary can never
+    // split a run); the straight-line shards additionally need the event
+    // offset of each boundary, computed by one linear pass over the runs.
+    std::vector<std::uint64_t> event_begin;
+    if (path == KernelPath::kStraightLine) {
+      event_begin.resize(shard_count + 1);
+      std::uint64_t events = 0;
+      std::size_t next_run = 0;
+      for (std::size_t k = 0; k <= shard_count; ++k) {
+        const std::size_t boundary = chunk_begin(k);
+        for (; next_run < boundary; ++next_run) {
+          events += runs[next_run].length;
+        }
+        event_begin[k] = events;
+      }
+    }
     ParallelTaskSet tasks(config.pool, shard_count, [&](std::size_t k) {
       CODELAYOUT_PHASE("trg_shard", "analysis", "analysis.trg_shard.wall_ns",
                        {"shard", std::uint64_t{k}});
       const std::size_t lo = chunk_begin(k);
       const std::size_t hi = chunk_begin(k + 1);
       LruStack stack(space);
+      // warm_start reconstructs the serial stack at run boundary lo, which
+      // is also the state at flat event event_begin[k] (the run's first
+      // event), so both scans start from the identical stack.
       shards[k].warmup_scanned_runs =
           warm_start(runs, lo, config.window_entries, space, stack);
-      run_shard(runs, lo, hi, stack, config.window_entries, space, shards[k]);
+      if (path == KernelPath::kStraightLine) {
+        shard_scan([symbols](std::size_t j) { return symbols[j]; },
+                   static_cast<std::size_t>(event_begin[k]),
+                   static_cast<std::size_t>(event_begin[k + 1]), stack,
+                   config.window_entries, space, shards[k]);
+      } else {
+        shard_scan([runs](std::size_t j) { return runs[j].symbol; }, lo, hi,
+                   stack, config.window_entries, space, shards[k]);
+      }
     });
     // Fold in chunk order as shards complete: concatenating the chunk-local
     // first-appearance lists and keeping each symbol's first sighting

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "support/flat_map.hpp"
+#include "trace/dispatch.hpp"
 #include "trace/trace.hpp"
 
 namespace codelayout {
@@ -50,6 +51,12 @@ struct TrgConfig {
   /// without a pool). Any value yields the identical graph; tests use small
   /// forced counts to pin chunk-boundary behaviour.
   std::uint32_t shards = 0;
+
+  /// Run-aware (one stack transaction per run) vs straight-line (one per
+  /// event over the flat view) scanning; see trace/dispatch.hpp. Decided
+  /// once per build; shard boundaries stay run-aligned on both paths and the
+  /// graph is bit-identical.
+  AnalysisDispatch dispatch{};
 };
 
 /// Entries of the 2C-byte window under the uniform-block-size assumption.

@@ -1,0 +1,410 @@
+// Adaptive kernel dispatch (DESIGN.md §15): decision unit tests plus the
+// cross-path bit-identity sweep.
+//
+// The unit layer pins the dispatch contract: compression exactly at a
+// kernel's threshold takes the run-aware path, force overrides beat the
+// comparison, empty and single-run traces sit on the documented sides of
+// every default threshold, and decisions are observable through the
+// lab.dispatch.* counters.
+//
+// The sweep layer is the standing proof that dispatch only ever chooses
+// between bit-identical implementations: every kernel over every golden
+// workload is computed three ways — forced run-aware, forced straight-line,
+// and (where golden_suite.inc has one) against the pre-refactor checksum —
+// and the pooled kernels (affinity, trg build) additionally at 1/2/8
+// threads. Any divergence is a correctness bug, never noise.
+#include <cmath>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "affinity/analysis.hpp"
+#include "cache/icache_sim.hpp"
+#include "exec/interpreter.hpp"
+#include "harness/pipeline.hpp"
+#include "helpers.hpp"
+#include "layout/layout.hpp"
+#include "locality/footprint.hpp"
+#include "locality/lru_stack.hpp"
+#include "locality/reuse.hpp"
+#include "support/registry.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/dispatch.hpp"
+#include "trace/prune.hpp"
+#include "trg/graph.hpp"
+#include "workloads/spec.hpp"
+
+namespace codelayout {
+namespace {
+
+using testing::flat_replay;
+using testing::fnv1a;
+using testing::hash_footprint;
+using testing::hash_reuse;
+using testing::hash_sim;
+using testing::hash_trg;
+using testing::kFnvSeed;
+using testing::make_trace;
+
+struct GoldenWorkload {
+  const char* name;
+  std::uint64_t profile_hash;
+  std::uint64_t functions_hash;
+  std::uint64_t eval_hash;
+  std::uint64_t pruned_hash;
+  std::uint64_t kept_events;
+  std::uint64_t reuse_hash;
+  std::uint64_t footprint_hash;
+  std::uint64_t trg_hash;
+  std::uint64_t solo_sim_hash;
+  std::uint64_t solo_hw_hash;
+};
+
+struct GoldenPipeline {
+  const char* name;
+  std::uint64_t sequence_hash[4];
+  std::uint64_t sim_hash[4];
+};
+
+#include "golden_suite.inc"
+
+constexpr DispatchKernel kAllKernels[] = {
+    DispatchKernel::kLruStack, DispatchKernel::kReuse,
+    DispatchKernel::kFootprint, DispatchKernel::kAffinity,
+    DispatchKernel::kTrg,       DispatchKernel::kIcacheSolo,
+};
+
+// ---- Decision unit tests ----------------------------------------------------
+
+TEST(Dispatch, PathAndKernelNames) {
+  EXPECT_STREQ(kernel_path_name(KernelPath::kRunAware), "run");
+  EXPECT_STREQ(kernel_path_name(KernelPath::kStraightLine), "flat");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kLruStack), "lru_stack");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kReuse), "reuse");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kFootprint), "footprint");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kAffinity), "affinity");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kTrg), "trg");
+  EXPECT_STREQ(dispatch_kernel_name(DispatchKernel::kIcacheSolo),
+               "icache_solo");
+}
+
+TEST(Dispatch, ParseForcedPath) {
+  EXPECT_EQ(parse_forced_path("run"), ForcedPath::kRun);
+  EXPECT_EQ(parse_forced_path("flat"), ForcedPath::kFlat);
+  EXPECT_EQ(parse_forced_path("auto"), ForcedPath::kAuto);
+  EXPECT_EQ(parse_forced_path(""), std::nullopt);
+  EXPECT_EQ(parse_forced_path("Run"), std::nullopt);
+  EXPECT_EQ(parse_forced_path("both"), std::nullopt);
+}
+
+TEST(Dispatch, DefaultsAreValidAndFollowTheEnvironment) {
+  const AnalysisDispatch dispatch;
+  EXPECT_TRUE(dispatch.valid());
+  EXPECT_EQ(dispatch.force, forced_path_from_env());
+  for (const DispatchKernel kernel : kAllKernels) {
+    EXPECT_GE(dispatch.threshold(kernel), 1.0)
+        << dispatch_kernel_name(kernel);
+  }
+}
+
+TEST(Dispatch, RejectsInvalidThresholds) {
+  AnalysisDispatch dispatch;
+  dispatch.reuse = 0.5;  // a trace never compresses below 1
+  EXPECT_FALSE(dispatch.valid());
+  dispatch.reuse = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(dispatch.valid());
+  dispatch.reuse = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(dispatch.valid());
+  dispatch.reuse = 1.0;
+  EXPECT_TRUE(dispatch.valid());
+}
+
+TEST(Dispatch, CompressionExactlyAtThresholdTakesTheRunPath) {
+  Trace t(Trace::Granularity::kBlock);
+  t.push_run(1, 3);
+  t.push_run(2, 1);  // 4 events over 2 runs: compression exactly 2.0
+  ASSERT_DOUBLE_EQ(t.run_compression(), 2.0);
+
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kAuto;
+  dispatch.reuse = 2.0;
+  EXPECT_EQ(choose_path(dispatch, DispatchKernel::kReuse, t),
+            KernelPath::kRunAware);
+  dispatch.reuse = std::nextafter(2.0, 3.0);
+  EXPECT_EQ(choose_path(dispatch, DispatchKernel::kReuse, t),
+            KernelPath::kStraightLine);
+}
+
+TEST(Dispatch, SingleRunTraceGoesRunAwareUnderEveryDefault) {
+  Trace t(Trace::Granularity::kBlock);
+  t.push_run(7, 1'000);
+  ASSERT_DOUBLE_EQ(t.run_compression(), 1'000.0);
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kAuto;
+  for (const DispatchKernel kernel : kAllKernels) {
+    EXPECT_EQ(choose_path(dispatch, kernel, t), KernelPath::kRunAware)
+        << dispatch_kernel_name(kernel);
+  }
+}
+
+TEST(Dispatch, EmptyAndIncompressibleTracesFollowTheDefaultThresholds) {
+  // run_compression() is defined as 1.0 on an empty trace. Every default
+  // threshold except reuse and affinity sits strictly above 1
+  // (straight-line on both degenerate shapes); reuse's and affinity's
+  // run-aware passes measure at or above the flat restatement even at
+  // compression 1.0, so their thresholds are exactly 1 and the boundary
+  // rule sends them run-aware.
+  const Trace empty(Trace::Granularity::kBlock);
+  ASSERT_DOUBLE_EQ(empty.run_compression(), 1.0);
+  const Trace distinct = make_trace({1, 2, 3, 4, 5});
+  ASSERT_DOUBLE_EQ(distinct.run_compression(), 1.0);
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kAuto;
+  for (const DispatchKernel kernel : kAllKernels) {
+    const KernelPath expected = kernel == DispatchKernel::kReuse ||
+                                        kernel == DispatchKernel::kAffinity
+                                    ? KernelPath::kRunAware
+                                    : KernelPath::kStraightLine;
+    EXPECT_EQ(choose_path(dispatch, kernel, empty), expected)
+        << dispatch_kernel_name(kernel);
+    EXPECT_EQ(choose_path(dispatch, kernel, distinct), expected)
+        << dispatch_kernel_name(kernel);
+  }
+}
+
+TEST(Dispatch, ForceBeatsTheCompressionComparison) {
+  Trace compressible(Trace::Granularity::kBlock);
+  compressible.push_run(3, 500);
+  const Trace incompressible = make_trace({1, 2, 3, 4});
+
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kFlat;
+  EXPECT_EQ(choose_path(dispatch, DispatchKernel::kReuse, compressible),
+            KernelPath::kStraightLine);
+  dispatch.force = ForcedPath::kRun;
+  EXPECT_EQ(choose_path(dispatch, DispatchKernel::kReuse, incompressible),
+            KernelPath::kRunAware);
+}
+
+TEST(Dispatch, DecisionsBumpTheRegistryCounters) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const std::uint64_t run_before =
+      registry.counter("lab.dispatch.footprint.run").value();
+  const std::uint64_t flat_before =
+      registry.counter("lab.dispatch.footprint.flat").value();
+
+  Trace t(Trace::Granularity::kBlock);
+  t.push_run(9, 100);
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kRun;
+  (void)choose_path(dispatch, DispatchKernel::kFootprint, t);
+  dispatch.force = ForcedPath::kFlat;
+  (void)choose_path(dispatch, DispatchKernel::kFootprint, t);
+  (void)choose_path(dispatch, DispatchKernel::kFootprint, t);
+
+  EXPECT_EQ(registry.counter("lab.dispatch.footprint.run").value(),
+            run_before + 1);
+  EXPECT_EQ(registry.counter("lab.dispatch.footprint.flat").value(),
+            flat_before + 2);
+  registry.set_enabled(was_enabled);
+}
+
+// ---- Cross-path bit-identity over the golden workload suite -----------------
+
+std::uint64_t hash_hierarchy(const AffinityHierarchy& hierarchy) {
+  std::uint64_t h = fnv1a(kFnvSeed, hierarchy.nodes().size());
+  for (const AffinityGroup& g : hierarchy.nodes()) {
+    h = fnv1a(h, g.id);
+    h = fnv1a(h, g.formed_at_w);
+    h = fnv1a(h, g.first_occurrence);
+    h = fnv1a(h, g.occurrences);
+    for (const Symbol s : g.members) h = fnv1a(h, s);
+    for (const std::uint32_t c : g.children) h = fnv1a(h, c);
+  }
+  for (const std::uint32_t r : hierarchy.roots()) h = fnv1a(h, r);
+  return h;
+}
+
+/// Every kernel over one workload, computed under forced run-aware and
+/// forced straight-line dispatch (and, for the pooled kernels, at 1/2/8
+/// threads); mismatches against each other or the golden checksums are
+/// appended to `failures`.
+void check_workload_cross_path(const GoldenWorkload& row,
+                               const PipelineConfig& config,
+                               std::vector<std::string>& failures) {
+  const auto fail = [&](const char* what) {
+    failures.push_back(std::string(row.name) + ": " + what);
+  };
+  AnalysisDispatch run;
+  run.force = ForcedPath::kRun;
+  AnalysisDispatch flat;
+  flat.force = ForcedPath::kFlat;
+
+  const WorkloadSpec& spec = find_spec(row.name);
+  const Module module = build_workload(spec);
+  const Trace trace =
+      profile(module, config.profile_seed,
+              {.max_events = spec.profile_events, .max_call_depth = 64})
+          .block_trace;
+
+  // LRU replay: run vs flat vs the longhand per-event touch loop.
+  {
+    LruStack ref_stack(trace.symbol_space());
+    std::uint64_t ref = 0;
+    for (const Symbol s : trace.symbols()) ref += ref_stack.touch(s) ? 1 : 0;
+    LruStack run_stack(trace.symbol_space());
+    LruStack flat_stack(trace.symbol_space());
+    if (replay_lru_hits(trace, run_stack, run) != ref) {
+      fail("lru_stack run path diverged from per-event replay");
+    }
+    if (replay_lru_hits(trace, flat_stack, flat) != ref) {
+      fail("lru_stack flat path diverged from per-event replay");
+    }
+  }
+
+  // Reuse / footprint: both paths must reproduce the pre-refactor golden
+  // checksum, which doubles as the per-event reference (the goldens were
+  // captured from per-event code).
+  if (hash_reuse(compute_reuse(trace, run)) != row.reuse_hash) {
+    fail("reuse run path diverged from the golden checksum");
+  }
+  if (hash_reuse(compute_reuse(trace, flat)) != row.reuse_hash) {
+    fail("reuse flat path diverged from the golden checksum");
+  }
+  if (hash_footprint(FootprintCurve::compute(trace, {}, run)) !=
+      row.footprint_hash) {
+    fail("footprint run path diverged from the golden checksum");
+  }
+  if (hash_footprint(FootprintCurve::compute(trace, {}, flat)) !=
+      row.footprint_hash) {
+    fail("footprint flat path diverged from the golden checksum");
+  }
+
+  // TRG build over the pruned trace: both paths, 1/2/8 threads, all equal
+  // to the golden checksum.
+  const PruneResult pruned = prune_to_hot(trace, config.prune_top_k);
+  const std::uint32_t window =
+      trg_window_entries(config.trg_cache_bytes, config.trg_block_bytes);
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool local(threads);
+    ThreadPool* pool = threads > 1 ? &local : nullptr;
+    for (const AnalysisDispatch& dispatch : {run, flat}) {
+      const Trg graph = Trg::build(pruned.trace,
+                                   TrgConfig{.window_entries = window,
+                                             .pool = pool,
+                                             .dispatch = dispatch});
+      if (hash_trg(graph) != row.trg_hash) {
+        failures.push_back(
+            std::string(row.name) + ": trg " +
+            (dispatch.force == ForcedPath::kRun ? "run" : "flat") +
+            " path diverged from the golden checksum at " +
+            std::to_string(threads) + " threads");
+      }
+    }
+  }
+
+  // Affinity hierarchy: no golden row exists, so anchor on the serial
+  // run-path result and demand both paths match it at every pool width. A
+  // trimmed w-grid keeps the sweep affordable on single-core runners; the
+  // full grid's cross-thread identity is pinned by analysis_parallel_test.
+  const Trace trimmed = trace.trimmed();
+  const std::vector<std::uint32_t> w_grid = {2, 6, 20};
+  std::uint64_t affinity_ref = 0;
+  {
+    AffinityConfig ref_config;
+    ref_config.w_values = w_grid;
+    ref_config.dispatch = run;
+    affinity_ref = hash_hierarchy(analyze_affinity(trimmed, ref_config));
+  }
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool local(threads);
+    for (const AnalysisDispatch& dispatch : {run, flat}) {
+      AffinityConfig aff;
+      aff.w_values = w_grid;
+      aff.pool = threads > 1 ? &local : nullptr;
+      aff.dispatch = dispatch;
+      if (hash_hierarchy(analyze_affinity(trimmed, aff)) != affinity_ref) {
+        failures.push_back(
+            std::string(row.name) + ": affinity " +
+            (dispatch.force == ForcedPath::kRun ? "run" : "flat") +
+            " path diverged at " + std::to_string(threads) + " threads");
+      }
+    }
+  }
+
+  // Icache solo over the eval trace: both paths against the golden.
+  const Trace eval =
+      profile(module, config.eval_seed,
+              {.max_events = spec.eval_events, .max_call_depth = 64})
+          .block_trace;
+  const CodeLayout layout = original_layout(module);
+  for (const AnalysisDispatch& dispatch : {run, flat}) {
+    SimOptions options;
+    options.dispatch = dispatch;
+    if (hash_sim(simulate_solo(module, layout, eval, options)) !=
+        row.solo_sim_hash) {
+      failures.push_back(
+          std::string(row.name) + ": icache solo " +
+          (dispatch.force == ForcedPath::kRun ? "run" : "flat") +
+          " path diverged from the golden checksum");
+    }
+    SimOptions hw = hardware_proxy_options();
+    hw.dispatch = dispatch;
+    if (hash_sim(simulate_solo(module, layout, eval, hw)) !=
+        row.solo_hw_hash) {
+      failures.push_back(
+          std::string(row.name) + ": icache hw proxy " +
+          (dispatch.force == ForcedPath::kRun ? "run" : "flat") +
+          " path diverged from the golden checksum");
+    }
+  }
+}
+
+TEST(CrossPath, EveryKernelBitIdenticalOnEveryGoldenWorkload) {
+  const PipelineConfig config;
+  ThreadPool pool(ThreadPool::default_threads());
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::vector<std::future<void>> pending;
+  for (const GoldenWorkload& row : kGoldenWorkloads) {
+    pending.push_back(pool.submit([&row, &config, &mu, &failures] {
+      std::vector<std::string> local;
+      check_workload_cross_path(row, config, local);
+      if (!local.empty()) {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::string& f : local) failures.push_back(std::move(f));
+      }
+    }));
+  }
+  for (auto& p : pending) p.get();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+}
+
+// A rebuilt-per-event trace dispatches and hashes identically: the flat
+// replay of a trace is the trace.
+TEST(CrossPath, FlatReplayDispatchesIdentically) {
+  Trace t(Trace::Granularity::kBlock);
+  for (int i = 0; i < 100; ++i) {
+    t.push_run(static_cast<Symbol>(i % 7), 1 + (i % 5));
+  }
+  const Trace replayed = flat_replay(t);
+  ASSERT_EQ(replayed, t);
+  ASSERT_DOUBLE_EQ(replayed.run_compression(), t.run_compression());
+  AnalysisDispatch dispatch;
+  dispatch.force = ForcedPath::kAuto;
+  for (const DispatchKernel kernel : kAllKernels) {
+    EXPECT_EQ(choose_path(dispatch, kernel, t),
+              choose_path(dispatch, kernel, replayed))
+        << dispatch_kernel_name(kernel);
+  }
+}
+
+}  // namespace
+}  // namespace codelayout

@@ -3,7 +3,8 @@
 
 Usage:
     bench_compare.py --baseline BENCH_x.json --fresh fresh_x.json \
-                     [--baseline ... --fresh ...] [--threshold 0.5]
+                     [--baseline ... --fresh ...] [--threshold 0.5] \
+                     [--dispatch-floor 0.95] [--scaling-floor 8:2]
 
 Walks the baseline document and, for every metric it recognizes, checks the
 fresh run against it:
@@ -14,6 +15,25 @@ fresh run against it:
     fresh >= baseline * (1 - threshold);
   * latency keys (mean, p50, p90, p99, max, wall_seconds) must satisfy
     fresh <= baseline / (1 - threshold).
+
+When both documents carry a top-level "host_cores" and the values differ,
+throughput/latency gating is refused for that pair — absolute rates are not
+comparable across machines — while checksums stay exact.
+
+Two floors check the fresh run against itself (no baseline needed; --fresh
+alone works):
+
+  * --dispatch-floor R: adaptive dispatch is never materially slower than
+    the better forced path. Gated on each kernel's paired dispatch_ratio
+    (median over interleaved rounds of chosen/other path rate): the
+    per-kernel median across workloads must be >= R and every single cell
+    >= R - 0.05 (the tail guard — misdispatch measures far below it,
+    near-tie cells wobble a few percent from code-placement luck). Older
+    files without dispatch_ratio fall back to a per-cell peak-rate check;
+  * --scaling-floor T:R: every swept kernel must reach R x its 1-thread
+    throughput at T threads. Skipped (with a note) when the fresh host has
+    fewer than max(4, T) cores — thread scaling on an oversubscribed or
+    tiny host measures the scheduler, not the kernel.
 
 Everything else (speedups, in-run baselines, nondeterministic cost wall
 times) is skipped — the walk is baseline-driven, so adding fields to fresh
@@ -81,12 +101,44 @@ def align(baseline_list, fresh_list):
             yield key or f"[{index}]", base, None
 
 
+def host_cores(doc):
+    return doc.get("host_cores") if isinstance(doc, dict) else None
+
+
+def iter_kernels(doc):
+    """Yields (group_label, kernel_dict) from an analysis-perf document
+    ({"workloads": [{"kernels": [...]}]}), a corun document
+    ({"pairs": [{"kernels": [...]}]}), or a bare list of either."""
+    if isinstance(doc, dict):
+        groups = doc.get("workloads") or doc.get("pairs")
+    else:
+        groups = doc
+    if not isinstance(groups, list):
+        return
+    for group in groups:
+        if not isinstance(group, dict):
+            continue
+        if "workload" in group:
+            label = group["workload"]
+        elif "self" in group:
+            label = f"{group['self']} vs {group.get('peer', '?')}"
+        else:
+            label = "?"
+        for kernel in group.get("kernels", []):
+            if isinstance(kernel, dict):
+                yield label, kernel
+
+
 class Gate:
     def __init__(self, threshold):
         self.threshold = threshold
         self.failures = []
         self.checked = 0
         self.skipped = 0
+        self.notes = []
+        # Per-pair: cleared when baseline and fresh ran on different core
+        # counts (cross-machine throughput is not comparable).
+        self.rates_comparable = True
 
     def compare(self, path, base, fresh):
         if isinstance(base, dict):
@@ -123,6 +175,9 @@ class Gate:
                 self.failures.append(
                     f"{path}: checksum mismatch (baseline {base}, fresh {fresh})")
         elif key in THROUGHPUT_KEYS and isinstance(base, (int, float)):
+            if not self.rates_comparable:
+                self.skipped += 1
+                return
             self.checked += 1
             floor = base * (1.0 - self.threshold)
             if not isinstance(fresh, (int, float)) or fresh < floor:
@@ -130,6 +185,9 @@ class Gate:
                     f"{path}: throughput regressed (baseline {base:.4g}, "
                     f"fresh {fresh}, floor {floor:.4g})")
         elif key in LATENCY_KEYS and isinstance(base, (int, float)):
+            if not self.rates_comparable:
+                self.skipped += 1
+                return
             self.checked += 1
             ceiling = base / (1.0 - self.threshold)
             if not isinstance(fresh, (int, float)) or fresh > ceiling:
@@ -139,40 +197,176 @@ class Gate:
         else:
             self.skipped += 1
 
+    def check_dispatch_floor(self, path, doc, ratio):
+        """Dispatched path >= ratio * the better forced path for every
+        kernel that reports both. Intra-file, so core counts are moot.
+
+        Prefers the bench's paired estimate (dispatch_ratio: the median
+        over interleaved rounds of chosen-path rate / other-path rate) —
+        adjacent samples share the host's throttle state, so the paired
+        ratio is robust where comparing independently-measured peak rates
+        flakes on near-ties. Paired ratios are gated two ways: the
+        per-kernel *median across workloads* must clear the floor (a
+        mistuned threshold drags every cell, so the median catches it
+        without flaking on single-cell noise), and every individual cell
+        must clear floor - 0.05 (a genuinely misdispatched cell measures
+        0.3-0.8x, far below any tail guard; near-tie kernels wobble a few
+        percent per workload from code-placement luck — the effect this
+        codebase exists to study). Falls back to the per-cell peak-rate
+        comparison for older files without the field."""
+        cell_floor = ratio - 0.05
+        paired_by_kernel = {}
+        for label, kernel in iter_kernels(doc):
+            if ("run_events_per_sec" not in kernel
+                    or "flat_events_per_sec" not in kernel):
+                continue
+            paired = kernel.get("dispatch_ratio")
+            if isinstance(paired, (int, float)):
+                name = kernel.get("name", "?")
+                paired_by_kernel.setdefault(name, []).append(paired)
+                self.checked += 1
+                if paired < cell_floor:
+                    self.failures.append(
+                        f"{path}[{label}].{name}: dispatched path runs at "
+                        f"{paired:.3f}x the other path (tail guard "
+                        f"{cell_floor:.2f}, chose "
+                        f"{kernel.get('dispatch', '?')})")
+                continue
+            best = max(kernel["run_events_per_sec"],
+                       kernel["flat_events_per_sec"])
+            if best <= 0:
+                continue
+            # Prefer the dispatched cell measured by the same interleaved
+            # harness as the forced cells; fall back to the 1-thread sweep
+            # point (older files) or the headline rate.
+            auto = kernel.get("auto_events_per_sec")
+            if auto is None:
+                sweep = kernel.get("sweep")
+                if sweep:
+                    auto = next((p["events_per_sec"] for p in sweep
+                                 if p.get("threads") == 1), None)
+                    if auto is None:
+                        continue
+                else:
+                    auto = kernel.get("events_per_sec")
+            self.checked += 1
+            if not isinstance(auto, (int, float)) or auto < ratio * best:
+                self.failures.append(
+                    f"{path}[{label}].{kernel.get('name', '?')}: dispatched "
+                    f"path {auto:.4g} ev/s below {ratio:.2f}x the better "
+                    f"forced path ({best:.4g} ev/s, chose "
+                    f"{kernel.get('dispatch', '?')})")
+        for name, values in sorted(paired_by_kernel.items()):
+            self.checked += 1
+            values = sorted(values)
+            med = values[len(values) // 2]
+            if med < ratio:
+                self.failures.append(
+                    f"{path}.{name}: median dispatched/other ratio {med:.3f} "
+                    f"across {len(values)} workload(s) below the "
+                    f"{ratio:.2f} floor")
+
+    def check_scaling_floor(self, path, doc, threads, ratio):
+        """Swept kernels reach ratio x their 1-thread throughput at
+        `threads` threads; skipped below max(4, threads) host cores."""
+        cores = host_cores(doc)
+        if cores is None or cores < max(4, threads):
+            self.notes.append(
+                f"{path}: scaling floor skipped (host_cores="
+                f"{cores if cores is not None else 'absent'}, need >= "
+                f"{max(4, threads)})")
+            return
+        for label, kernel in iter_kernels(doc):
+            sweep = kernel.get("sweep")
+            if not sweep:
+                continue
+            by_threads = {p.get("threads"): p.get("events_per_sec")
+                          for p in sweep}
+            narrow, wide = by_threads.get(1), by_threads.get(threads)
+            if narrow is None or wide is None or narrow <= 0:
+                continue
+            self.checked += 1
+            if wide < ratio * narrow:
+                self.failures.append(
+                    f"{path}[{label}].{kernel.get('name', '?')}: "
+                    f"{wide:.4g} ev/s at {threads} threads is below "
+                    f"{ratio:.2f}x the 1-thread {narrow:.4g} ev/s")
+
+
+def parse_scaling_floor(text):
+    threads, _, ratio = text.partition(":")
+    return int(threads), float(ratio)
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", action="append", default=[],
-                        help="checked-in baseline JSON (repeatable)")
+                        help="checked-in baseline JSON (repeatable; may be "
+                             "omitted when only floor checks are wanted)")
     parser.add_argument("--fresh", action="append", default=[],
                         help="fresh bench output, paired with --baseline in order")
     parser.add_argument("--threshold", type=float, default=0.5,
                         help="allowed fractional regression in (0, 1); "
                              "throughput floor = baseline*(1-t), latency "
                              "ceiling = baseline/(1-t) (default 0.5)")
+    parser.add_argument("--dispatch-floor", type=float, default=None,
+                        metavar="R",
+                        help="fresh-file check: dispatched cell >= R * "
+                             "max(run, flat) for every dual-path kernel")
+    parser.add_argument("--scaling-floor", type=parse_scaling_floor,
+                        default=None, metavar="T:R",
+                        help="fresh-file check: swept kernels reach R x "
+                             "1-thread throughput at T threads (skipped "
+                             "below max(4, T) host cores)")
     args = parser.parse_args()
 
-    if not args.baseline or len(args.baseline) != len(args.fresh):
+    if not args.fresh:
+        print("bench_compare: need at least one --fresh file", file=sys.stderr)
+        return 2
+    if args.baseline and len(args.baseline) != len(args.fresh):
         print("bench_compare: need matching --baseline/--fresh pairs",
               file=sys.stderr)
         return 2
     if not (0.0 < args.threshold < 1.0):
         print("bench_compare: --threshold must be in (0, 1)", file=sys.stderr)
         return 2
+    if args.dispatch_floor is not None and not (0.0 < args.dispatch_floor <= 1.0):
+        print("bench_compare: --dispatch-floor must be in (0, 1]",
+              file=sys.stderr)
+        return 2
 
     gate = Gate(args.threshold)
-    for baseline_path, fresh_path in zip(args.baseline, args.fresh):
+    baselines = args.baseline or [None] * len(args.fresh)
+    for baseline_path, fresh_path in zip(baselines, args.fresh):
         try:
-            baseline = load_json_lenient(baseline_path)
             fresh = load_json_lenient(fresh_path)
+            baseline = (load_json_lenient(baseline_path)
+                        if baseline_path is not None else None)
         except (OSError, ValueError) as err:
             print(f"bench_compare: {err}", file=sys.stderr)
             return 2
-        gate.compare(baseline_path, baseline, fresh)
+        if baseline is not None:
+            base_cores, fresh_cores = host_cores(baseline), host_cores(fresh)
+            gate.rates_comparable = (base_cores is None or fresh_cores is None
+                                     or base_cores == fresh_cores)
+            if not gate.rates_comparable:
+                gate.notes.append(
+                    f"{fresh_path}: throughput/latency not compared "
+                    f"(baseline ran on {base_cores} cores, fresh on "
+                    f"{fresh_cores}); checksums still gated")
+            gate.compare(baseline_path, baseline, fresh)
+            gate.rates_comparable = True
+        if args.dispatch_floor is not None:
+            gate.check_dispatch_floor(fresh_path, fresh, args.dispatch_floor)
+        if args.scaling_floor is not None:
+            threads, ratio = args.scaling_floor
+            gate.check_scaling_floor(fresh_path, fresh, threads, ratio)
 
     print(f"bench_compare: {gate.checked} metrics gated, "
           f"{gate.skipped} informational fields skipped, "
           f"threshold {args.threshold}")
+    for note in gate.notes:
+        print(f"note: {note}")
     for failure in gate.failures:
         print(f"REGRESSION {failure}", file=sys.stderr)
     if gate.failures:
