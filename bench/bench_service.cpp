@@ -129,6 +129,9 @@ std::string json_report(const LoadGenOptions& load, const LoadGenReport& report,
   // v4 receipts: adaptive-dispatch decisions summed over every kOk response.
   json.field("dispatch_run", report.cost.dispatch_run);
   json.field("dispatch_flat", report.cost.dispatch_flat);
+  // v5 receipts: closed-form predictor work summed over every kOk response.
+  json.field("predict_calls", report.cost.predict_calls);
+  json.field("profile_memo_hits", report.cost.profile_memo_hits);
   json.end_object();
   if (server != nullptr) {
     const ServiceServer::Stats stats = server->stats();
@@ -240,6 +243,9 @@ int main(int argc, char** argv) {
                     " ms"});
   cost.add_row({"jobs served from cache",
                 fmt_count(report.cost.cached_jobs)});
+  cost.add_row({"predict calls / memo hits",
+                fmt_count(report.cost.predict_calls) + " / " +
+                    fmt_count(report.cost.profile_memo_hits)});
   std::printf("%s", cost.render().c_str());
 
   const std::string json =

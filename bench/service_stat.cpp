@@ -100,7 +100,7 @@ std::string render_stats_table(const std::string& stats) {
 
 std::string render_recent_table(const std::string& doc) {
   TextTable table({"id", "kind", "status", "trace_id", "queue_wait",
-                   "wall", "cached", "dispatch", "compress"});
+                   "wall", "cached", "dispatch", "compress", "predict"});
   // Walk the "recent" array object by object; the documents contain no
   // nested braces inside these objects.
   std::size_t pos = doc.find("\"recent\":[");
@@ -131,7 +131,11 @@ std::string render_recent_table(const std::string& doc) {
                std::to_string(find_u64(job, "dispatch_flat")) + "f",
            fmt_fixed(std::strtod(find_raw(job, "run_compression").c_str(),
                                  nullptr),
-                     3)});
+                     3),
+           // Predictor attribution (wire v5): closed-form predictions the
+           // job ran vs solo-profile memo hits it was served.
+           std::to_string(find_u64(job, "predict_calls")) + "p/" +
+               std::to_string(find_u64(job, "profile_memo_hits")) + "h"});
       pos = close + 1;
     }
   }

@@ -249,6 +249,57 @@ const FetchPlan& Lab::fetch_plan(const std::string& name,
   return plan;
 }
 
+const SoloProfile& Lab::solo_profile(const std::string& name,
+                                     std::optional<Optimizer> optimizer) {
+  return solo_profile(name, optimizer, kL1I.line_bytes);
+}
+
+const SoloProfile& Lab::solo_profile(const std::string& name,
+                                     std::optional<Optimizer> optimizer,
+                                     std::uint32_t line_bytes) {
+  // Keyed like fetch plans: the profile is a pure function of (layout, line
+  // size), independent of measurement flavour (the model sees the bare
+  // fetch stream), so one cell serves every pairing the predictor screens.
+  EvalKey key = EvalRequest::layout(name, optimizer).key;
+  key.hierarchy.l1.line_bytes = line_bytes;
+  bool computed = false;
+  const SoloProfile& profile =
+      profiles_.get_or_compute(key, /*counters=*/nullptr, [&] {
+        computed = true;
+        CODELAYOUT_PHASE("solo_profile", "lab", "lab.solo_profile.wall_ns",
+                         {"workload", name},
+                         {"optimizer", opt_label(optimizer)});
+        const PreparedWorkload& prepared = workload(name);
+        const FetchPlan& plan = fetch_plan(name, optimizer, line_bytes);
+        return build_solo_profile(name, plan, prepared.eval_blocks,
+                                  prepared.spec.data_stall_cpi, line_bytes);
+      });
+  if (!computed) {
+    if (CostCounters* cost = current_job_context().cost) {
+      cost->predict_profile_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter(computed ? "perfmodel.predict.profile_builds"
+                              : "perfmodel.predict.profile_memo_hits")
+        .add(1);
+  }
+  return profile;
+}
+
+CorunPrediction Lab::predict_corun(const std::string& self_name,
+                                   std::optional<Optimizer> self_opt,
+                                   const std::string& peer_name,
+                                   std::optional<Optimizer> peer_opt,
+                                   const HierarchySpec& hierarchy) {
+  const SoloProfile& self =
+      solo_profile(self_name, self_opt, hierarchy.l1.line_bytes);
+  const SoloProfile& peer =
+      solo_profile(peer_name, peer_opt, hierarchy.l1.line_bytes);
+  return codelayout::predict_corun(self, peer, hierarchy, options_.perf());
+}
+
 const SimResult& Lab::solo(const std::string& name,
                            std::optional<Optimizer> optimizer, Measure measure,
                            const HierarchySpec& hierarchy) {

@@ -31,6 +31,7 @@
 #include "harness/memo.hpp"
 #include "harness/options.hpp"
 #include "harness/pipeline.hpp"
+#include "perfmodel/corun_predictor.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
@@ -108,6 +109,28 @@ class Lab {
                               std::optional<Optimizer> optimizer,
                               std::uint32_t line_bytes);
 
+  /// The memoized analytic solo profile of (workload, optimizer) — the
+  /// footprint curve + totals the co-run predictor composes. One kernel pass
+  /// per (workload, optimizer, line size): a full N x N screening matrix
+  /// costs N profile builds, every pairing after that is closed-form.
+  /// Hit/compute counts are exported as `perfmodel.predict.profile_memo_hits`
+  /// / `perfmodel.predict.profile_builds`.
+  const SoloProfile& solo_profile(const std::string& name,
+                                  std::optional<Optimizer> optimizer);
+  const SoloProfile& solo_profile(const std::string& name,
+                                  std::optional<Optimizer> optimizer,
+                                  std::uint32_t line_bytes);
+
+  /// Closed-form pairing prediction (perfmodel/corun_predictor.hpp) from the
+  /// memoized solo profiles — no simulation. The screening counterpart of
+  /// corun(): same parties, same hierarchy semantics, microseconds instead
+  /// of a bit-exact replay.
+  CorunPrediction predict_corun(const std::string& self_name,
+                                std::optional<Optimizer> self_opt,
+                                const std::string& peer_name,
+                                std::optional<Optimizer> peer_opt,
+                                const HierarchySpec& hierarchy = {});
+
   const SimResult& solo(const std::string& name,
                         std::optional<Optimizer> optimizer, Measure measure,
                         const HierarchySpec& hierarchy = {});
@@ -156,6 +179,7 @@ class Lab {
   MemoTable<PreparedWorkload> workloads_;
   MemoTable<CodeLayout> layouts_;
   MemoTable<FetchPlan> plans_;
+  MemoTable<SoloProfile> profiles_;
   MemoTable<SimResult> solos_;
   MemoTable<CorunResult> coruns_;
 

@@ -22,12 +22,7 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
     return weights.empty() ? 1.0 : static_cast<double>(weights[s]);
   };
 
-  FootprintCurve curve;
-  curve.fp_.assign(n + 1, 0.0);
-  if (n == 0) {
-    curve.fp_.assign(1, 0.0);
-    return curve;
-  }
+  if (n == 0) return assemble<double>(0, 0.0, {});
 
   // gap_mass[g] accumulates the total weight of symbols having a maximal gap
   // of exactly g window positions in which the symbol is absent. A gap of g
@@ -87,18 +82,129 @@ FootprintCurve FootprintCurve::compute(const Trace& trace,
     if (tail_gap > 0) gap_mass[tail_gap] += weight_of(s);
   }
 
+  return assemble(n, total_weight, gap_mass);
+}
+
+template <class Mass>
+FootprintCurve FootprintCurve::assemble(std::size_t n, double total_weight,
+                                        const std::vector<Mass>& gap_mass) {
+  FootprintCurve curve;
+  curve.fp_.assign(n + 1, 0.0);
+  if (n == 0) return curve;
+  CL_CHECK(gap_mass.size() == n + 1);
   // missing(w) = sum_{g >= w} (g - w + 1) * gap_mass[g]; computed for all w
   // by two suffix accumulations, descending from w = n.
   double suffix_count = 0.0;  // sum_{g >= w} gap_mass[g]
   double missing = 0.0;       // sum_{g >= w} (g - w + 1) gap_mass[g]
   curve.fp_[0] = 0.0;
   for (std::size_t w = n; w >= 1; --w) {
-    suffix_count += gap_mass[w];
+    suffix_count += static_cast<double>(gap_mass[w]);
     missing += suffix_count;
     const double windows = static_cast<double>(n - w + 1);
     curve.fp_[w] = total_weight - missing / windows;
   }
   return curve;
+}
+
+template FootprintCurve FootprintCurve::assemble<double>(
+    std::size_t, double, const std::vector<double>&);
+template FootprintCurve FootprintCurve::assemble<std::uint32_t>(
+    std::size_t, double, const std::vector<std::uint32_t>&);
+
+FootprintBuilder::FootprintBuilder(Symbol space)
+    : gap_mass_(kDenseGaps, 0),
+      first_(space, ~std::uint64_t{0}),
+      last_(space, ~std::uint64_t{0}) {}
+
+void FootprintBuilder::probe(Symbol s) {
+  CL_DCHECK(s < last_.size());
+  if (last_[s] == ~std::uint64_t{0}) {
+    first_[s] = position_;
+    total_weight_ += 1.0;
+  } else {
+    const std::uint64_t gap = position_ - last_[s] - 1;
+    if (gap > 0) {
+      if (gap < kDenseGaps) {
+        gap_mass_[gap] += 1;
+      } else {
+        large_gaps_.push_back({static_cast<std::uint32_t>(gap), 1});
+      }
+    }
+  }
+  last_[s] = position_;
+  prev_ = s;
+  ++position_;
+}
+
+void FootprintBuilder::span(Symbol first, std::uint32_t count,
+                            std::uint64_t repeats) {
+  if (count == 0 || repeats == 0) return;
+  ++spans_;
+  // No single gap count can exceed the pre-trim event total, so this bound
+  // keeps the 32-bit histogram cells exact (checked before any increment).
+  raw_events_ += std::uint64_t{count} * repeats;
+  CL_CHECK_MSG(raw_events_ <= ~std::uint32_t{0},
+               "footprint stream exceeds 2^32 events; widen the gap counts");
+  if (count == 1) {
+    // All `repeats` occurrences trim to (at most) one window position; it
+    // vanishes entirely when the previous event was the same symbol.
+    if (prev_ == first) {
+      collapsed_events_ += repeats;
+    } else {
+      probe(first);
+      collapsed_events_ += repeats - 1;
+    }
+    return;
+  }
+  // First repetition probes each line against whatever came before; the
+  // span's leading line merges into the previous event when it repeats it
+  // (exactly the event Trace::trimmed() would drop).
+  const bool skip_lead = prev_ == first;
+  if (skip_lead) ++collapsed_events_;
+  for (std::uint32_t l = skip_lead ? 1 : 0; l < count; ++l) probe(first + l);
+  if (repeats == 1) return;
+  // Repetitions 2..R: the seam between repetitions never trims (the last and
+  // first lines differ), so every line's reuse gap is exactly count - 1 —
+  // the other lines of the span sit between consecutive occurrences — and
+  // the whole tail collapses to one gap-histogram bump. Masses stay exact
+  // integers, so the curve is bit-identical to probing event by event.
+  const std::uint64_t gap = count - 1;
+  const auto bump = static_cast<std::uint32_t>((repeats - 1) * count);
+  if (gap < kDenseGaps) {
+    gap_mass_[gap] += bump;
+  } else {
+    large_gaps_.push_back({static_cast<std::uint32_t>(gap), bump});
+  }
+  const std::uint64_t tail_events = (repeats - 1) * count;
+  for (std::uint32_t l = 0; l < count; ++l) {
+    last_[first + l] = position_ + tail_events - count + l;
+  }
+  position_ += tail_events;
+  prev_ = first + count - 1;
+  collapsed_events_ += tail_events;
+}
+
+FootprintCurve FootprintBuilder::finish() && {
+  const std::uint64_t n = position_;
+  // The dense prefix already is the final histogram below kDenseGaps (every
+  // index above n holds zero mass — no gap exceeds n - 1); widen it to the
+  // full gap range and fold in the deferred large gaps and boundary gaps.
+  gap_mass_.resize(n + 1, 0);
+  for (const DeferredGap& d : large_gaps_) gap_mass_[d.gap] += d.mass;
+  for (Symbol s = 0; s < first_.size(); ++s) {
+    if (first_[s] == ~std::uint64_t{0}) continue;  // never streamed
+    const std::uint64_t head_gap = first_[s];
+    if (head_gap > 0) gap_mass_[head_gap] += 1;
+    const std::uint64_t tail_gap = n - 1 - last_[s];
+    if (tail_gap > 0) gap_mass_[tail_gap] += 1;
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (registry.enabled()) {
+    registry.counter("locality.footprint.builder_spans").add(spans_);
+    registry.counter("locality.footprint.builder_collapsed_events")
+        .add(collapsed_events_);
+  }
+  return FootprintCurve::assemble(n, total_weight_, gap_mass_);
 }
 
 double FootprintCurve::at(double w) const {

@@ -56,7 +56,86 @@ class FootprintCurve {
   [[nodiscard]] std::span<const double> values() const { return fp_; }
 
  private:
+  friend class FootprintBuilder;
+
+  /// Shared curve assembly: turns the gathered gap histogram into fp(w) for
+  /// every window length by the two descending suffix accumulations. Mass is
+  /// double for the weighted compute() pass and std::uint32_t for the
+  /// builder's unit-weight counts; integer masses convert exactly, so both
+  /// instantiations produce bit-identical curves for the same histogram
+  /// values.
+  template <class Mass>
+  static FootprintCurve assemble(std::size_t n, double total_weight,
+                                 const std::vector<Mass>& gap_mass);
+
   std::vector<double> fp_;  ///< fp_[w], w = 0..n
+};
+
+/// Streaming footprint kernel over the *trimmed* trace (Definition 1) for
+/// callers that can describe the stream as consecutive-symbol spans instead
+/// of materializing it: perfmodel's solo profiles feed cache-line fetch
+/// streams straight from the fetch plan's per-block line spans. Consecutive
+/// duplicate symbols collapse to one window position exactly as
+/// Trace::trimmed() would drop them, and gap masses are exact integer-valued
+/// doubles (unit weights), so the finished curve is bit-identical to
+/// FootprintCurve::compute over the trimmed flat trace — the span collapse
+/// only changes the order exact integers are summed in.
+///
+///   FootprintBuilder builder(space);
+///   for (run : block_trace.runs())
+///     builder.span(plan.first_line, plan.line_count, run.length);
+///   FootprintCurve curve = std::move(builder).finish();
+class FootprintBuilder {
+ public:
+  /// `space` bounds the symbol values that will be streamed (= dense symbol
+  /// space of the virtual trace).
+  explicit FootprintBuilder(Symbol space);
+
+  /// Appends `repeats` back-to-back occurrences of the `count` consecutive
+  /// symbols [first, first + count): the line sequence of one code block
+  /// executed `repeats` times. A repeated multi-line span collapses to one
+  /// O(count) update — after trimming, every line's reuse gap inside the
+  /// repetition is exactly count - 1 — and a single-symbol span collapses to
+  /// at most one window position, so the kernel runs in O(runs * span_width),
+  /// independent of repeat counts.
+  void span(Symbol first, std::uint32_t count, std::uint64_t repeats);
+
+  /// Trimmed window positions streamed so far (the virtual trace length).
+  [[nodiscard]] std::uint64_t positions() const { return position_; }
+
+  /// Seals the stream: boundary gaps plus the suffix assembly. Records the
+  /// `locality.footprint.builder_spans` / `builder_collapsed_events` registry
+  /// counters when metrics are enabled.
+  [[nodiscard]] FootprintCurve finish() &&;
+
+ private:
+  /// Dense-histogram span: gaps below this land in a 128 KiB cache-resident
+  /// array (the overwhelming majority — reuse gaps cluster near the working
+  /// set size); larger ones defer to a side list merged at finish(). The
+  /// histogram update is the kernel's hot spot, and keeping it out of a
+  /// trace-length-sized array keeps the stream compute-bound.
+  static constexpr std::uint64_t kDenseGaps = 32768;
+
+  struct DeferredGap {
+    std::uint32_t gap;
+    std::uint32_t mass;
+  };
+
+  void probe(Symbol s);
+
+  std::uint64_t position_ = 0;
+  std::uint64_t prev_ = ~std::uint64_t{0};  ///< last streamed symbol
+  std::uint64_t raw_events_ = 0;  ///< pre-trim events, bounds any gap count
+  double total_weight_ = 0.0;
+  std::uint64_t spans_ = 0;
+  std::uint64_t collapsed_events_ = 0;
+  /// Unit-weight masses are exact counts; 32-bit cells halve the histogram's
+  /// random-write traffic and cannot overflow while raw_events_ fits
+  /// (checked per span).
+  std::vector<std::uint32_t> gap_mass_;   ///< gaps < kDenseGaps
+  std::vector<DeferredGap> large_gaps_;   ///< gaps >= kDenseGaps, unmerged
+  std::vector<std::uint64_t> first_;
+  std::vector<std::uint64_t> last_;
 };
 
 }  // namespace codelayout

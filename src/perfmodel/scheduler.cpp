@@ -1,0 +1,174 @@
+#include "perfmodel/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace codelayout {
+namespace {
+
+/// Improvement threshold for local-search moves: strictly better by more
+/// than a relative epsilon, so floating-point noise cannot cycle the search.
+bool improves(double candidate, double incumbent) {
+  const double scale = std::max(1.0, std::abs(incumbent));
+  return candidate < incumbent - 1e-12 * scale;
+}
+
+}  // namespace
+
+PairCostMatrix compute_pair_costs(
+    const std::vector<const SoloProfile*>& profiles,
+    const HierarchySpec& hierarchy, const PerfParams& params) {
+  const std::size_t n = profiles.size();
+  PairCostMatrix costs;
+  costs.programs = n;
+  costs.pair.assign(n * n, 0.0);
+  costs.solo.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CL_CHECK(profiles[i] != nullptr);
+    costs.solo[i] = predicted_solo_misses(*profiles[i], hierarchy);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const CorunPrediction prediction =
+          predict_corun(*profiles[i], *profiles[j], hierarchy, params);
+      const double cost = prediction.total_predicted_misses();
+      costs.pair[i * n + j] = cost;
+      costs.pair[j * n + i] = cost;
+    }
+  }
+  return costs;
+}
+
+ScheduleResult schedule_corun(const PairCostMatrix& costs, std::size_t slots) {
+  const std::size_t n = costs.programs;
+  CL_CHECK_MSG(n <= 2 * slots, "cannot place " << n << " programs on "
+                                               << slots << " pair slots");
+  const std::size_t need_pairs = n > slots ? n - slots : 0;
+
+  ScheduleResult result;
+  std::vector<std::size_t> partner(n, n);  ///< n = unpaired
+
+  if (need_pairs > 0) {
+    // Greedy seed: pick the disjoint pairs with the smallest pairing delta
+    // (pair cost minus the two solo costs it replaces), ascending index
+    // tie-break for determinism.
+    struct Candidate {
+      double delta;
+      std::size_t a, b;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        candidates.push_back(
+            {costs.cost(i, j) - costs.solo[i] - costs.solo[j], i, j});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) {
+                if (x.delta != y.delta) return x.delta < y.delta;
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+    std::size_t picked = 0;
+    for (const Candidate& c : candidates) {
+      if (picked == need_pairs) break;
+      if (partner[c.a] != n || partner[c.b] != n) continue;
+      partner[c.a] = c.b;
+      partner[c.b] = c.a;
+      ++picked;
+    }
+    CL_CHECK(picked == need_pairs);
+
+    // Local search: first-improvement over two move families until no move
+    // helps. Fixed visiting order keeps the fixpoint deterministic.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      ++result.refine_passes;
+      // Move 1: re-partner across two pairs. Pairs (a,b) and (c,d) can
+      // re-form as (a,c)(b,d) or (a,d)(b,c).
+      for (std::size_t a = 0; a < n && !moved; ++a) {
+        if (partner[a] == n || partner[a] < a) continue;
+        const std::size_t b = partner[a];
+        for (std::size_t c = a + 1; c < n && !moved; ++c) {
+          if (c == b || partner[c] == n || partner[c] < c) continue;
+          const std::size_t d = partner[c];
+          const double current = costs.cost(a, b) + costs.cost(c, d);
+          const double cross1 = costs.cost(a, c) + costs.cost(b, d);
+          const double cross2 = costs.cost(a, d) + costs.cost(b, c);
+          if (improves(cross1, current) &&
+              (cross1 <= cross2 || !improves(cross2, current))) {
+            partner[a] = c;
+            partner[c] = a;
+            partner[b] = d;
+            partner[d] = b;
+            moved = true;
+          } else if (improves(cross2, current)) {
+            partner[a] = d;
+            partner[d] = a;
+            partner[b] = c;
+            partner[c] = b;
+            moved = true;
+          }
+        }
+      }
+      // Move 2: swap a paired program with an unpaired one. Pair (a,b) and
+      // solo u re-form as pair (a,u) with b solo (or (b,u) with a solo).
+      for (std::size_t a = 0; a < n && !moved; ++a) {
+        if (partner[a] == n || partner[a] < a) continue;
+        const std::size_t b = partner[a];
+        for (std::size_t u = 0; u < n && !moved; ++u) {
+          if (partner[u] != n) continue;
+          const double current = costs.cost(a, b) + costs.solo[u];
+          const double swap_b = costs.cost(a, u) + costs.solo[b];
+          const double swap_a = costs.cost(b, u) + costs.solo[a];
+          if (improves(swap_b, current) &&
+              (swap_b <= swap_a || !improves(swap_a, current))) {
+            partner[a] = u;
+            partner[u] = a;
+            partner[b] = n;
+            moved = true;
+          } else if (improves(swap_a, current)) {
+            partner[b] = u;
+            partner[u] = b;
+            partner[a] = n;
+            moved = true;
+          }
+        }
+      }
+      if (moved) continue;
+      // The pass that found nothing is not a refinement pass.
+      --result.refine_passes;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (partner[i] == n) {
+      result.unpaired.push_back(i);
+      result.predicted_total_misses += costs.solo[i];
+    } else if (partner[i] > i) {
+      result.pairs.push_back({i, partner[i], costs.cost(i, partner[i])});
+      result.predicted_total_misses += costs.cost(i, partner[i]);
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> top_k_pairs(const ScheduleResult& schedule,
+                                     std::size_t k) {
+  std::vector<std::size_t> order(schedule.pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const double cx = schedule.pairs[x].predicted_misses;
+    const double cy = schedule.pairs[y].predicted_misses;
+    if (cx != cy) return cx > cy;
+    return x < y;
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+}  // namespace codelayout

@@ -205,6 +205,8 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
           cost.wall_nanos += receipt.wall_nanos;
           cost.dispatch_run += receipt.dispatch_run;
           cost.dispatch_flat += receipt.dispatch_flat;
+          cost.predict_calls += receipt.predict_calls;
+          cost.profile_memo_hits += receipt.profile_memo_hits;
           if (receipt.cached) ++cost.cached_jobs;
         }
       }
@@ -236,6 +238,8 @@ LoadGenReport run_load_generator(const LoadGenOptions& options) {
     report.cost.queue_wait_nanos += cost.queue_wait_nanos;
     report.cost.wall_nanos += cost.wall_nanos;
     report.cost.cached_jobs += cost.cached_jobs;
+    report.cost.predict_calls += cost.predict_calls;
+    report.cost.profile_memo_hits += cost.profile_memo_hits;
   }
   return report;
 }

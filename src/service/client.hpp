@@ -87,6 +87,9 @@ struct LoadGenReport {
     /// v4: adaptive-dispatch decisions summed over every kOk response.
     std::uint64_t dispatch_run = 0;
     std::uint64_t dispatch_flat = 0;
+    /// v5: closed-form predictor work summed over every kOk response.
+    std::uint64_t predict_calls = 0;
+    std::uint64_t profile_memo_hits = 0;
   } cost;
 };
 

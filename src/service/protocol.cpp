@@ -195,6 +195,11 @@ std::string encode_request_body(const JobRequest& request, std::uint64_t id,
     put_varint(out, span_id);
     put_u8(out, static_cast<std::uint8_t>(request.introspect));
   }
+  if (version >= 5) {
+    // v5 trailing fields: the co-scheduling problem shape.
+    put_varint(out, request.slots);
+    put_varint(out, request.verify_top_k);
+  }
   return out;
 }
 
@@ -222,6 +227,7 @@ const char* job_kind_name(JobKind kind) {
     case JobKind::kCorun: return "corun";
     case JobKind::kTraceStats: return "trace-stats";
     case JobKind::kIntrospect: return "introspect";
+    case JobKind::kCoSchedule: return "co-schedule";
   }
   return "?";
 }
@@ -261,6 +267,11 @@ std::string JobRequest::to_string() const {
       os << (i == 0 ? " " : " x ") << parties[i].workload << '|'
          << (parties[i].optimizer ? parties[i].optimizer->name() : "Original");
     }
+  } else if (kind == JobKind::kCoSchedule) {
+    os << ' ' << parties.size() << " parties -> " << slots << " slots";
+    if (verify_top_k > 0) os << " (verify " << verify_top_k << ')';
+    if (hierarchy != HierarchySpec{}) os << "|g=" << hierarchy.to_string();
+    return os.str();
   } else if (kind == JobKind::kIntrospect) {
     os << ' ' << introspect_kind_name(introspect);
     return os.str();
@@ -321,6 +332,23 @@ std::string encode_response_payload(const JobResponse& response,
     put_varint(out, response.receipt.dispatch_flat);
     put_double(out, response.receipt.run_compression);
   }
+  if (version >= 5) {
+    // v5 trailing fields: the co-schedule assignment + predictor attribution.
+    put_varint(out, response.schedule.pairs.size());
+    for (const CoScheduleResult::Pair& pair : response.schedule.pairs) {
+      put_varint(out, pair.a);
+      put_varint(out, pair.b);
+      put_double(out, pair.predicted_misses);
+    }
+    put_varint(out, response.schedule.unpaired.size());
+    for (std::uint64_t idx : response.schedule.unpaired) put_varint(out, idx);
+    put_double(out, response.schedule.predicted_total_misses);
+    put_varint(out, response.schedule.refine_passes);
+    put_varint(out, response.schedule.verified.size());
+    for (std::uint64_t idx : response.schedule.verified) put_varint(out, idx);
+    put_varint(out, response.receipt.predict_calls);
+    put_varint(out, response.receipt.profile_memo_hits);
+  }
   return out;
 }
 
@@ -334,11 +362,13 @@ JobRequest decode_request_payload(std::string_view payload,
                "service payload: priority out of range");
   request.priority = static_cast<JobPriority>(priority);
   const std::uint8_t kind = in.u8();
-  // kIntrospect exists only in v3: older frames carrying the byte are
-  // corrupt, not forward-compatible.
+  // kIntrospect exists only in v3 and kCoSchedule only in v5: older frames
+  // carrying the byte are corrupt, not forward-compatible.
   CL_CHECK_MSG(kind <= static_cast<std::uint8_t>(JobKind::kTraceStats) ||
                    (version >= 3 &&
-                    kind <= static_cast<std::uint8_t>(JobKind::kIntrospect)),
+                    kind <= static_cast<std::uint8_t>(JobKind::kIntrospect)) ||
+                   (version >= 5 &&
+                    kind <= static_cast<std::uint8_t>(JobKind::kCoSchedule)),
                "service payload: job kind out of range");
   request.kind = static_cast<JobKind>(kind);
   const std::uint8_t measure = in.u8();
@@ -373,6 +403,10 @@ JobRequest decode_request_payload(std::string_view payload,
         introspect <= static_cast<std::uint8_t>(IntrospectKind::kTraceExport),
         "service payload: introspect kind out of range");
     request.introspect = static_cast<IntrospectKind>(introspect);
+  }
+  if (version >= 5) {
+    request.slots = in.varint();
+    request.verify_top_k = in.varint();
   }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after request");
   return request;
@@ -426,6 +460,39 @@ JobResponse decode_response_payload(std::string_view payload,
     response.receipt.dispatch_run = in.varint();
     response.receipt.dispatch_flat = in.varint();
     response.receipt.run_compression = in.f64();
+  }
+  if (version >= 5) {
+    const std::uint64_t pair_count = in.varint();
+    CL_CHECK_MSG(pair_count <= 64, "service payload: too many schedule pairs");
+    response.schedule.pairs.reserve(pair_count);
+    for (std::uint64_t i = 0; i < pair_count; ++i) {
+      CoScheduleResult::Pair pair;
+      pair.a = in.varint();
+      pair.b = in.varint();
+      pair.predicted_misses = in.f64();
+      response.schedule.pairs.push_back(pair);
+    }
+    const std::uint64_t unpaired_count = in.varint();
+    CL_CHECK_MSG(unpaired_count <= 64,
+                 "service payload: too many unpaired parties");
+    response.schedule.unpaired.reserve(unpaired_count);
+    for (std::uint64_t i = 0; i < unpaired_count; ++i) {
+      response.schedule.unpaired.push_back(in.varint());
+    }
+    response.schedule.predicted_total_misses = in.f64();
+    const std::uint64_t refine = in.varint();
+    CL_CHECK_MSG(refine <= ~std::uint32_t{0},
+                 "service payload: refine passes out of range");
+    response.schedule.refine_passes = static_cast<std::uint32_t>(refine);
+    const std::uint64_t verified_count = in.varint();
+    CL_CHECK_MSG(verified_count <= 64,
+                 "service payload: too many verified pairs");
+    response.schedule.verified.reserve(verified_count);
+    for (std::uint64_t i = 0; i < verified_count; ++i) {
+      response.schedule.verified.push_back(in.varint());
+    }
+    response.receipt.predict_calls = in.varint();
+    response.receipt.profile_memo_hits = in.varint();
   }
   CL_CHECK_MSG(in.done(), "service payload: trailing bytes after response");
   return response;

@@ -41,6 +41,16 @@
 // events-per-run ratio of the dispatched traces — what the decisions were
 // based on). The request payload is unchanged, so v4 cache keys equal v3
 // keys; responses to <= v3 requests omit the fields byte-for-byte.
+//
+// v4 -> v5 (co-scheduling): a new JobKind::kCoSchedule runs the analytic
+// co-scheduler (perfmodel/scheduler.hpp) over the request's `parties` as a
+// candidate pool. The request grew trailing slots/verify_top_k varints, the
+// response a CoScheduleResult (chosen pairs, unpaired programs, predictor
+// objective, verified-pair indices — the bit-exact results of the verified
+// pairs ride in `results`, two directional SimResults per pair), and the
+// CostReceipt trailing predict_calls/profile_memo_hits varints (closed-form
+// predictor work attribution). Responses to <= v4 requests are
+// byte-identical to a v4 build's.
 #pragma once
 
 #include <cstdint>
@@ -57,7 +67,7 @@
 namespace codelayout::service {
 
 inline constexpr std::uint32_t kWireMagic = 0x434c5356;  // "CLSV"
-inline constexpr std::uint16_t kWireVersion = 4;
+inline constexpr std::uint16_t kWireVersion = 5;
 /// Oldest version this build still decodes (append-only payload evolution).
 inline constexpr std::uint16_t kMinWireVersion = 1;
 /// Admission-time cap on one frame's payload (a full varint trace fits
@@ -72,6 +82,7 @@ enum class JobKind : std::uint8_t {
   kCorun = 2,       ///< N-party shared-cache co-run over `parties`
   kTraceStats = 3,  ///< statistics of the uploaded varint trace
   kIntrospect = 4,  ///< v3: live daemon state; never queued, never cached
+  kCoSchedule = 5,  ///< v5: predictor-driven pairing of `parties` onto slots
 };
 
 /// What a kIntrospect job reads. Served inline on the submitting thread —
@@ -123,7 +134,9 @@ struct JobRequest {
   Measure measure = Measure::kHardware;
   std::string workload;                ///< kSolo / kLayout
   std::optional<Optimizer> optimizer;  ///< kSolo / kLayout
-  std::vector<CorunPartyRequest> parties;  ///< kCorun; parties[0] measured
+  /// kCorun: parties[0] measured. kCoSchedule (v5): the candidate program
+  /// pool the scheduler pairs onto `slots` (speed fields ignored).
+  std::vector<CorunPartyRequest> parties;
   /// kCorun: when true (the default), party speeds are derived from the
   /// workloads' CPIs exactly like Lab::corun (SMT threads progress inversely
   /// to their CPIs) and the wire `speed` fields are ignored; service-path
@@ -142,6 +155,11 @@ struct JobRequest {
   std::uint64_t span_id = 0;
   /// v3: what a kIntrospect job reads (ignored for other kinds).
   IntrospectKind introspect = IntrospectKind::kStats;
+  /// v5 kCoSchedule: SMT pair slots to assign `parties` onto (required) and
+  /// how many of the costliest chosen pairs to verify with the bit-exact
+  /// co-run simulator (0 = predictions only).
+  std::uint64_t slots = 0;
+  std::uint64_t verify_top_k = 0;
 
   friend bool operator==(const JobRequest&, const JobRequest&) = default;
 
@@ -203,8 +221,35 @@ struct CostReceipt {
   /// number the decisions compared against kernel thresholds); 0 when the
   /// job dispatched nothing.
   double run_compression = 0.0;
+  /// v5: closed-form predictor attribution — predict_corun evaluations this
+  /// job ran, and solo-profile memo lookups served without a kernel pass.
+  std::uint64_t predict_calls = 0;
+  std::uint64_t profile_memo_hits = 0;
 
   friend bool operator==(const CostReceipt&, const CostReceipt&) = default;
+};
+
+/// v5 kCoSchedule response payload: the chosen assignment plus the
+/// predictor's objective. Pair members are indices into the request's
+/// `parties`. The bit-exact simulations of the verified pairs ride in
+/// JobResponse::results — two directional SimResults per entry of
+/// `verified` (measured-vs-wrapping both ways), in `verified` order.
+struct CoScheduleResult {
+  struct Pair {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    double predicted_misses = 0.0;
+
+    friend bool operator==(const Pair&, const Pair&) = default;
+  };
+  std::vector<Pair> pairs;              ///< sorted by first index
+  std::vector<std::uint64_t> unpaired;  ///< ascending party indices
+  double predicted_total_misses = 0.0;
+  std::uint32_t refine_passes = 0;
+  std::vector<std::uint64_t> verified;  ///< indices into pairs, cost-desc
+
+  friend bool operator==(const CoScheduleResult&,
+                         const CoScheduleResult&) = default;
 };
 
 struct JobResponse {
@@ -217,6 +262,7 @@ struct JobResponse {
   TraceStatsResult trace_stats;  ///< kTraceStats
   CostReceipt receipt;           ///< v3: cost attribution (all-zero on v1/v2)
   std::string introspect;        ///< v3: kIntrospect document (JSON or text)
+  CoScheduleResult schedule;     ///< v5: kCoSchedule assignment
 
   friend bool operator==(const JobResponse&, const JobResponse&) = default;
 };

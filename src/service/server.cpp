@@ -13,6 +13,7 @@
 #include <future>
 #include <utility>
 
+#include "perfmodel/scheduler.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/registry.hpp"
@@ -252,6 +253,99 @@ JobResponse LabExecutor::run(const JobRequest& request) {
       return error_response(request,
                             "introspect jobs are served by the daemon, not "
                             "the executor");
+
+    case JobKind::kCoSchedule: {
+      if (request.parties.size() < 2) {
+        return error_response(request, "co-schedule job needs >= 2 parties");
+      }
+      for (const CorunPartyRequest& party : request.parties) {
+        if (party.workload.empty()) {
+          return error_response(request, "co-schedule party needs a workload");
+        }
+      }
+      if (request.slots == 0) {
+        return error_response(request, "co-schedule job needs >= 1 slot");
+      }
+
+      // Materialize every party's layout up front (checked, so one unknown
+      // workload fails this job alone), then build the memoized solo
+      // profiles and run the closed-form assignment — no simulation until
+      // the verification pass below.
+      std::vector<EvalRequest> cells;
+      cells.reserve(request.parties.size());
+      for (const CorunPartyRequest& party : request.parties) {
+        cells.push_back(EvalRequest::layout(party.workload, party.optimizer));
+      }
+      for (const EvalOutcome& outcome : lab_.evaluate_all_checked(cells)) {
+        if (!outcome.ok()) return error_response(request, outcome.error);
+      }
+      std::vector<const SoloProfile*> profiles;
+      profiles.reserve(request.parties.size());
+      for (const CorunPartyRequest& party : request.parties) {
+        profiles.push_back(&lab_.solo_profile(
+            party.workload, party.optimizer, request.hierarchy.l1.line_bytes));
+      }
+      const PairCostMatrix costs =
+          compute_pair_costs(profiles, request.hierarchy, lab_.perf());
+      // Infeasible instances (parties > 2 * slots) throw ContractError here;
+      // execute() turns that into a kError response with the contract text.
+      const ScheduleResult schedule = schedule_corun(costs, request.slots);
+      response.schedule.pairs.reserve(schedule.pairs.size());
+      for (const SchedulePair& pair : schedule.pairs) {
+        response.schedule.pairs.push_back(
+            {pair.a, pair.b, pair.predicted_misses});
+      }
+      response.schedule.unpaired.assign(schedule.unpaired.begin(),
+                                        schedule.unpaired.end());
+      response.schedule.predicted_total_misses =
+          schedule.predicted_total_misses;
+      response.schedule.refine_passes = schedule.refine_passes;
+
+      // Verification: replay the k costliest chosen pairs on the bit-exact
+      // co-run engine, both directions, via checked cells. results[] holds
+      // two SimResults per verified pair (a-vs-b then b-vs-a) in `verified`
+      // order — byte-identical to the in-process Lab::corun answers.
+      const std::vector<std::size_t> verify =
+          top_k_pairs(schedule, request.verify_top_k);
+      response.schedule.verified.assign(verify.begin(), verify.end());
+      std::vector<EvalRequest> corun_cells;
+      corun_cells.reserve(verify.size() * 2);
+      for (const std::size_t idx : verify) {
+        const SchedulePair& pair = schedule.pairs[idx];
+        const CorunPartyRequest& a = request.parties[pair.a];
+        const CorunPartyRequest& b = request.parties[pair.b];
+        corun_cells.push_back(EvalRequest::corun(a.workload, a.optimizer,
+                                                 b.workload, b.optimizer,
+                                                 request.measure,
+                                                 request.hierarchy));
+        corun_cells.push_back(EvalRequest::corun(b.workload, b.optimizer,
+                                                 a.workload, a.optimizer,
+                                                 request.measure,
+                                                 request.hierarchy));
+      }
+      for (const EvalOutcome& outcome :
+           lab_.evaluate_all_checked(corun_cells)) {
+        if (!outcome.ok()) return error_response(request, outcome.error);
+      }
+      for (const std::size_t idx : verify) {
+        const SchedulePair& pair = schedule.pairs[idx];
+        const CorunPartyRequest& a = request.parties[pair.a];
+        const CorunPartyRequest& b = request.parties[pair.b];
+        const CorunResult& ab =
+            lab_.corun(a.workload, a.optimizer, b.workload, b.optimizer,
+                       request.measure, request.hierarchy);
+        const CorunResult& ba =
+            lab_.corun(b.workload, b.optimizer, a.workload, a.optimizer,
+                       request.measure, request.hierarchy);
+        response.results.push_back(ab.self);
+        response.results.push_back(ba.self);
+        response.receipt.rounds_fast += ab.stats.rounds_fast;
+        response.receipt.rounds_fast += ba.stats.rounds_fast;
+        response.receipt.rounds_fallback += ab.stats.rounds_fallback;
+        response.receipt.rounds_fallback += ba.stats.rounds_fallback;
+      }
+      return response;
+    }
   }
   return error_response(request, "unknown job kind");
 }
@@ -338,7 +432,9 @@ void ServiceServer::submit(JobRequest request,
                             request.trace_id, 0, 0, true,
                             hit->receipt.dispatch_run,
                             hit->receipt.dispatch_flat,
-                            hit->receipt.run_compression});
+                            hit->receipt.run_compression,
+                            hit->receipt.predict_calls,
+                            hit->receipt.profile_memo_hits});
       deliver(std::move(*hit));
       return;
     }
@@ -473,6 +569,10 @@ void ServiceServer::finish_job(QueuedJob job) {
       dispatched_runs ? static_cast<double>(dispatched_events) /
                             static_cast<double>(dispatched_runs)
                       : 0.0;
+  // v5: closed-form predictor attribution out of the same accumulator.
+  receipt.predict_calls = cost.predict_calls.load(std::memory_order_relaxed);
+  receipt.profile_memo_hits =
+      cost.predict_profile_hits.load(std::memory_order_relaxed);
 
   if (config_.cache_enabled && response.status == JobStatus::kOk) {
     // Stored entries carry id 0 (the cache's documented contract); lookup
@@ -485,7 +585,8 @@ void ServiceServer::finish_job(QueuedJob job) {
   push_recent(RecentJob{job.request.id, job.request.kind, response.status,
                         job.request.trace_id, queue_wait, wall, false,
                         receipt.dispatch_run, receipt.dispatch_flat,
-                        receipt.run_compression});
+                        receipt.run_compression, receipt.predict_calls,
+                        receipt.profile_memo_hits});
   {
     // Count the completion before the response leaves the building: a
     // client that has its answer must see it reflected in a stats snapshot
@@ -594,6 +695,8 @@ JobResponse ServiceServer::introspect_response(const JobRequest& request) {
             .field("dispatch_run", job.dispatch_run)
             .field("dispatch_flat", job.dispatch_flat)
             .field("run_compression", job.run_compression)
+            .field("predict_calls", job.predict_calls)
+            .field("profile_memo_hits", job.profile_memo_hits)
             .end_object();
       }
       json.end_array();

@@ -146,6 +146,11 @@ class ServiceServer {
     std::uint64_t dispatch_run = 0;
     std::uint64_t dispatch_flat = 0;
     double run_compression = 0.0;
+    /// Closed-form predictor attribution (perfmodel/corun_predictor.hpp):
+    /// predict_corun evaluations the job ran and solo-profile memo lookups
+    /// it answered without a kernel pass.
+    std::uint64_t predict_calls = 0;
+    std::uint64_t profile_memo_hits = 0;
   };
   /// Newest first; bounded at kRecentJobsCapacity.
   static constexpr std::size_t kRecentJobsCapacity = 32;

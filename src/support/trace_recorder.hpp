@@ -74,6 +74,12 @@ struct CostCounters {
   std::atomic<std::uint64_t> dispatch_flat{0};  ///< straight-line path chosen
   std::atomic<std::uint64_t> dispatch_events{0};
   std::atomic<std::uint64_t> dispatch_runs{0};
+  // Analytic co-run screening attribution (perfmodel/corun_predictor.hpp):
+  // closed-form predictions evaluated for this job, and how many of the solo
+  // profiles they consumed came from the Lab's memo instead of a fresh
+  // kernel pass.
+  std::atomic<std::uint64_t> predict_calls{0};
+  std::atomic<std::uint64_t> predict_profile_hits{0};
 };
 
 /// Ambient per-thread job identity: the trace id / span id a client stamped

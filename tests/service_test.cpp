@@ -21,6 +21,7 @@
 
 #include "harness/options.hpp"
 #include "json_lint.hpp"
+#include "perfmodel/scheduler.hpp"
 #include "prom_lint.hpp"
 #include "service/cache.hpp"
 #include "service/client.hpp"
@@ -191,14 +192,15 @@ TEST(ServiceProtocol, RejectsHostilePayloads) {
 
   // A corrupt embedded trace blob must throw, not crash. Aim the bit flip
   // at the middle of the trace region: the payload ends with the v2
-  // hierarchy blob (length prefix + encoding) and the three v3 trailing
-  // bytes (trace_id, span_id, introspect), which must be skipped or the
-  // flip may land in a latency double and still decode cleanly.
+  // hierarchy blob (length prefix + encoding), the three v3 trailing bytes
+  // (trace_id, span_id, introspect), and the two v5 trailing bytes (slots,
+  // verify_top_k), which must be skipped or the flip may land in a latency
+  // double and still decode cleanly.
   JobRequest stats;
   stats.kind = JobKind::kTraceStats;
   stats.trace = synthetic_trace();
   std::string stats_payload = encode_request_payload(stats);
-  const std::size_t tail = stats.hierarchy.encode().size() + 1 + 3;
+  const std::size_t tail = stats.hierarchy.encode().size() + 1 + 3 + 2;
   ASSERT_GT(stats_payload.size(), tail);
   stats_payload[(stats_payload.size() - tail) / 2] ^= 0x5a;
   EXPECT_THROW((void)decode_request_payload(stats_payload), std::exception);
@@ -231,15 +233,15 @@ TEST(ServiceProtocol, HierarchyRoundTripsThroughRequestPayload) {
 }
 
 TEST(ServiceProtocol, Version1PayloadsStillDecode) {
-  // A v1 request lacks the trailing length-prefixed hierarchy blob (v2) and
-  // the trace-context tail (v3). Decoding it under version=1 must succeed
-  // and leave the paper-default spec in place.
+  // A v1 request lacks the trailing length-prefixed hierarchy blob (v2),
+  // the trace-context tail (v3), and the co-schedule tail (v5). Decoding it
+  // under version=1 must succeed and leave the paper-default spec in place.
   const JobRequest request =
       solo_request("429.mcf", kBBAffinity, Measure::kHardware, 11);
   std::string payload = encode_request_payload(request, /*version=*/1);
   // The versioned encoder and hand-truncation of the full encoding agree.
   std::string truncated = encode_request_payload(request);
-  const std::size_t tail = request.hierarchy.encode().size() + 1 + 3;
+  const std::size_t tail = request.hierarchy.encode().size() + 1 + 3 + 2;
   ASSERT_GT(truncated.size(), tail);
   truncated.resize(truncated.size() - tail);
   EXPECT_EQ(payload, truncated);
@@ -287,8 +289,8 @@ TEST(ServiceProtocol, V4DispatchReceiptRoundTripsAndV3StaysByteIdentical) {
   response.receipt.dispatch_flat = 2;
   response.receipt.run_compression = 3.125;
 
-  const std::string v4 = encode_response_payload(response);
-  const JobResponse decoded = decode_response_payload(v4);
+  const std::string v4 = encode_response_payload(response, 4);
+  const JobResponse decoded = decode_response_payload(v4, 4);
   EXPECT_EQ(decoded, response);
   EXPECT_EQ(decoded.receipt.dispatch_run, 5u);
   EXPECT_EQ(decoded.receipt.dispatch_flat, 2u);
@@ -302,7 +304,7 @@ TEST(ServiceProtocol, V4DispatchReceiptRoundTripsAndV3StaysByteIdentical) {
   cleared.receipt.dispatch_run = 0;
   cleared.receipt.dispatch_flat = 0;
   cleared.receipt.run_compression = 0.0;
-  std::string v4_cleared = encode_response_payload(cleared);
+  std::string v4_cleared = encode_response_payload(cleared, 4);
   ASSERT_GT(v4_cleared.size(), 10u);
   EXPECT_EQ(v3, v4_cleared.substr(0, v4_cleared.size() - 10));
   const JobResponse v3_decoded = decode_response_payload(v3, 3);
@@ -313,17 +315,95 @@ TEST(ServiceProtocol, V4DispatchReceiptRoundTripsAndV3StaysByteIdentical) {
   // Truncating anywhere inside the v4 tail must throw, never half-decode.
   for (std::size_t cut = 1; cut <= 10; ++cut) {
     EXPECT_THROW(static_cast<void>(decode_response_payload(
-                     std::string_view(v4).substr(0, v4.size() - cut))),
+                     std::string_view(v4).substr(0, v4.size() - cut), 4)),
                  ContractError)
         << "cut " << cut;
   }
 
-  // The request payload is unchanged v3 -> v4, so cache keys are stable
-  // across the version bump: a v4 canonical key equals the v3 encoding's.
+  // The request payload is unchanged v3 -> v4, so cache keys were stable
+  // across that version bump: a v4 request encoding equals the v3 one.
   const JobRequest request =
       solo_request("429.mcf", kBBAffinity, Measure::kHardware, 7);
-  EXPECT_EQ(encode_request_payload(request),
+  EXPECT_EQ(encode_request_payload(request, /*version=*/4),
             encode_request_payload(request, /*version=*/3));
+}
+
+TEST(ServiceProtocol, V5CoScheduleRoundTripsAndV4StaysByteIdentical) {
+  // v5 appended the co-schedule request fields (slots, verify_top_k), the
+  // CoScheduleResult response block, and the predictor receipt varints.
+  JobRequest request;
+  request.id = 31;
+  request.kind = JobKind::kCoSchedule;
+  request.parties.push_back({"429.mcf", kBBAffinity, 1.0});
+  request.parties.push_back({"458.sjeng", std::nullopt, 1.0});
+  request.parties.push_back({"403.gcc", kFuncAffinity, 1.0});
+  request.slots = 2;
+  request.verify_top_k = 1;
+  const JobRequest decoded =
+      decode_request_payload(encode_request_payload(request));
+  EXPECT_EQ(decoded, request);
+  EXPECT_EQ(decoded.slots, 2u);
+  EXPECT_EQ(decoded.verify_top_k, 1u);
+
+  // The problem shape is part of the job identity: the same pool under a
+  // different slot count must never share a cache entry.
+  JobRequest other_slots = request;
+  other_slots.slots = 3;
+  EXPECT_NE(request.canonical_key(), other_slots.canonical_key());
+
+  // kCoSchedule is a v5 kind: the same bytes under a v4 header are hostile.
+  EXPECT_THROW(
+      static_cast<void>(decode_request_payload(
+          encode_request_payload(request, /*version=*/4), /*version=*/4)),
+      ContractError);
+
+  // Response side: the schedule block rides the v5 tail and round-trips.
+  JobResponse response;
+  response.id = 31;
+  response.status = JobStatus::kOk;
+  response.schedule.pairs = {{0, 2, 1234.5}, {1, 3, 99.25}};
+  response.schedule.unpaired = {4};
+  response.schedule.predicted_total_misses = 1500.75;
+  response.schedule.refine_passes = 2;
+  response.schedule.verified = {0};
+  response.receipt.predict_calls = 10;
+  response.receipt.profile_memo_hits = 5;
+  const std::string v5 = encode_response_payload(response);
+  EXPECT_EQ(decode_response_payload(v5), response);
+
+  // A v4 response omits the v5 tail byte-for-byte: the v4 encoding equals
+  // the v5 encoding of the same response with the schedule and predictor
+  // fields cleared, truncated by the empty v5 tail (two zero counts, an
+  // 8-byte double, refine_passes, the verified count, and two predictor
+  // varints — 14 bytes).
+  const std::string v4 = encode_response_payload(response, 4);
+  JobResponse cleared = response;
+  cleared.schedule = CoScheduleResult{};
+  cleared.receipt.predict_calls = 0;
+  cleared.receipt.profile_memo_hits = 0;
+  const std::string v5_cleared = encode_response_payload(cleared);
+  ASSERT_GT(v5_cleared.size(), 14u);
+  EXPECT_EQ(v4, v5_cleared.substr(0, v5_cleared.size() - 14));
+  const JobResponse v4_decoded = decode_response_payload(v4, 4);
+  EXPECT_EQ(v4_decoded.schedule, CoScheduleResult{});
+  EXPECT_EQ(v4_decoded.receipt.predict_calls, 0u);
+  EXPECT_EQ(v4_decoded.receipt.profile_memo_hits, 0u);
+
+  // Truncating anywhere inside the v5 tail must throw, never half-decode.
+  ASSERT_GT(v5.size(), v4.size());
+  for (std::size_t cut = 1; cut <= v5.size() - v4.size(); ++cut) {
+    EXPECT_THROW(static_cast<void>(decode_response_payload(
+                     std::string_view(v5).substr(0, v5.size() - cut))),
+                 ContractError)
+        << "cut " << cut;
+  }
+
+  // A hostile pair count (> 64) must be rejected before any allocation of
+  // that size. The pairs count byte is the first byte after the v4 prefix.
+  std::string hostile = v5_cleared;
+  hostile[v4.size()] = '\x41';  // claims 65 pairs
+  EXPECT_THROW(static_cast<void>(decode_response_payload(hostile)),
+               ContractError);
 }
 
 // ---- Response cache ---------------------------------------------------------
@@ -808,6 +888,109 @@ TEST(ServiceSocket, NonDefaultHierarchyRoundTripsOverTheWire) {
   server.shutdown();
 }
 
+TEST(ServiceSocket, CoScheduleGoldenMatchesInProcessScheduler) {
+  const LabOptions options = LabOptions{}.threads(2);
+  ServerConfig config;
+  config.workers = 2;
+  ServiceServer server(config, std::make_unique<LabExecutor>(options));
+  const std::string socket_path = "svc_cosched.sock";
+  server.listen_unix(socket_path);
+  ServiceClient client = ServiceClient::connect_unix(socket_path);
+
+  JobRequest job;
+  job.id = 1;
+  job.kind = JobKind::kCoSchedule;
+  job.measure = Measure::kSimulator;
+  job.parties.push_back({"458.sjeng", std::nullopt, 1.0});
+  job.parties.push_back({"471.omnetpp", std::nullopt, 1.0});
+  job.parties.push_back({"403.gcc", kBBAffinity, 1.0});
+  job.slots = 2;
+  job.verify_top_k = 1;
+  job.trace_id = 1;
+  job.span_id = 1;
+
+  const JobResponse remote = client.call(job);
+  ASSERT_EQ(remote.status, JobStatus::kOk) << remote.error;
+
+  // Byte-identical to the in-process executor on the wire. The receipt
+  // carries per-call timings and the daemon-side predictor attribution, so
+  // it is zeroed on both sides before encoding.
+  LabExecutor local(options);
+  const JobResponse expected = local.execute(job);
+  JobResponse remote_wire = remote;
+  JobResponse expected_wire = expected;
+  remote_wire.receipt = CostReceipt{};
+  expected_wire.receipt = CostReceipt{};
+  EXPECT_EQ(encode_response_payload(remote_wire),
+            encode_response_payload(expected_wire));
+  EXPECT_EQ(remote_wire, expected_wire);
+
+  // The daemon attributed the closed-form work: one prediction per pair of
+  // the 3-party pool, none served from a profile memo the first time.
+  EXPECT_EQ(remote.receipt.predict_calls, 3u);
+
+  // The assignment matches the scheduler run directly on the Lab's memoized
+  // profiles — the service adds transport, not policy.
+  Lab direct(LabOptions{}.threads(2));
+  std::vector<const SoloProfile*> profiles;
+  profiles.reserve(job.parties.size());
+  for (const CorunPartyRequest& party : job.parties) {
+    profiles.push_back(&direct.solo_profile(party.workload, party.optimizer,
+                                            job.hierarchy.l1.line_bytes));
+  }
+  const PairCostMatrix costs =
+      compute_pair_costs(profiles, job.hierarchy, direct.perf());
+  const ScheduleResult schedule = schedule_corun(costs, job.slots);
+  ASSERT_EQ(remote.schedule.pairs.size(), schedule.pairs.size());
+  for (std::size_t i = 0; i < schedule.pairs.size(); ++i) {
+    EXPECT_EQ(remote.schedule.pairs[i].a, schedule.pairs[i].a);
+    EXPECT_EQ(remote.schedule.pairs[i].b, schedule.pairs[i].b);
+    EXPECT_EQ(remote.schedule.pairs[i].predicted_misses,
+              schedule.pairs[i].predicted_misses);
+  }
+  EXPECT_EQ(remote.schedule.predicted_total_misses,
+            schedule.predicted_total_misses);
+  EXPECT_EQ(remote.schedule.refine_passes, schedule.refine_passes);
+
+  // 3 parties on 2 slots force exactly one pair; its bit-exact verification
+  // rides results[] both directions and matches Lab::corun exactly.
+  ASSERT_EQ(remote.schedule.pairs.size(), 1u);
+  ASSERT_EQ(remote.schedule.verified.size(), 1u);
+  ASSERT_EQ(remote.results.size(), 2u);
+  const SchedulePair& pair = schedule.pairs[remote.schedule.verified[0]];
+  const CorunPartyRequest& a = job.parties[pair.a];
+  const CorunPartyRequest& b = job.parties[pair.b];
+  const CorunResult& ab =
+      direct.corun(a.workload, a.optimizer, b.workload, b.optimizer,
+                   job.measure, job.hierarchy);
+  const CorunResult& ba =
+      direct.corun(b.workload, b.optimizer, a.workload, a.optimizer,
+                   job.measure, job.hierarchy);
+  EXPECT_EQ(remote.results[0], ab.self);
+  EXPECT_EQ(remote.results[1], ba.self);
+
+  // Infeasible instances (5 parties cannot fit 2 slots... here 3 parties on
+  // 1 slot) answer kError with the scheduler's contract text, not a hangup.
+  JobRequest infeasible = job;
+  infeasible.id = 2;
+  infeasible.slots = 1;
+  const JobResponse error = client.call(infeasible);
+  EXPECT_EQ(error.status, JobStatus::kError);
+  EXPECT_FALSE(error.error.empty());
+
+  // Bad pools are rejected before any profile work.
+  JobRequest empty_pool = job;
+  empty_pool.id = 3;
+  empty_pool.parties.clear();
+  EXPECT_EQ(client.call(empty_pool).status, JobStatus::kError);
+  JobRequest zero_slots = job;
+  zero_slots.id = 4;
+  zero_slots.slots = 0;
+  EXPECT_EQ(client.call(zero_slots).status, JobStatus::kError);
+
+  server.shutdown();
+}
+
 TEST(ServiceSocket, GarbageFramesGetAnErrorResponseAndHangup) {
   ServerConfig config;
   config.workers = 1;
@@ -901,9 +1084,9 @@ TEST(ServiceProtocol, RejectsHostileV3Tails) {
         << "cut " << cut;
   }
 
-  // Introspect byte out of range.
+  // Introspect byte out of range (it sits before the two v5 tail bytes).
   std::string bad_introspect = payload;
-  bad_introspect.back() = '\x66';
+  bad_introspect[bad_introspect.size() - 3] = '\x66';
   EXPECT_THROW(static_cast<void>(decode_request_payload(bad_introspect)),
                ContractError);
 
@@ -931,9 +1114,11 @@ TEST(ServiceProtocol, RejectsHostileV3Tails) {
   flagged.receipt.cached = true;
   std::string bad_cached = encode_response_payload(flagged);
   // The cached byte is followed by the (empty varint-length) introspect
-  // string and the v4 tail: two one-byte zero varints plus an 8-byte
-  // run_compression double — 11 trailing bytes.
-  bad_cached[bad_cached.size() - 12] = '\x02';
+  // string, the v4 tail (two one-byte zero varints plus an 8-byte
+  // run_compression double), and the empty v5 tail (two zero counts, an
+  // 8-byte double, refine_passes, the verified count, and two predictor
+  // varints) — 25 trailing bytes.
+  bad_cached[bad_cached.size() - 26] = '\x02';
   EXPECT_THROW(static_cast<void>(decode_response_payload(bad_cached)),
                ContractError);
 }
@@ -1146,6 +1331,9 @@ TEST(ServiceServer, RecentJobsRingKeepsNewestCapped) {
       << doc.introspect;
   EXPECT_NE(doc.introspect.find("\"dispatch_flat\":"), std::string::npos);
   EXPECT_NE(doc.introspect.find("\"run_compression\":"), std::string::npos);
+  // v5 predictor attribution rides the same ring entries.
+  EXPECT_NE(doc.introspect.find("\"predict_calls\":"), std::string::npos);
+  EXPECT_NE(doc.introspect.find("\"profile_memo_hits\":"), std::string::npos);
   server.shutdown();
 }
 

@@ -33,7 +33,13 @@ alone works):
   * --scaling-floor T:R: every swept kernel must reach R x its 1-thread
     throughput at T threads. Skipped (with a note) when the fresh host has
     fewer than max(4, T) cores — thread scaling on an oversubscribed or
-    tiny host measures the scheduler, not the kernel.
+    tiny host measures the scheduler, not the kernel;
+  * --predictor-floor E:S: a bench_predictor document must stay within the
+    model's documented error envelope (corun_err_max and solo_err_max <= E)
+    and the analytic screening must beat simulating the pair matrix by at
+    least S x (screening_speedup >= S). The speedup is an intra-file ratio —
+    both sides ran on the same host — so it is gated even across machines.
+    Skipped (with a note) for documents without the predictor fields.
 
 Everything else (speedups, in-run baselines, nondeterministic cost wall
 times) is skipped — the walk is baseline-driven, so adding fields to fresh
@@ -266,6 +272,31 @@ class Gate:
                     f"across {len(values)} workload(s) below the "
                     f"{ratio:.2f} floor")
 
+    def check_predictor_floor(self, path, doc, max_error, min_speedup):
+        """bench_predictor fresh-file check: the analytic model's worst
+        predicted-vs-simulated miss-ratio error stays within the documented
+        envelope, and screening the pair matrix actually beats simulating
+        it. A broken model (wrong capacity units, dropped composition term)
+        blows corun_err_max out by an order of magnitude, and a profile-side
+        perf regression erodes the speedup — both fail loudly here."""
+        if not isinstance(doc, dict) or "corun_err_max" not in doc:
+            self.notes.append(
+                f"{path}: predictor floor skipped (no corun_err_max field)")
+            return
+        for key in ("corun_err_max", "solo_err_max"):
+            value = doc.get(key)
+            self.checked += 1
+            if not isinstance(value, (int, float)) or value > max_error:
+                self.failures.append(
+                    f"{path}.{key}: prediction error {value} above the "
+                    f"{max_error} envelope")
+        speedup = doc.get("screening_speedup")
+        self.checked += 1
+        if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+            self.failures.append(
+                f"{path}.screening_speedup: {speedup} below the "
+                f"{min_speedup}x floor")
+
     def check_scaling_floor(self, path, doc, threads, ratio):
         """Swept kernels reach ratio x their 1-thread throughput at
         `threads` threads; skipped below max(4, threads) host cores."""
@@ -298,6 +329,11 @@ def parse_scaling_floor(text):
     return int(threads), float(ratio)
 
 
+def parse_predictor_floor(text):
+    max_error, _, min_speedup = text.partition(":")
+    return float(max_error), float(min_speedup)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", action="append", default=[],
@@ -318,6 +354,11 @@ def main():
                         help="fresh-file check: swept kernels reach R x "
                              "1-thread throughput at T threads (skipped "
                              "below max(4, T) host cores)")
+    parser.add_argument("--predictor-floor", type=parse_predictor_floor,
+                        default=None, metavar="E:S",
+                        help="fresh-file check: predictor documents keep "
+                             "corun/solo max abs error <= E and screening "
+                             "speedup >= S")
     args = parser.parse_args()
 
     if not args.fresh:
@@ -361,6 +402,10 @@ def main():
         if args.scaling_floor is not None:
             threads, ratio = args.scaling_floor
             gate.check_scaling_floor(fresh_path, fresh, threads, ratio)
+        if args.predictor_floor is not None:
+            max_error, min_speedup = args.predictor_floor
+            gate.check_predictor_floor(fresh_path, fresh, max_error,
+                                       min_speedup)
 
     print(f"bench_compare: {gate.checked} metrics gated, "
           f"{gate.skipped} informational fields skipped, "
